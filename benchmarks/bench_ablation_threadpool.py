@@ -1,0 +1,76 @@
+"""Ablation — the paper's GOMP thread-pool modification (§III-D1).
+
+"In order to reduce the overhead of creating and destroying threads
+when the number of OpenMP threads varies, we have made the spurious
+threads wait until they are needed again."
+
+This ablation runs the PYTHIA-adaptive Lulesh configuration with the
+modified pool (**park**) against default GOMP behaviour (**destroy**):
+without the modification, every team-size change thrashes
+destroy/spawn and eats a large share of the adaptive win — which is why
+the paper needed the change at all.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.apps.lulesh_omp import lulesh_omp_run
+from repro.core.oracle import Pythia
+from repro.experiments.harness import omp_record_run, temp_trace_path
+from repro.machines import PUDDING
+from repro.openmp.costmodel import RegionCostModel
+from repro.openmp.policies import AdaptivePythiaPolicy, MaxThreadsPolicy
+from repro.openmp.runtime import GompRuntime
+from repro.runtime.omp_interpose import OMPRuntimeSystem
+
+SIZE = 30
+
+
+def adaptive_time(trace_path: str, pool_mode: str) -> tuple[float, dict]:
+    oracle = Pythia(trace_path, mode="predict")
+    shim = OMPRuntimeSystem(oracle)
+    rt = GompRuntime(
+        PUDDING,
+        max_threads=PUDDING.cores,
+        policy=AdaptivePythiaPolicy(
+            cost_model=RegionCostModel(PUDDING), max_threads=PUDDING.cores
+        ),
+        pool_mode=pool_mode,
+        interceptor=shim,
+    )
+    t = lulesh_omp_run(rt, SIZE)
+    return t, dict(rt.pool.stats)
+
+
+def test_ablation_park_vs_destroy(benchmark):
+    path = temp_trace_path("ablation")
+    try:
+        record = omp_record_run(PUDDING, SIZE, path)
+        park_t, park_stats = benchmark.pedantic(
+            lambda: adaptive_time(path, "park"), rounds=1, iterations=1
+        )
+        destroy_t, destroy_stats = adaptive_time(path, "destroy")
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+    vanilla_t = GompRuntime(PUDDING, max_threads=PUDDING.cores,
+                            policy=MaxThreadsPolicy())
+    from repro.apps.lulesh_omp import lulesh_omp_run as run
+
+    vanilla = run(vanilla_t, SIZE)
+
+    print(f"\nAblation (Lulesh s={SIZE}, Pudding, adaptive policy):")
+    print(f"  vanilla (max threads)        : {vanilla:7.2f} s")
+    print(f"  adaptive + park pool (paper) : {park_t:7.2f} s  "
+          f"({park_stats['wakes']} wakes, {park_stats['spawns']} spawns)")
+    print(f"  adaptive + destroy pool      : {destroy_t:7.2f} s  "
+          f"({destroy_stats['destroys']} destroys, {destroy_stats['spawns']} spawns)")
+
+    # the paper's modification matters: the destroy pool erodes the win
+    assert park_t < destroy_t
+    # without parking, spawn/destroy churn happens constantly
+    assert destroy_stats["spawns"] > park_stats["spawns"] * 10
+    # and the parked pool keeps nearly the whole adaptive advantage
+    assert park_t < vanilla * 0.75

@@ -1,0 +1,32 @@
+"""Fig 10 — Lulesh execution time vs problem size on Pudding (24 threads).
+
+Asserted paper shapes: RECORD ~= VANILLA; PREDICT beats VANILLA by
+roughly 38 % at size 30; the improvement shrinks as the problem grows
+(volume regions dominate).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_13 import fig10_11_problem_size_sweep, render_omp_sweep
+from repro.machines import PUDDING
+
+SIZES = (10, 20, 30, 40, 50)
+
+
+def test_fig10_lulesh_size_sweep_pudding(benchmark):
+    res = benchmark.pedantic(
+        lambda: fig10_11_problem_size_sweep((PUDDING,), sizes=SIZES)[0],
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_omp_sweep([res], "Fig 10 - Lulesh vs problem size"))
+
+    i30 = SIZES.index(30)
+    # record ~ vanilla everywhere
+    for i in range(len(SIZES)):
+        assert abs(res.record[i] - res.vanilla[i]) / res.vanilla[i] < 0.02
+    # headline: ~38 % improvement at size 30 (allow 25..50)
+    assert 25.0 <= res.improvement_pct(i30) <= 50.0
+    # the gain shrinks as the problem grows
+    assert res.improvement_pct(0) > res.improvement_pct(i30) > res.improvement_pct(len(SIZES) - 1)
+    # predict never loses
+    assert all(p <= v * 1.02 for p, v in zip(res.predict, res.vanilla))

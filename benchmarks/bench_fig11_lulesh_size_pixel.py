@@ -1,0 +1,38 @@
+"""Fig 11 — Lulesh execution time vs problem size on Pixel (16 threads).
+
+Same protocol as Fig 10 on the smaller machine; the paper reports a
+smaller peak improvement (~20 % at size 30) because fewer threads mean
+less synchronisation overhead to save.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_13 import fig10_11_problem_size_sweep, render_omp_sweep
+from repro.machines import PIXEL, PUDDING
+
+SIZES = (10, 20, 30, 40, 50)
+
+
+def test_fig11_lulesh_size_sweep_pixel(benchmark):
+    res = benchmark.pedantic(
+        lambda: fig10_11_problem_size_sweep((PIXEL,), sizes=SIZES)[0],
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_omp_sweep([res], "Fig 11 - Lulesh vs problem size"))
+
+    i30 = SIZES.index(30)
+    for i in range(len(SIZES)):
+        assert abs(res.record[i] - res.vanilla[i]) / res.vanilla[i] < 0.02
+    # improvement exists but is noticeably smaller than Pudding's
+    assert 8.0 <= res.improvement_pct(i30) <= 40.0
+    assert res.improvement_pct(0) > res.improvement_pct(len(SIZES) - 1)
+
+
+def test_fig10_vs_fig11_pudding_gains_more(benchmark):
+    pud, pix = benchmark.pedantic(
+        lambda: fig10_11_problem_size_sweep((PUDDING, PIXEL), sizes=(30,)),
+        rounds=1, iterations=1,
+    )
+    print(f"\nsize-30 gain: Pudding {pud.improvement_pct(0):.1f} % "
+          f"vs Pixel {pix.improvement_pct(0):.1f} %")
+    assert pud.improvement_pct(0) > pix.improvement_pct(0)

@@ -1,0 +1,35 @@
+"""Fig 12 — Lulesh (size 30) vs maximum thread count on Pudding.
+
+Asserted paper shapes: the three configurations coincide at low thread
+counts (<= 8); at the full 24 threads PREDICT improves on VANILLA by up
+to ~38 %; VANILLA's curve has an interior minimum (more threads stop
+helping) while PREDICT stays flat-or-better.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_13 import fig12_13_thread_sweep, render_omp_sweep
+from repro.machines import PUDDING
+
+COUNTS = (1, 2, 4, 8, 12, 16, 20, 24)
+
+
+def test_fig12_thread_sweep_pudding(benchmark):
+    res = benchmark.pedantic(
+        lambda: fig12_13_thread_sweep(
+            (PUDDING,), size=30, thread_counts={"Pudding": COUNTS}
+        )[0],
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_omp_sweep([res], "Fig 12 - Lulesh size 30 vs max threads"))
+
+    # low thread counts: all three similar (within a few %)
+    for i, n in enumerate(COUNTS):
+        if n <= 8:
+            assert abs(res.predict[i] - res.vanilla[i]) / res.vanilla[i] < 0.15
+    # full machine: the headline gain
+    assert 25.0 <= res.improvement_pct(len(COUNTS) - 1) <= 50.0
+    # vanilla deteriorates beyond its sweet spot; predict does not
+    best_vanilla = min(res.vanilla)
+    assert res.vanilla[-1] > best_vanilla * 1.05
+    assert res.predict[-1] <= min(res.predict[:-1]) * 1.02

@@ -1,0 +1,33 @@
+"""Fig 14 — resilience to unexpected events (Lulesh size 30, Pudding).
+
+Asserted paper shapes: at low error rates PREDICT keeps a significant
+advantage over VANILLA/RECORD; the advantage decays monotonically (up to
+simulation noise) as the error rate grows, approaching VANILLA without
+falling meaningfully below it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig14 import fig14_error_rate, render_fig14
+
+RATES = (0.0, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5)
+
+
+def test_fig14_error_rate_sweep(benchmark):
+    res = benchmark.pedantic(
+        lambda: fig14_error_rate(rates=RATES),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_fig14(res))
+
+    # error-free: the full adaptive win
+    assert res.predict[0] < res.vanilla * 0.75
+    # low error rates still significantly better than vanilla
+    assert res.predict[1] < res.vanilla * 0.85
+    # decay: each higher error rate is no faster than half-rate earlier
+    for lo, hi in zip(res.predict, res.predict[2:]):
+        assert hi >= lo * 0.98
+    # even at 50 % error rate, not meaningfully worse than vanilla
+    assert res.predict[-1] <= res.vanilla * 1.1
+    # vanilla and record stay flat (no injection there)
+    assert abs(res.record - res.vanilla) / res.vanilla < 0.02

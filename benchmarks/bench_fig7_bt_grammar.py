@@ -1,0 +1,25 @@
+"""Fig 7 — the grammar extracted from BT.
+
+Regenerates the figure's content (one rank's grammar) and asserts the
+paper's structure: a 200-iteration loop rule containing the halo rule,
+Bcast^6 at the start, the Allreduce/Reduce/Barrier tail.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_RANKS
+from repro.experiments.fig7 import fig7_bt_grammar
+
+
+def test_fig7_bt_grammar_structure(benchmark):
+    grammar_text = benchmark.pedantic(
+        lambda: fig7_bt_grammar(ws="small", ranks=BENCH_RANKS, rank=1),
+        rounds=1, iterations=1,
+    )
+    print("\nFig 7: grammar extracted from BT\n" + grammar_text)
+    # the paper's Fig 7 shape
+    assert "Bcast(0)^6" in grammar_text
+    assert "^200" in grammar_text  # the 200-iteration main loop
+    assert "Waitall" in grammar_text
+    assert "Wait^2" in grammar_text
+    assert grammar_text.count("->") == 3  # R + two rules, as in the paper

@@ -1,0 +1,67 @@
+"""Fig 8 — accuracy of PYTHIA-PREDICT predictions vs distance.
+
+Record on the small working set, predict small/medium/large, distances
+1..128.  Asserted paper shapes: regular applications stay >=90 % at
+distance 128; Quicksilver sits near 70 % at distance 1 and decays; LU
+degrades across working sets at long distances (loop boundaries).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_RANKS
+from repro.experiments.fig8 import fig8_accuracy, render_fig8
+
+DISTANCES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+REGULAR_APPS = ("bt", "sp", "minife")
+SHORT_TRACE_APPS = ("ft", "is")  # tens of events/rank: distance 128 outruns the trace
+
+
+@pytest.mark.parametrize("app", REGULAR_APPS)
+def test_fig8_regular_apps_stay_accurate(benchmark, app):
+    res = benchmark.pedantic(
+        lambda: fig8_accuracy([app], distances=DISTANCES, ranks=BENCH_RANKS),
+        rounds=1, iterations=1,
+    )[0]
+    print("\n" + render_fig8([res]))
+    for ws, curve in res.curves.items():
+        assert curve[-1] >= 0.85, f"{app}.{ws} fell below 85% at distance 128"
+    assert res.curves["small"][-1] >= 0.90
+
+
+@pytest.mark.parametrize("app", SHORT_TRACE_APPS)
+def test_fig8_short_trace_apps_accurate_at_short_distance(benchmark, app):
+    """FT/IS record only tens of events per rank (Table I), so long
+    distances outrun the reference trace; short distances stay accurate."""
+    res = benchmark.pedantic(
+        lambda: fig8_accuracy([app], distances=(1, 2, 4), ranks=BENCH_RANKS),
+        rounds=1, iterations=1,
+    )[0]
+    print("\n" + render_fig8([res]))
+    for _ws, curve in res.curves.items():
+        assert curve[0] >= 0.75
+
+
+def test_fig8_quicksilver_irregular(benchmark):
+    res = benchmark.pedantic(
+        lambda: fig8_accuracy(["quicksilver"], distances=DISTANCES, ranks=BENCH_RANKS),
+        rounds=1, iterations=1,
+    )[0]
+    print("\n" + render_fig8([res]))
+    for ws, curve in res.curves.items():
+        assert curve[0] >= 0.5, "short-distance accuracy collapsed"
+        assert curve[-1] <= 0.6, "long-distance prediction should fail on QS"
+
+
+def test_fig8_lu_degrades_across_working_sets(benchmark):
+    res = benchmark.pedantic(
+        lambda: fig8_accuracy(["lu"], distances=DISTANCES, ranks=BENCH_RANKS),
+        rounds=1, iterations=1,
+    )[0]
+    print("\n" + render_fig8([res]))
+    # same working set: accurate; larger working sets: loop boundaries
+    # break long-distance predictions (the paper's LU/MG observation)
+    assert res.curves["small"][-1] >= 0.85
+    assert res.curves["large"][-1] <= res.curves["small"][-1] - 0.2

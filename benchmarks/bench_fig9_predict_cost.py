@@ -1,0 +1,65 @@
+"""Fig 9 — cost of one PYTHIA-PREDICT prediction vs distance.
+
+This is the natural pytest-benchmark target: the real wall-clock cost
+of ``predict(distance)``.  Asserted paper shapes: cost grows roughly
+linearly with the distance, and irregular grammars (Quicksilver) are
+more expensive than regular ones (BT).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predict import PythiaPredict
+
+DISTANCES = (1, 4, 16, 64)
+
+
+def _predictor(recorded_traces, app):
+    _path, record = recorded_traces(app, "small")
+    tt = record.trace.thread(1)
+    p = PythiaPredict(tt.grammar, tt.timing)
+    stream = tt.grammar.unfold()
+    for ev in stream[:64]:
+        p.observe(ev)
+    return p
+
+
+@pytest.mark.parametrize("distance", DISTANCES)
+@pytest.mark.parametrize("app", ("bt", "quicksilver"))
+def test_fig9_prediction_cost(benchmark, recorded_traces, app, distance):
+    predictor = _predictor(recorded_traces, app)
+    benchmark(predictor.predict, distance)
+
+
+def test_fig9_cost_grows_with_distance(benchmark, recorded_traces):
+    import time
+
+    predictor = _predictor(recorded_traces, "bt")
+
+    def cost(d, repeats=50):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            predictor.predict(d)
+        return (time.perf_counter() - t0) / repeats
+
+    c1, c64 = benchmark.pedantic(lambda: (cost(1), cost(64)), rounds=1, iterations=1)
+    print(f"\nFig 9 shape: predict(1)={c1 * 1e6:.1f}us predict(64)={c64 * 1e6:.1f}us")
+    assert c64 > c1 * 4  # roughly linear growth in distance
+
+
+def test_fig9_irregular_apps_cost_more(benchmark, recorded_traces):
+    import time
+
+    def mean_cost(app, d=16, repeats=30):
+        p = _predictor(recorded_traces, app)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            p.predict(d)
+        return (time.perf_counter() - t0) / repeats
+
+    bt, qs = benchmark.pedantic(
+        lambda: (mean_cost("bt"), mean_cost("quicksilver")), rounds=1, iterations=1
+    )
+    print(f"\nFig 9 shape: BT={bt * 1e6:.1f}us QS={qs * 1e6:.1f}us at distance 16")
+    assert qs > bt

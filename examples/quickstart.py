@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: the PYTHIA oracle in five minutes.
+
+A runtime system drives PYTHIA through two executions of the same
+"application" (here, a tiny synthetic event loop):
+
+1. first run  — no trace file exists, so the oracle records;
+2. second run — the trace is reloaded and the oracle predicts what the
+   application will do next, and when.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import Pythia
+
+
+def application_run(oracle: Pythia) -> None:
+    """One execution: 20 iterations of work/exchange/sync + a checkpoint."""
+    clock = 0.0
+    for step in range(20):
+        for name, payload, dt in (
+            ("compute_kernel", None, 0.010),
+            ("send_halo", 1, 0.002),
+            ("recv_halo", 1, 0.002),
+            ("barrier", None, 0.004),
+        ):
+            clock += dt
+            oracle.event(name, payload, timestamp=clock)
+        if step % 5 == 4:
+            clock += 0.050
+            oracle.event("checkpoint", None, timestamp=clock)
+
+
+def main() -> None:
+    trace_path = os.path.join(tempfile.gettempdir(), "pythia-quickstart.pythia")
+    if os.path.exists(trace_path):
+        os.unlink(trace_path)
+
+    # ---- run 1: record --------------------------------------------------
+    oracle = Pythia(trace_path)  # auto mode: no file -> record
+    print(f"run 1: mode={oracle.mode}")
+    application_run(oracle)
+    trace = oracle.finish()
+    print(f"  recorded {trace.event_count} events, "
+          f"{trace.rule_count} grammar rules, saved to {trace_path}")
+    names = {i: str(ev) for i, ev in enumerate(trace.registry)}
+    print("  grammar:")
+    for line in trace.grammar.dump(lambda t: names.get(t, "?")).splitlines():
+        print("   ", line)
+
+    # ---- run 2: predict --------------------------------------------------
+    oracle = Pythia(trace_path)  # auto mode: file exists -> predict
+    print(f"\nrun 2: mode={oracle.mode}")
+    clock = 0.0
+    # replay the first half-iteration, then ask questions
+    for name, payload, dt in (("compute_kernel", None, 0.010), ("send_halo", 1, 0.002)):
+        clock += dt
+        oracle.event(name, payload, timestamp=clock)
+
+    print("  after observing compute_kernel, send_halo:")
+    for distance in (1, 2, 3, 4, 8):
+        pred = oracle.predict(distance, with_time=True)
+        print(f"   event in {distance} steps: {oracle.describe(pred)}")
+
+    eta = oracle.predict_duration(2)
+    print(f"  estimated time until the barrier: {eta * 1e3:.1f} ms "
+          f"(the reference run took 6.0 ms)")
+    oracle.finish()
+    os.unlink(trace_path)
+
+
+if __name__ == "__main__":
+    main()

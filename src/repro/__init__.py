@@ -1,0 +1,50 @@
+"""repro — a full reproduction of *PYTHIA: an oracle to guide runtime
+system decisions* (Colin, Trahay, Conan; IEEE CLUSTER 2022).
+
+Public entry points:
+
+- :class:`repro.Pythia` — the oracle facade (record on first run,
+  predict on later runs);
+- :class:`repro.PythiaRecord` / :class:`repro.PythiaPredict` — the two
+  halves used directly;
+- :mod:`repro.mpi` / :mod:`repro.openmp` — the simulated runtime-system
+  substrates the evaluation runs on;
+- :mod:`repro.apps` — the 13 evaluated application skeletons;
+- :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation section.
+"""
+
+from repro.core import (
+    Event,
+    EventRegistry,
+    FrozenGrammar,
+    Grammar,
+    GrammarError,
+    Prediction,
+    Pythia,
+    PythiaPredict,
+    PythiaRecord,
+    TimingTable,
+    Trace,
+    load_trace,
+    save_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "EventRegistry",
+    "FrozenGrammar",
+    "Grammar",
+    "GrammarError",
+    "Prediction",
+    "Pythia",
+    "PythiaPredict",
+    "PythiaRecord",
+    "TimingTable",
+    "Trace",
+    "load_trace",
+    "save_trace",
+    "__version__",
+]

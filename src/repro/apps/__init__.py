@@ -1,0 +1,28 @@
+"""The 13 evaluated applications (§III-A2), as communication skeletons.
+
+Each module reproduces the *event-stream structure* of one application —
+the loops, communication patterns and irregularities PYTHIA sees — with
+compute phases calibrated so that simulated execution times land near
+the paper's Table I.  Working sets (small / medium / large) scale
+iteration counts and problem dimensions the same way the paper's
+parameters do, which is what makes the cross-working-set prediction
+experiment (Fig 8) meaningful.
+"""
+
+from repro.apps.base import APPS, AppSpec, WORKING_SETS, get_app, list_apps, omp_region
+
+# importing the modules registers their specs
+from repro.apps import amg, kripke, lulesh, minife, npb, quicksilver  # noqa: F401, E402
+from repro.apps.lulesh_omp import LULESH_OMP_REGIONS, lulesh_omp_run, lulesh_timesteps
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "LULESH_OMP_REGIONS",
+    "WORKING_SETS",
+    "get_app",
+    "list_apps",
+    "lulesh_omp_run",
+    "lulesh_timesteps",
+    "omp_region",
+]

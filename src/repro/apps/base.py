@@ -1,0 +1,109 @@
+"""Application registry and shared skeleton helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Sequence
+
+from repro.mpi.comm import SimComm
+
+WORKING_SETS = ("small", "medium", "large")
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "WORKING_SETS",
+    "face_exchange",
+    "get_app",
+    "list_apps",
+    "omp_region",
+    "register",
+    "ws_value",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AppSpec:
+    """One evaluated application.
+
+    ``main(comm, ws, seed)`` is the per-rank generator; ``hybrid`` apps
+    also emit OpenMP region events (the paper runs them under both the
+    MPI and the OpenMP runtime systems).  ``paper`` holds Table I's
+    reference row for the EXPERIMENTS.md comparison.
+    """
+
+    name: str
+    main: Callable[[SimComm, str, int], Generator]
+    hybrid: bool
+    default_ranks: int
+    description: str
+    paper: dict = field(default_factory=dict)
+
+
+APPS: dict[str, AppSpec] = {}
+
+
+def register(spec: AppSpec) -> AppSpec:
+    """Add an application to the registry (module import time)."""
+    if spec.name in APPS:
+        raise ValueError(f"duplicate app {spec.name!r}")
+    APPS[spec.name] = spec
+    return spec
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up an application by name (case-insensitive)."""
+    try:
+        return APPS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; know {sorted(APPS)}") from None
+
+
+def list_apps() -> list[str]:
+    """All registered application names, NPB kernels first."""
+    return sorted(APPS)
+
+
+def ws_value(ws: str, small, medium, large):
+    """Pick a per-working-set parameter value."""
+    try:
+        return {"small": small, "medium": medium, "large": large}[ws]
+    except KeyError:
+        raise ValueError(f"unknown working set {ws!r}; use one of {WORKING_SETS}") from None
+
+
+# ----------------------------------------------------------------------
+# skeleton building blocks
+# ----------------------------------------------------------------------
+
+
+def face_exchange(
+    comm: SimComm, neighbors: Sequence[int], size: int, tag: int = 0
+) -> Generator:
+    """Nonblocking halo exchange with ``neighbors`` + one Waitall.
+
+    The canonical NPB/Lulesh boundary pattern: post all receives, post
+    all sends, wait for everything.
+    """
+    reqs = [comm.irecv(source=n, tag=tag) for n in neighbors]
+    reqs += [comm.isend(None, dest=n, tag=tag, size=size) for n in neighbors]
+    yield from comm.waitall(reqs)
+
+
+def omp_region(comm: SimComm, region_id: int, seconds: float) -> Generator:
+    """An OpenMP parallel region inside a hybrid MPI+OpenMP rank.
+
+    Emits the same begin/end events the OpenMP runtime system submits,
+    through the rank's interceptor, and advances simulated time by the
+    region's duration.
+    """
+    if comm.interceptor is not None:
+        comm.interceptor.mpi_call("GOMP_parallel_begin", region_id)
+    yield comm.compute(seconds)
+    if comm.interceptor is not None:
+        comm.interceptor.mpi_call("GOMP_parallel_end", region_id)
+
+
+def ring_neighbors(rank: int, size: int, *offsets: int) -> list[int]:
+    """Deterministic neighbor set on a rank ring (wrapping)."""
+    return [(rank + off) % size for off in offsets if size > 1]

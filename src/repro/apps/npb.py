@@ -1,0 +1,308 @@
+"""NAS Parallel Benchmarks skeletons (BT, CG, EP, FT, IS, LU, MG, SP).
+
+Each kernel reproduces the communication structure that shapes its
+PYTHIA grammar in the paper's Table I / Fig 7:
+
+- **BT/SP** — a fixed-length ADI iteration (200 / 400 iterations for
+  every class) mixing halo waitalls with pipelined Isend/Irecv/Wait^2;
+  grammar of a handful of rules, identical across working sets.
+- **CG** — many point-to-point exchanges plus two dot-product
+  allreduces per iteration; iteration count grows with the class.
+- **EP** — embarrassingly parallel: a handful of collectives.
+- **FT** — an alltoall transpose per FFT iteration.
+- **IS** — bucket sort: allreduce + alltoall(+v) per repetition.
+- **LU** — SSOR wavefront: the pipeline depth (number of k-planes)
+  grows with the problem size, which is exactly why Fig 8 shows LU
+  mispredicting across working sets at loop boundaries.
+- **MG** — V-cycles whose depth (grid levels) grows with the class.
+
+Compute phases are calibrated so the **large** simulated times land
+near Table I's measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import AppSpec, face_exchange, register, ws_value
+from repro.mpi.comm import SimComm
+from repro.mpi.datatypes import MAX, SUM
+
+__all__ = ["bt_main", "cg_main", "ep_main", "ft_main", "is_main", "lu_main", "mg_main", "sp_main"]
+
+
+# ----------------------------------------------------------------------
+# BT — block tridiagonal solver (Fig 7's example grammar)
+# ----------------------------------------------------------------------
+
+def _bt_halo(comm: SimComm, size: int) -> Generator:
+    """The paper's ``B -> Irecv Irecv [...] WaitAll`` block."""
+    if comm.size == 1:
+        return
+    left, right = (comm.rank - 1) % comm.size, (comm.rank + 1) % comm.size
+    reqs = [comm.irecv(source=left, tag=1), comm.irecv(source=right, tag=1)]
+    reqs += [
+        comm.isend(None, dest=right, tag=1, size=size),
+        comm.isend(None, dest=left, tag=1, size=size),
+    ]
+    yield from comm.waitall(reqs)
+
+
+def bt_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """BT: 200 ADI iterations for every class (A/B/C), Fig 7 structure."""
+    iters = 200
+    total_time = ws_value(ws, 3.0, 8.5, 24.2)
+    face = ws_value(ws, 40_000, 100_000, 200_000)
+    step_compute = total_time / iters
+    nxt = (comm.rank + 1) % comm.size
+
+    for _ in range(6):
+        yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield from _bt_halo(comm, face)
+    yield from comm.barrier()
+
+    for _it in range(iters):
+        # "A -> B Isend Irecv [...] Wait^2"
+        yield from _bt_halo(comm, face)
+        if comm.size > 1:
+            sreq = comm.isend(None, dest=nxt, tag=2, size=face)
+            rreq = comm.irecv(source=(comm.rank - 1) % comm.size, tag=2)
+            yield comm.compute(step_compute)
+            yield from comm.wait(sreq)
+            yield from comm.wait(rreq)
+        else:
+            yield comm.compute(step_compute)
+
+    yield from comm.allreduce(0.0, op=SUM)
+    yield from comm.allreduce(0.0, op=MAX)
+    yield from _bt_halo(comm, face)
+    yield from comm.reduce(0.0, op=SUM, root=0)
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# CG — conjugate gradient
+# ----------------------------------------------------------------------
+
+def cg_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """CG: transpose exchanges + two reduction allreduces per iteration."""
+    iters = ws_value(ws, 15, 75, 75)
+    inner = 13
+    total_time = ws_value(ws, 0.7, 5.5, 9.9)
+    msg = ws_value(ws, 15_000, 60_000, 150_000)
+    step_compute = total_time / (iters * (inner + 1))
+    partner = comm.rank ^ 1 if comm.size > 1 else comm.rank
+
+    yield from comm.barrier()
+    for it in range(iters):
+        for _j in range(inner):
+            if partner != comm.rank and partner < comm.size:
+                rreq = comm.irecv(source=partner, tag=3)
+                yield from comm.send(None, dest=partner, tag=3, size=msg)
+                yield from comm.wait(rreq)
+            yield comm.compute(step_compute)
+        yield comm.compute(step_compute)
+        yield from comm.allreduce(0.0, op=SUM)  # p . Ap
+        yield from comm.allreduce(0.0, op=SUM)  # residual norm
+        if it % 5 == 4:
+            # periodic residual re-orthogonalisation (distinct phase)
+            second = comm.rank ^ 2
+            if second < comm.size and second != comm.rank:
+                rreq = comm.irecv(source=second, tag=9)
+                yield from comm.send(None, dest=second, tag=9, size=msg // 2)
+                yield from comm.wait(rreq)
+            yield from comm.allreduce(0.0, op=MAX)
+            yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield from comm.reduce(0.0, op=MAX, root=0)
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# EP — embarrassingly parallel
+# ----------------------------------------------------------------------
+
+def ep_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """EP: pure compute plus a few terminal collectives (6 events/rank)."""
+    yield comm.compute(ws_value(ws, 0.6, 1.6, 4.2))
+    yield from comm.allreduce(0.0, op=SUM)  # sx
+    yield from comm.allreduce(0.0, op=SUM)  # sy
+    yield from comm.allreduce(0, op=SUM)    # counts
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# FT — 3D FFT
+# ----------------------------------------------------------------------
+
+def ft_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """FT: an alltoall transpose per FFT iteration (6/20/20 iterations)."""
+    iters = ws_value(ws, 6, 20, 20)
+    total_time = ws_value(ws, 1.6, 8.0, 17.4)
+    slab = ws_value(ws, 250_000, 1_000_000, 4_000_000)
+    step_compute = total_time / (iters + 1)
+
+    yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield comm.compute(step_compute)
+    for _it in range(iters):
+        yield from comm.alltoall([None] * comm.size, size=slab // max(comm.size, 1))
+        yield comm.compute(step_compute)
+    yield from comm.allreduce(0.0, op=SUM)  # checksum
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# IS — integer sort
+# ----------------------------------------------------------------------
+
+def is_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """IS: 10 bucket-sort repetitions of allreduce + alltoall + alltoallv."""
+    iters = 10
+    total_time = ws_value(ws, 0.5, 1.4, 3.2)
+    keys = ws_value(ws, 60_000, 250_000, 1_000_000)
+    step_compute = total_time / (iters + 1)
+
+    for _it in range(iters):
+        yield comm.compute(step_compute)
+        yield from comm.allreduce(0, op=SUM)  # bucket sizes
+        yield from comm.alltoall([None] * comm.size, size=64)
+        yield from comm.alltoallv(
+            [[None]] * comm.size, sizes=[keys // max(comm.size, 1)] * comm.size
+        )
+    yield comm.compute(step_compute)
+    yield from comm.allreduce(0, op=SUM)  # verification
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# LU — SSOR with pipelined wavefronts
+# ----------------------------------------------------------------------
+
+def lu_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """LU: per-iteration lower/upper wavefront sweeps over k-planes.
+
+    The pipeline depth (``planes``) grows with the problem size, so a
+    grammar recorded on **small** mispredicts the sweep boundaries of
+    **large** — the paper calls this out explicitly for LU.
+    """
+    iters = ws_value(ws, 12, 30, 50)
+    planes = ws_value(ws, 16, 24, 32)
+    total_time = ws_value(ws, 2.4, 9.5, 23.0)
+    msg = ws_value(ws, 10_000, 25_000, 50_000)
+    # each sweep pays a pipeline fill of ~(P-1) stages on top of the
+    # per-rank plane work
+    step_compute = total_time / (iters * 2 * (planes + comm.size - 1))
+    prev_rank, next_rank = comm.rank - 1, comm.rank + 1
+
+    yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield from comm.barrier()
+    for _it in range(iters):
+        # lower-triangular sweep: wave flows rank 0 -> P-1
+        for _k in range(planes):
+            if prev_rank >= 0:
+                yield from comm.recv(source=prev_rank, tag=4)
+            yield comm.compute(step_compute)
+            if next_rank < comm.size:
+                yield from comm.send(None, dest=next_rank, tag=4, size=msg)
+        # upper-triangular sweep: wave flows P-1 -> 0
+        for _k in range(planes):
+            if next_rank < comm.size:
+                yield from comm.recv(source=next_rank, tag=5)
+            yield comm.compute(step_compute)
+            if prev_rank >= 0:
+                yield from comm.send(None, dest=prev_rank, tag=5, size=msg)
+        yield from comm.allreduce(0.0, op=SUM)  # residual
+        if _it % 5 == 4:
+            yield from comm.allreduce(0.0, op=MAX)  # periodic full norm
+            yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield from comm.reduce(0.0, op=MAX, root=0)
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# MG — multigrid V-cycles
+# ----------------------------------------------------------------------
+
+def mg_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """MG: V-cycles whose level count depends on the problem size."""
+    cycles = 20
+    levels = ws_value(ws, 4, 5, 6)
+    total_time = ws_value(ws, 0.6, 1.8, 4.2)
+    step_compute = total_time / (cycles * levels * 2)
+
+    yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    for _cy in range(cycles):
+        # restriction: fine -> coarse, message size shrinks per level
+        for lvl in range(levels):
+            partner = comm.rank ^ (1 << lvl)
+            if partner < comm.size and comm.size > 1:
+                yield from face_exchange(comm, [partner], size=max(1 << (14 - lvl), 64), tag=6 + lvl)
+            yield comm.compute(step_compute)
+        # prolongation: coarse -> fine
+        for lvl in reversed(range(levels)):
+            partner = comm.rank ^ (1 << lvl)
+            if partner < comm.size and comm.size > 1:
+                yield from face_exchange(comm, [partner], size=max(1 << (14 - lvl), 64), tag=6 + lvl)
+            yield comm.compute(step_compute)
+        yield from comm.allreduce(0.0, op=SUM)  # norm
+    yield from comm.allreduce(0.0, op=MAX)
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# SP — scalar pentadiagonal solver
+# ----------------------------------------------------------------------
+
+def sp_main(comm: SimComm, ws: str, seed: int = 0) -> Generator:
+    """SP: like BT with 400 shorter iterations (every class)."""
+    iters = 400
+    total_time = ws_value(ws, 3.0, 8.6, 24.3)
+    face = ws_value(ws, 25_000, 60_000, 120_000)
+    step_compute = total_time / iters
+
+    yield from comm.bcast(0 if comm.rank == 0 else None, root=0)
+    yield from comm.barrier()
+    for it in range(iters):
+        yield from _bt_halo(comm, face)
+        if it % 4 == 3 and comm.size > 2:
+            # y-direction line solve every fourth step
+            partner = comm.rank ^ 2
+            if partner < comm.size:
+                rreq = comm.irecv(source=partner, tag=11)
+                sreq = comm.isend(None, dest=partner, tag=11, size=face)
+                yield from comm.wait(rreq)
+                yield from comm.wait(sreq)
+        yield comm.compute(step_compute)
+        yield from comm.allreduce(0.0, op=SUM)
+    yield from comm.reduce(0.0, op=SUM, root=0)
+    yield from comm.barrier()
+
+
+# ----------------------------------------------------------------------
+# registration (paper Table I reference values)
+# ----------------------------------------------------------------------
+
+register(AppSpec("bt", bt_main, hybrid=False, default_ranks=16,
+                 description="NPB block-tridiagonal ADI solver",
+                 paper={"vanilla_s": 24.2, "overhead_pct": 0.7, "events": 2_329_920, "rules": 3}))
+register(AppSpec("cg", cg_main, hybrid=False, default_ranks=16,
+                 description="NPB conjugate gradient",
+                 paper={"vanilla_s": 9.9, "overhead_pct": -0.3, "events": 3_837_890, "rules": 15}))
+register(AppSpec("ep", ep_main, hybrid=False, default_ranks=16,
+                 description="NPB embarrassingly parallel",
+                 paper={"vanilla_s": 4.2, "overhead_pct": -3.8, "events": 384, "rules": 1}))
+register(AppSpec("ft", ft_main, hybrid=False, default_ranks=16,
+                 description="NPB 3D FFT",
+                 paper={"vanilla_s": 17.4, "overhead_pct": 0.2, "events": 3_072, "rules": 2}))
+register(AppSpec("is", is_main, hybrid=False, default_ranks=16,
+                 description="NPB integer sort",
+                 paper={"vanilla_s": 3.2, "overhead_pct": 0.1, "events": 2_493, "rules": 2}))
+register(AppSpec("lu", lu_main, hybrid=False, default_ranks=16,
+                 description="NPB SSOR wavefront solver",
+                 paper={"vanilla_s": 23.0, "overhead_pct": 1.4, "events": 18_164_200, "rules": 11}))
+register(AppSpec("mg", mg_main, hybrid=False, default_ranks=16,
+                 description="NPB multigrid",
+                 paper={"vanilla_s": 4.2, "overhead_pct": -0.5, "events": 609_888, "rules": 14}))
+register(AppSpec("sp", sp_main, hybrid=False, default_ranks=16,
+                 description="NPB scalar pentadiagonal solver",
+                 paper={"vanilla_s": 24.3, "overhead_pct": 0.2, "events": 356_870, "rules": 9}))

@@ -1,0 +1,122 @@
+"""``pythia-trace`` — record, inspect and replay application traces.
+
+Subcommands
+-----------
+``record APP``
+    Run an application skeleton under PYTHIA-RECORD, write a trace file.
+``dump TRACE``
+    Print a trace's grammars in the paper's notation, with statistics.
+``predict APP TRACE``
+    Re-run an application against a reference trace and report per-
+    distance prediction accuracy.
+``apps``
+    List the available application skeletons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.base import APPS, get_app
+from repro.core.trace_file import load_trace
+from repro.experiments.harness import mpi_predict_run, mpi_record_run
+
+__all__ = ["main"]
+
+
+def _cmd_apps(_args) -> int:
+    for name in sorted(APPS):
+        spec = APPS[name]
+        kind = "MPI+OpenMP" if spec.hybrid else "MPI"
+        print(f"{name:12s} {kind:10s} ranks={spec.default_ranks:<3d} {spec.description}")
+    return 0
+
+
+def _cmd_record(args) -> int:
+    spec = get_app(args.app)
+    result = mpi_record_run(
+        args.app, args.ws, args.trace,
+        ranks=args.ranks or spec.default_ranks, seed=args.seed,
+        timestamps=args.timestamps,
+    )
+    print(f"recorded {result.events:,} events from {args.app}.{args.ws} "
+          f"({result.rules_per_rank:.0f} rules/rank avg, simulated {result.time:.2f}s)")
+    print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    trace = load_trace(args.trace)
+    print(f"trace: {args.trace}")
+    print(f"meta: {trace.meta}")
+    print(f"events: {trace.event_count:,} over {len(trace.threads)} thread(s)")
+    names = {i: str(ev) for i, ev in enumerate(trace.registry)}
+    from repro.core.analysis import analyze
+
+    for tid in sorted(trace.threads):
+        tt = trace.thread(tid)
+        print(f"\n--- thread {tid}: {analyze(tt.grammar).summary()} ---")
+        if args.full or tt.grammar.rule_count <= args.max_rules:
+            print(tt.grammar.dump(lambda t: names.get(t, f"?{t}")))
+        else:
+            print(f"(grammar has {tt.grammar.rule_count} rules; use --full to print)")
+        if args.head and tid == min(trace.threads):
+            stream = tt.grammar.unfold()[: args.head]
+            print("first events:", " ".join(names.get(t, "?") for t in stream))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    distances = tuple(int(d) for d in args.distances.split(","))
+    result = mpi_predict_run(
+        args.app, args.ws, args.trace,
+        ranks=args.ranks, seed=args.seed,
+        distances=distances, sample_stride=args.stride,
+    )
+    print(f"replayed {args.app}.{args.ws} against {args.trace} "
+          f"(simulated {result.time:.2f}s)")
+    for d in distances:
+        score = result.scores[d]
+        print(f"distance {d:4d}: accuracy {100 * score.accuracy:5.1f} % "
+              f"({score.correct}/{score.correct + score.incorrect} scored, "
+              f"{score.missing} without prediction)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="pythia-trace", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("apps", help="list application skeletons")
+
+    rec = sub.add_parser("record", help="record a reference trace")
+    rec.add_argument("app")
+    rec.add_argument("trace", help="output trace file")
+    rec.add_argument("--ws", default="small", choices=("small", "medium", "large"))
+    rec.add_argument("--ranks", type=int, default=None)
+    rec.add_argument("--seed", type=int, default=0)
+    rec.add_argument("--timestamps", action="store_true")
+
+    dump = sub.add_parser("dump", help="inspect a trace file")
+    dump.add_argument("trace")
+    dump.add_argument("--full", action="store_true")
+    dump.add_argument("--max-rules", type=int, default=30)
+    dump.add_argument("--head", type=int, default=0, help="print the first N events")
+
+    pred = sub.add_parser("predict", help="replay against a trace, score predictions")
+    pred.add_argument("app")
+    pred.add_argument("trace")
+    pred.add_argument("--ws", default="small", choices=("small", "medium", "large"))
+    pred.add_argument("--ranks", type=int, default=None)
+    pred.add_argument("--seed", type=int, default=1)
+    pred.add_argument("--distances", default="1,4,16,64")
+    pred.add_argument("--stride", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    return {"apps": _cmd_apps, "record": _cmd_record,
+            "dump": _cmd_dump, "predict": _cmd_predict}[args.cmd](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core PYTHIA oracle library.
+
+This package implements the paper's primary contribution:
+
+- :mod:`repro.core.events` — event model and interning registry;
+- :mod:`repro.core.grammar` — on-the-fly grammar reduction of event
+  sequences (Sequitur extended with consecutive-repetition exponents,
+  §II-A of the paper);
+- :mod:`repro.core.record` — PYTHIA-RECORD;
+- :mod:`repro.core.frozen` — immutable grammar snapshot used for
+  prediction;
+- :mod:`repro.core.progress` — progress sequences (§II-B);
+- :mod:`repro.core.predict` — PYTHIA-PREDICT (§II-B, §II-C);
+- :mod:`repro.core.timing` — duration estimation (§II-C);
+- :mod:`repro.core.trace_file` — on-disk trace format;
+- :mod:`repro.core.oracle` — the user-facing facade.
+"""
+
+from repro.core.analysis import GrammarStats, analyze, loop_structure, terminal_histogram
+from repro.core.compare import Divergence, ReplayReport, follow, similarity
+from repro.core.events import Event, EventRegistry
+from repro.core.grammar import Grammar, GrammarError
+from repro.core.record import PythiaRecord
+from repro.core.frozen import FrozenGrammar
+from repro.core.predict import Prediction, PythiaPredict
+from repro.core.timing import TimingTable
+from repro.core.trace_file import Trace, load_trace, save_trace
+from repro.core.oracle import Pythia
+
+__all__ = [
+    "Divergence",
+    "Event",
+    "EventRegistry",
+    "GrammarStats",
+    "ReplayReport",
+    "analyze",
+    "follow",
+    "loop_structure",
+    "similarity",
+    "terminal_histogram",
+    "FrozenGrammar",
+    "Grammar",
+    "GrammarError",
+    "Prediction",
+    "Pythia",
+    "PythiaPredict",
+    "PythiaRecord",
+    "TimingTable",
+    "Trace",
+    "load_trace",
+    "save_trace",
+]

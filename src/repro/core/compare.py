@@ -1,0 +1,96 @@
+"""Comparing executions: where does a run diverge from its reference?
+
+The paper positions PYTHIA next to trace-diffing work (DiffTrace) and
+its §III-E experiment quantifies behaviour under divergence.  This
+module gives that analysis a first-class API:
+
+- :func:`follow` replays an event stream against a reference grammar
+  and reports every *divergence point* (§ II-B2's unexpected events),
+  with the tracker's expectation at that moment;
+- :func:`similarity` condenses the replay into one score — the fraction
+  of events that matched the oracle's expectation — which is what a
+  runtime system would use to decide whether a stale reference trace is
+  still worth consulting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.frozen import FrozenGrammar
+from repro.core.predict import PythiaPredict
+
+__all__ = ["Divergence", "ReplayReport", "follow", "similarity"]
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """One point where the execution left the reference behaviour."""
+
+    index: int            # position in the replayed stream
+    got: int              # the terminal that actually occurred
+    expected: int | None  # the oracle's top expectation (None: no idea)
+    kind: str             # "unexpected" (known event, wrong place) | "unknown"
+
+
+@dataclass(slots=True)
+class ReplayReport:
+    """Outcome of replaying one stream against a reference grammar."""
+
+    total: int = 0
+    matched: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def match_fraction(self) -> float:
+        """Fraction of events the oracle expected (1.0 = identical run)."""
+        return self.matched / self.total if self.total else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.matched}/{self.total} events matched "
+            f"({100 * self.match_fraction:.1f} %), "
+            f"{len(self.divergences)} divergence(s)"
+        )
+
+
+def follow(
+    fg: FrozenGrammar,
+    stream: Iterable[int],
+    *,
+    max_divergences: int | None = None,
+    max_candidates: int = 64,
+) -> ReplayReport:
+    """Replay ``stream`` against ``fg``, recording every divergence.
+
+    The first event is a mid-stream attach and is not counted as a
+    divergence (the paper's tracker never assumes it sees the start of
+    the execution).
+    """
+    report = ReplayReport()
+    tracker = PythiaPredict(fg, max_candidates=max_candidates)
+    for i, terminal in enumerate(stream):
+        expected = None
+        if not tracker.lost and i > 0:
+            pred = tracker.predict(1)
+            if pred is not None:
+                expected = pred.terminal
+        ok = tracker.observe(terminal)
+        report.total += 1
+        if ok:
+            report.matched += 1
+        elif i > 0:
+            kind = "unknown" if terminal not in fg.terminal_positions else "unexpected"
+            report.divergences.append(
+                Divergence(index=i, got=terminal, expected=expected, kind=kind)
+            )
+            if max_divergences is not None and len(report.divergences) >= max_divergences:
+                break
+    return report
+
+
+def similarity(fg: FrozenGrammar, stream: Sequence[int]) -> float:
+    """Match fraction of ``stream`` against the reference grammar."""
+    return follow(fg, stream).match_fraction

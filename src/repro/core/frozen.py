@@ -1,0 +1,226 @@
+"""Immutable grammar snapshot used by PYTHIA-PREDICT.
+
+After PYTHIA-RECORD finishes, the mutable linked-list grammar is *frozen*
+into flat tuples: rule bodies become ``((symbol, exponent), ...)`` arrays,
+symbols are encoded as plain ints (terminals ``>= 0``, rule references
+``< 0``), and the structures prediction needs — occurrence counts, the
+use-sites of every rule, the positions of every terminal — are
+precomputed.  This is what gets written to the trace file and reloaded on
+subsequent executions (§II-B: "it is the grammar that is loaded in memory
+and used, without the trace being reconstructed").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.core.grammar import Grammar, GrammarError
+from repro.core.symbols import Rule
+
+ROOT = 0
+"""Rule id of the root (the first rule a :class:`Grammar` allocates)."""
+
+
+def encode_rule(rid: int) -> int:
+    """Encode rule id ``rid`` as a negative symbol."""
+    return -(rid + 1)
+
+
+def decode_rule(sym: int) -> int:
+    """Inverse of :func:`encode_rule` (requires ``sym < 0``)."""
+    return -sym - 1
+
+
+def is_rule_sym(sym: int) -> bool:
+    """True if the encoded symbol references a rule."""
+    return sym < 0
+
+
+class FrozenGrammar:
+    """Read-only grammar with precomputed prediction indexes.
+
+    Attributes
+    ----------
+    bodies:
+        ``{rule id: ((symbol, exponent), ...)}``; symbol ``>= 0`` is a
+        terminal event id, ``< 0`` encodes a rule reference
+        (see :func:`encode_rule`).
+    occ:
+        ``{rule id: times the rule is expanded in the full trace}`` — the
+        recursive occurrence count §II-C uses as probability estimate.
+    uses:
+        ``{rule id: ((host rule id, body index), ...)}`` — every use site.
+    terminal_positions:
+        ``{terminal: ((rule id, body index), ...)}`` — every occurrence.
+    """
+
+    __slots__ = ("bodies", "occ", "uses", "terminal_positions", "trace_len")
+
+    def __init__(self, bodies: Mapping[int, tuple[tuple[int, int], ...]]) -> None:
+        if ROOT not in bodies:
+            raise GrammarError("frozen grammar must contain the root rule (id 0)")
+        self.bodies: dict[int, tuple[tuple[int, int], ...]] = {
+            int(rid): tuple((int(s), int(e)) for s, e in body)
+            for rid, body in bodies.items()
+        }
+        self._validate()
+        self.uses = self._build_uses()
+        self.occ = self._build_occ()
+        self.terminal_positions = self._build_terminal_positions()
+        self.trace_len = sum(
+            self.occ[rid] * e
+            for rid, body in self.bodies.items()
+            for s, e in body
+            if not is_rule_sym(s)
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_grammar(cls, grammar: Grammar) -> "FrozenGrammar":
+        """Freeze a mutable :class:`~repro.core.grammar.Grammar`."""
+        bodies: dict[int, tuple[tuple[int, int], ...]] = {}
+        for rule in grammar.rules.values():
+            body = tuple(
+                (
+                    encode_rule(n.symbol.rid) if isinstance(n.symbol, Rule) else n.symbol,
+                    n.exp,
+                )
+                for n in rule
+            )
+            bodies[rule.rid] = body
+        return cls(bodies)
+
+    def _validate(self) -> None:
+        for rid, body in self.bodies.items():
+            for sym, exp in body:
+                if exp < 1:
+                    raise GrammarError(f"rule {rid} has non-positive exponent {exp}")
+                if is_rule_sym(sym) and decode_rule(sym) not in self.bodies:
+                    raise GrammarError(
+                        f"rule {rid} references missing rule {decode_rule(sym)}"
+                    )
+
+    def _build_uses(self) -> dict[int, tuple[tuple[int, int], ...]]:
+        uses: dict[int, list[tuple[int, int]]] = {rid: [] for rid in self.bodies}
+        for rid, body in self.bodies.items():
+            for idx, (sym, _exp) in enumerate(body):
+                if is_rule_sym(sym):
+                    uses[decode_rule(sym)].append((rid, idx))
+        return {rid: tuple(v) for rid, v in uses.items()}
+
+    def _build_occ(self) -> dict[int, int]:
+        occ: dict[int, int] = {}
+
+        def compute(rid: int, seen: tuple[int, ...] = ()) -> int:
+            if rid in occ:
+                return occ[rid]
+            if rid == ROOT:
+                occ[ROOT] = 1
+                return 1
+            if rid in seen:
+                raise GrammarError(f"rule cycle detected at rule {rid}")
+            total = 0
+            for host, idx in self.uses[rid]:
+                _sym, exp = self.bodies[host][idx]
+                total += compute(host, seen + (rid,)) * exp
+            occ[rid] = total
+            return total
+
+        for rid in self.bodies:
+            compute(rid)
+        return occ
+
+    def _build_terminal_positions(self) -> dict[int, tuple[tuple[int, int], ...]]:
+        pos: dict[int, list[tuple[int, int]]] = {}
+        for rid, body in self.bodies.items():
+            for idx, (sym, _exp) in enumerate(body):
+                if not is_rule_sym(sym):
+                    pos.setdefault(sym, []).append((rid, idx))
+        return {t: tuple(v) for t, v in pos.items()}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def rule_count(self) -> int:
+        """Number of rules, root included (Table I's "# rules")."""
+        return len(self.bodies)
+
+    def symbol_at(self, rid: int, idx: int) -> tuple[int, int]:
+        """Return ``(symbol, exponent)`` at position ``idx`` of rule ``rid``."""
+        return self.bodies[rid][idx]
+
+    def body_len(self, rid: int) -> int:
+        """Number of body elements of rule ``rid``."""
+        return len(self.bodies[rid])
+
+    def position_occurrences(self, rid: int, idx: int) -> int:
+        """How many times the use at ``(rid, idx)`` expands in the trace."""
+        return self.occ[rid] * self.bodies[rid][idx][1]
+
+    def terminals(self) -> Iterator[int]:
+        """Iterate over the distinct terminals appearing in the grammar."""
+        return iter(self.terminal_positions)
+
+    def unfold(self) -> list[int]:
+        """Expand back into the full terminal sequence (tests / timing replay)."""
+        out: list[int] = []
+        root_body = self.bodies[ROOT]
+        if not root_body:
+            return out
+        # Each frame (rid, idx, reps) means: expand position (rid, idx)
+        # `reps` more times, then continue at (rid, idx + 1).
+        stack: list[tuple[int, int, int]] = [(ROOT, 0, root_body[0][1])]
+        while stack:
+            rid, idx, reps = stack.pop()
+            body = self.bodies[rid]
+            if reps == 0:
+                if idx + 1 < len(body):
+                    stack.append((rid, idx + 1, body[idx + 1][1]))
+                continue
+            sym, _exp = body[idx]
+            if not is_rule_sym(sym):
+                out.extend([sym] * reps)
+                if idx + 1 < len(body):
+                    stack.append((rid, idx + 1, body[idx + 1][1]))
+            else:
+                stack.append((rid, idx, reps - 1))
+                child = decode_rule(sym)
+                child_body = self.bodies[child]
+                if child_body:
+                    stack.append((child, 0, child_body[0][1]))
+        return out
+
+    def dump(self, names=None) -> str:
+        """Render in the paper's notation (mirrors :meth:`Grammar.dump`)."""
+        names = names or str
+        lines = []
+        for rid in sorted(self.bodies):
+            parts = []
+            for sym, exp in self.bodies[rid]:
+                text = f"R{decode_rule(sym)}" if is_rule_sym(sym) else names(sym)
+                if is_rule_sym(sym) and decode_rule(sym) == ROOT:
+                    text = "R"
+                if exp != 1:
+                    text += f"^{exp}"
+                parts.append(text)
+            rule_name = "R" if rid == ROOT else f"R{rid}"
+            lines.append(f"{rule_name} -> {' '.join(parts) or '<empty>'}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_obj(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "bodies": {str(rid): [[s, e] for s, e in body] for rid, body in self.bodies.items()}
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "FrozenGrammar":
+        """Inverse of :meth:`to_obj`."""
+        return cls({int(rid): tuple((s, e) for s, e in body) for rid, body in obj["bodies"].items()})

@@ -1,0 +1,422 @@
+"""On-the-fly grammar reduction of event sequences (§II-A of the paper).
+
+PYTHIA-RECORD compresses the per-thread event sequence into a context-free
+grammar whose only derivable word is the trace.  The algorithm is Sequitur
+[Nevill-Manning & Witten 1997] extended with *consecutive-repetition
+exponents* (the extension Cyclitur introduced and the paper adopts): each
+body element carries an exponent, so a loop of 100 iterations is one node
+``A^100`` instead of 100 nodes.
+
+The grammar maintains the paper's three invariants after every appended
+event:
+
+1. **Rule utility** — every non-root rule is used at least twice, counting
+   a use with exponent ``e`` as ``e`` usages ("each non-terminal symbol
+   represents a sequence that repeats in the trace").
+2. **Digram uniqueness** — every ordered couple of adjacent symbols appears
+   at most once among all rule bodies.  With exponents, two sites
+   ``x^n y^m`` and ``x^p y^k`` share the couple ``(x, y)``; the shared part
+   ``x^min(n,p) y^min(m,k)`` is factored into a rule and residual exponents
+   stay in place — exactly the Fig. 3 behaviour (``b^5 c`` against
+   ``A -> b^3 c^2`` factors ``C -> b^3 c``).
+3. **Adjacent merging** — equal adjacent symbols merge exponents
+   (``a^n a^m`` becomes ``a^{n+m}``), so no symbol ever neighbours itself.
+
+The implementation appends terminals at the root's end and restores the
+invariants with a local repair loop (digram check / factor / merge /
+inline), which is operationally equivalent to the paper's recursive
+"remove the last symbol and re-add the non-terminal" description.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.core.symbols import Rule, Symbol, SymbolUse, is_terminal
+
+DigramKey = tuple
+
+__all__ = ["Grammar", "GrammarError"]
+
+
+class GrammarError(Exception):
+    """Raised when an invariant check fails (a bug, or a corrupted trace)."""
+
+
+class Grammar:
+    """A mutable Sequitur-with-exponents grammar.
+
+    Use :meth:`append` to feed the event sequence one terminal at a time;
+    the grammar always represents exactly the sequence appended so far
+    (:meth:`unfold` recovers it).
+    """
+
+    def __init__(self) -> None:
+        self._next_rid = 0
+        self.root = self._new_rule()
+        #: ordered couple of symbols -> left node of its unique occurrence
+        self._digrams: dict[DigramKey, SymbolUse] = {}
+        #: rules whose usage decreased and may need inlining
+        self._maybe_useless: list[Rule] = []
+        #: live rules indexed by id (includes the root)
+        self.rules: dict[int, Rule] = {self.root.rid: self.root}
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of terminals appended so far (length of the trace)."""
+        return self._length
+
+    @property
+    def rule_count(self) -> int:
+        """Number of rules, root included (Table I's "# rules" counts these)."""
+        return len(self.rules)
+
+    def append(self, terminal: int) -> None:
+        """Append one terminal event id to the represented sequence."""
+        if not is_terminal(terminal) or terminal < 0:
+            raise TypeError(f"terminal event id must be a non-negative int, got {terminal!r}")
+        self._length += 1
+        root = self.root
+        last = root.last
+        if last is not None and last.symbol == terminal:
+            last.exp += 1
+            return
+        node = self._link_after(root.guard.prev, terminal, 1, root)
+        if last is not None:
+            self._check_digram(last)
+        self._drain_useless()
+
+    def extend(self, terminals: Iterable[int]) -> None:
+        """Append every terminal of ``terminals`` in order."""
+        for t in terminals:
+            self.append(t)
+
+    def unfold(self) -> list[int]:
+        """Expand the grammar back into the full terminal sequence.
+
+        Iterative (explicit stack) so that adversarial traces cannot hit
+        Python's recursion limit.  Each stack entry ``(node, reps)`` means
+        "expand ``node`` ``reps`` more times, then continue at
+        ``node.next``".
+        """
+        out: list[int] = []
+        stack: list[tuple[SymbolUse, int]] = []
+        first = self.root.first
+        if first is None:
+            return out
+        stack.append((first, first.exp))
+        while stack:
+            node, reps = stack.pop()
+            if reps == 0:
+                nxt = node.next
+                if not nxt.is_guard():
+                    stack.append((nxt, nxt.exp))
+                continue
+            sym = node.symbol
+            if is_terminal(sym):
+                out.extend([sym] * reps)
+                nxt = node.next
+                if not nxt.is_guard():
+                    stack.append((nxt, nxt.exp))
+            else:
+                stack.append((node, reps - 1))  # continuation after one expansion
+                body_first = sym.first
+                if body_first is not None:
+                    stack.append((body_first, body_first.exp))
+        return out
+
+    def dump(self, names: Callable[[int], str] | None = None) -> str:
+        """Render the grammar in the paper's notation (one rule per line)."""
+        names = names or str
+
+        def sym_str(node: SymbolUse) -> str:
+            s = node.symbol
+            text = s.name if isinstance(s, Rule) else names(s)
+            if node.exp != 1:
+                text += f"^{node.exp}"
+            return text
+
+        lines = []
+        for rid in sorted(self.rules):
+            rule = self.rules[rid]
+            body = " ".join(sym_str(n) for n in rule) or "<empty>"
+            lines.append(f"{rule.name} -> {body}")
+        return "\n".join(lines)
+
+    def iter_rules(self) -> Iterator[Rule]:
+        """Iterate over live rules (root first)."""
+        yield self.root
+        for rid in sorted(self.rules):
+            if rid != self.root.rid:
+                yield self.rules[rid]
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`GrammarError` if any paper invariant is violated."""
+        seen_digrams: dict[DigramKey, SymbolUse] = {}
+        usage: dict[int, int] = {rid: 0 for rid in self.rules}
+        for rule in self.rules.values():
+            prev: SymbolUse | None = None
+            for node in rule:
+                if node.owner is not rule:
+                    raise GrammarError(f"node {node!r} has wrong owner in {rule.name}")
+                if node.exp < 1:
+                    raise GrammarError(f"non-positive exponent on {node!r} in {rule.name}")
+                sym = node.symbol
+                if isinstance(sym, Rule):
+                    if sym.rid not in self.rules:
+                        raise GrammarError(f"{rule.name} references dead rule {sym.name}")
+                    usage[sym.rid] += node.exp
+                    if node not in sym.use_nodes:
+                        raise GrammarError(f"use-node index misses {node!r} for {sym.name}")
+                if prev is not None:
+                    if prev.symbol == sym:
+                        raise GrammarError(
+                            f"adjacent equal symbols in {rule.name}: {prev!r} {node!r}"
+                        )
+                    key = (prev.symbol, sym)
+                    if key in seen_digrams:
+                        raise GrammarError(f"duplicate digram {key!r} in grammar")
+                    seen_digrams[key] = prev
+                    registered = self._digrams.get(key)
+                    if registered is not prev:
+                        raise GrammarError(f"digram index stale for {key!r}")
+                prev = node
+        for rid, count in usage.items():
+            rule = self.rules[rid]
+            if rule.usage != count:
+                raise GrammarError(
+                    f"usage counter of {rule.name} is {rule.usage}, recount says {count}"
+                )
+            if rid != self.root.rid and count < 2:
+                raise GrammarError(f"rule {rule.name} used {count} < 2 times")
+        for key, node in self._digrams.items():
+            if node.owner is None:
+                raise GrammarError(f"digram index holds dead node for {key!r}")
+            if seen_digrams.get(key) is not node:
+                raise GrammarError(f"digram index entry {key!r} points at wrong node")
+
+    # ------------------------------------------------------------------
+    # structural primitives
+    # ------------------------------------------------------------------
+
+    def _new_rule(self) -> Rule:
+        rule = Rule(self._next_rid)
+        self._next_rid += 1
+        if hasattr(self, "rules"):
+            self.rules[rule.rid] = rule
+        return rule
+
+    def _add_usage(self, sym: Symbol, delta: int) -> None:
+        if isinstance(sym, Rule) and delta:
+            sym.usage += delta
+            if delta < 0:
+                self._maybe_useless.append(sym)
+
+    def _link_after(self, after: SymbolUse, sym: Symbol, exp: int, rule: Rule) -> SymbolUse:
+        """Splice a new node carrying ``sym^exp`` right after ``after``."""
+        node = SymbolUse(sym, exp)
+        node.owner = rule
+        nxt = after.next
+        node.prev = after
+        node.next = nxt
+        after.next = node
+        nxt.prev = node
+        if isinstance(sym, Rule):
+            sym.use_nodes.add(node)
+            self._add_usage(sym, exp)
+        return node
+
+    def _unlink(self, node: SymbolUse) -> None:
+        """Remove ``node`` from its body; digram entries must be forgotten first."""
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        sym = node.symbol
+        if isinstance(sym, Rule):
+            sym.use_nodes.discard(node)
+            self._add_usage(sym, -node.exp)
+        node.owner = None
+        node.prev = node.next = None
+
+    def _forget(self, left: SymbolUse | None) -> None:
+        """Drop the digram-index entry registered for ``(left, left.next)``."""
+        if left is None or left.owner is None or left.is_guard():
+            return
+        right = left.next
+        if right is None or right.is_guard():
+            return
+        key = (left.symbol, right.symbol)
+        if self._digrams.get(key) is left:
+            del self._digrams[key]
+
+    # ------------------------------------------------------------------
+    # repair loop: digram uniqueness + merging + factoring
+    # ------------------------------------------------------------------
+
+    def _check_digram(self, left: SymbolUse | None) -> None:
+        """Restore invariants for the couple starting at ``left``."""
+        if left is None or left.owner is None or left.is_guard():
+            return
+        right = left.next
+        if right is None or right.is_guard():
+            return
+        if left.symbol == right.symbol:
+            # invariant 3: merge exponents (a^n a^m -> a^{n+m})
+            self._forget(left)
+            self._forget(right)
+            self._add_usage(left.symbol, right.exp)  # exponent moves onto `left`...
+            left.exp += right.exp
+            self._unlink(right)  # ...and _unlink takes it back off `right`: net 0
+            self._check_digram(left)
+            return
+        key = (left.symbol, right.symbol)
+        found = self._digrams.get(key)
+        if found is None or found.owner is None:
+            self._digrams[key] = left
+            return
+        if found is left:
+            return
+        if found.next is None or found.next.is_guard() or found.next.symbol != right.symbol:
+            # stale entry (should not happen); re-point and continue
+            self._digrams[key] = left
+            return
+        self._factor(found, left)
+
+    def _is_exact_couple_body(self, left: SymbolUse, en: int, em: int) -> bool:
+        """True if ``left`` and its successor form an entire non-root rule body
+        with exactly the shared exponents ``(en, em)`` — the reuse case."""
+        rule = left.owner
+        assert rule is not None
+        if rule is self.root:
+            return False
+        return (
+            left.prev.is_guard()
+            and left.next.next.is_guard()
+            and left.exp == en
+            and left.next.exp == em
+        )
+
+    def _factor(self, occ1: SymbolUse, occ2: SymbolUse) -> None:
+        """Factor two occurrences of the same couple into a rule (§II-A)."""
+        x = occ1.symbol
+        y = occ1.next.symbol
+        en = min(occ1.exp, occ2.exp)
+        em = min(occ1.next.exp, occ2.next.exp)
+
+        reuse: Rule | None = None
+        for occ in (occ1, occ2):
+            if self._is_exact_couple_body(occ, en, em):
+                reuse = occ.owner
+                break
+
+        if reuse is None:
+            target = self._new_rule()
+            nx = self._link_after(target.guard, x, en, target)
+            self._link_after(nx, y, em, target)
+            self._digrams[(x, y)] = nx
+            sites = [occ1, occ2]
+        else:
+            target = reuse
+            self._digrams[(x, y)] = target.first  # keep index on the body copy
+            sites = [occ for occ in (occ1, occ2) if occ.owner is not target]
+
+        recheck: list[SymbolUse] = []
+        for occ in sites:
+            recheck.extend(self._substitute(occ, target, en, em))
+        for node in recheck:
+            self._check_digram(node)
+
+    def _substitute(
+        self, left: SymbolUse, target: Rule, en: int, em: int
+    ) -> list[SymbolUse]:
+        """Replace ``x^en y^em`` (inside ``x^n y^m`` at ``left``) by ``target``.
+
+        Residual exponents ``x^{n-en}`` / ``y^{m-em}`` stay in place.
+        Returns boundary nodes whose digrams must be re-checked.
+        """
+        right = left.next
+        rule = left.owner
+        assert rule is not None and right is not None
+        prev = left.prev
+        nxt = right.next
+        self._forget(prev)
+        self._forget(left)
+        self._forget(right)
+
+        use = self._link_after(left, target, 1, rule)
+
+        self._add_usage(left.symbol, -en)
+        left.exp -= en
+        if left.exp == 0:
+            self._unlink(left)
+        self._add_usage(right.symbol, -em)
+        right.exp -= em
+        if right.exp == 0:
+            self._unlink(right)
+
+        recheck = []
+        for node in (prev, use.prev, use, use.next):
+            if node is not None and node.owner is not None and not node.is_guard():
+                if node not in recheck:
+                    recheck.append(node)
+        return recheck
+
+    # ------------------------------------------------------------------
+    # rule utility (invariant 1)
+    # ------------------------------------------------------------------
+
+    def _drain_useless(self) -> None:
+        """Inline every rule whose usage dropped below 2 (paper Fig. 3f)."""
+        while self._maybe_useless:
+            rule = self._maybe_useless.pop()
+            if rule.rid not in self.rules or rule is self.root:
+                continue
+            if rule.usage >= 2:
+                continue
+            if rule.usage <= 0:
+                raise GrammarError(
+                    f"rule {rule.name} usage dropped to {rule.usage}; "
+                    "grammar bookkeeping is corrupted"
+                )
+            self._inline(rule)
+
+    def _inline(self, rule: Rule) -> None:
+        """Splice the body of a once-used rule into its single use site."""
+        uses = [n for n in rule.use_nodes if n.owner is not None]
+        if len(uses) != 1 or uses[0].exp != 1:
+            return  # defensive: only a single exp-1 use can be inlined
+        use = uses[0]
+        host = use.owner
+        assert host is not None
+        prev = use.prev
+        nxt = use.next
+        self._forget(prev)
+        self._forget(use)
+        first = rule.first
+        last = rule.last
+        del self.rules[rule.rid]
+        self._unlink(use)
+        if first is None:
+            # empty body (cannot normally happen): nothing to splice
+            self._check_digram(prev)
+            return
+        # splice the body nodes (keeping internal digram entries valid)
+        node = first
+        while True:
+            node.owner = host
+            if node is last:
+                break
+            node = node.next
+        prev.next = first
+        first.prev = prev
+        last.next = nxt
+        nxt.prev = last
+        self._check_digram(prev)
+        self._check_digram(last)

@@ -1,0 +1,192 @@
+"""The user-facing PYTHIA facade.
+
+:class:`Pythia` is what a runtime system links against.  It hides the
+record/predict split behind one object:
+
+- if no trace file exists (first run), it transparently records;
+- if a trace file exists (subsequent runs), it loads it and answers
+  predictions while following the submitted events.
+
+One :class:`Pythia` serves a whole process; per-thread sessions are
+addressed with the ``thread`` argument (the paper maintains one grammar
+per thread).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Hashable
+
+from repro.core.events import Event, EventRegistry
+from repro.core.predict import Prediction, PythiaPredict
+from repro.core.record import PythiaRecord
+from repro.core.trace_file import Trace, load_trace
+
+__all__ = ["Pythia"]
+
+
+class Pythia:
+    """Record-or-predict oracle bound to a trace file.
+
+    Parameters
+    ----------
+    trace_path:
+        Where the reference trace lives (or will be written).
+    mode:
+        ``"auto"`` (default) records when the file is absent and predicts
+        when present; ``"record"`` / ``"predict"`` force a mode.
+    record_timestamps:
+        Enables duration prediction on the next run.  Timestamps default
+        to :func:`time.perf_counter` when not supplied by the caller.
+    meta:
+        Free-form metadata stored in the trace file when recording.
+    """
+
+    def __init__(
+        self,
+        trace_path: str | os.PathLike,
+        *,
+        mode: str = "auto",
+        record_timestamps: bool = True,
+        meta: dict | None = None,
+        max_candidates: int = 64,
+    ) -> None:
+        if mode not in ("auto", "record", "predict"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.trace_path = os.fspath(trace_path)
+        if mode == "auto":
+            mode = "predict" if os.path.exists(self.trace_path) else "record"
+        self.mode = mode
+        self.record_timestamps = record_timestamps
+        self.meta = dict(meta or {})
+        self._max_candidates = max_candidates
+        self._finished = False
+        if self.mode == "record":
+            self.registry = EventRegistry()
+            self._recorders: dict[int, PythiaRecord] = {}
+            self._predictors: dict[int, PythiaPredict] = {}
+            self.reference: Trace | None = None
+        else:
+            self.reference = load_trace(self.trace_path)
+            self.registry = self.reference.registry
+            self._recorders = {}
+            self._predictors = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        """True in record mode (first execution)."""
+        return self.mode == "record"
+
+    @property
+    def predicting(self) -> bool:
+        """True in predict mode (subsequent executions)."""
+        return self.mode == "predict"
+
+    def _recorder(self, thread: int) -> PythiaRecord:
+        rec = self._recorders.get(thread)
+        if rec is None:
+            rec = PythiaRecord(self.registry, record_timestamps=self.record_timestamps)
+            self._recorders[thread] = rec
+        return rec
+
+    def _predictor(self, thread: int) -> PythiaPredict:
+        pred = self._predictors.get(thread)
+        if pred is None:
+            assert self.reference is not None
+            tt = self.reference.threads.get(thread)
+            if tt is None:
+                raise KeyError(f"reference trace has no thread {thread}")
+            pred = PythiaPredict(
+                tt.grammar, tt.timing, max_candidates=self._max_candidates
+            )
+            self._predictors[thread] = pred
+        return pred
+
+    # ------------------------------------------------------------------
+    # the runtime-system API
+    # ------------------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        payload: Hashable = None,
+        *,
+        timestamp: float | None = None,
+        thread: int = 0,
+    ) -> bool:
+        """Notify the oracle that the application reached a key point.
+
+        Returns True when the event matched the oracle's expectation
+        (always True while recording).  A False return tells the runtime
+        the tracker just lost or re-acquired its position — predictions
+        made right now are not trustworthy (§III-E).
+        """
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        if self.recording:
+            if timestamp is None and self.record_timestamps:
+                timestamp = time.perf_counter()
+            self._recorder(thread).record_event(name, payload, timestamp)
+            return True
+        terminal = self.registry.lookup(Event(name, payload))
+        pred = self._predictor(thread)
+        if terminal is None:
+            # never seen in the reference run: the oracle has no
+            # information; the runtime must rely on its heuristics
+            pred.observed += 1
+            pred.unknown += 1
+            pred.candidates = {}
+            return False
+        return pred.observe(terminal)
+
+    def predict(
+        self, distance: int = 1, *, thread: int = 0, with_time: bool = False
+    ) -> Prediction | None:
+        """Predict the event ``distance`` steps ahead (predict mode only)."""
+        if not self.predicting:
+            return None
+        return self._predictor(thread).predict(distance, with_time=with_time)
+
+    def predict_duration(self, distance: int = 1, *, thread: int = 0) -> float | None:
+        """Predict the delay until the event ``distance`` steps ahead."""
+        if not self.predicting:
+            return None
+        return self._predictor(thread).predict_duration(distance)
+
+    def describe(self, prediction: Prediction | None) -> str:
+        """Human-readable form of a prediction (for logs and examples)."""
+        if prediction is None:
+            return "<no prediction: oracle is lost>"
+        if prediction.terminal is None:
+            return f"<end of execution, p={prediction.probability:.2f}>"
+        name = self.registry.name(prediction.terminal)
+        eta = f", eta={prediction.eta:.6f}" if prediction.eta is not None else ""
+        return f"<{name}, p={prediction.probability:.2f}{eta}>"
+
+    def finish(self) -> Trace | None:
+        """End the execution.
+
+        In record mode, freezes all per-thread grammars, writes the trace
+        file and returns the trace; in predict mode returns ``None``.
+        """
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        self._finished = True
+        if not self.recording:
+            return None
+        trace = Trace(registry=self.registry, meta=self.meta)
+        for tid, rec in sorted(self._recorders.items()):
+            trace.threads[tid] = rec.finish()
+        trace.save(self.trace_path)
+        return trace
+
+    # ------------------------------------------------------------------
+
+    def stats(self, thread: int = 0) -> dict[str, int]:
+        """Tracking counters of one thread's predictor (predict mode)."""
+        if not self.predicting:
+            return {}
+        return self._predictor(thread).stats()

@@ -1,0 +1,220 @@
+"""PYTHIA-PREDICT: tracking the execution and predicting its future.
+
+The tracker maintains a weighted set of candidate progress sequences
+(§II-B).  In the common deterministic case the set has a single complete
+chain and :meth:`PythiaPredict.observe` is a cheap exact step; after a
+mid-stream attach or an unexpected event the set holds several weighted
+partial chains that narrow down as events confirm them (the paper's
+example: four occurrences of ``b``, reduced to two after a ``c``).
+
+:meth:`PythiaPredict.predict` simulates the future from a copy of the
+candidates (§II-C): it advances ``distance`` steps without observation,
+aggregates the weight mass per terminal, and reports the most probable
+event — optionally with an estimated delay from the timing table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.frozen import FrozenGrammar
+from repro.core.progress import END, Chain, start_chains, successors, terminal_of
+from repro.core.timing import TimingTable
+
+__all__ = ["Prediction", "PythiaPredict"]
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """Outcome of one oracle query.
+
+    ``terminal is None`` means "the reference execution ends here".
+    ``eta`` is the estimated delay (same unit as recorded timestamps)
+    until the predicted event, or ``None`` when no timing data exists.
+    """
+
+    terminal: int | None
+    probability: float
+    eta: float | None = None
+    distribution: dict[int | None, float] = field(default_factory=dict)
+
+
+class PythiaPredict:
+    """Oracle side of PYTHIA: follows events, answers future queries.
+
+    Parameters
+    ----------
+    grammar:
+        Frozen grammar of the reference execution.
+    timing:
+        Optional duration table (enables ``eta`` in predictions).
+    max_candidates:
+        Cap on tracked candidate chains; lowest-weight candidates are
+        pruned first (the paper tracks "all the possible sequences" —
+        unbounded in theory, capped here for robustness).
+    min_weight:
+        Candidates below this fraction of total weight are dropped.
+    """
+
+    def __init__(
+        self,
+        grammar: FrozenGrammar,
+        timing: TimingTable | None = None,
+        *,
+        max_candidates: int = 64,
+        min_weight: float = 1e-6,
+    ) -> None:
+        self.grammar = grammar
+        self.timing = timing
+        self.max_candidates = max_candidates
+        self.min_weight = min_weight
+        #: weighted candidate chains; empty means "lost" (no knowledge)
+        self.candidates: dict[Chain, float] = {}
+        #: statistics a runtime system may want to report
+        self.observed = 0
+        self.unexpected = 0
+        self.unknown = 0
+
+    # ------------------------------------------------------------------
+    # following the execution (§II-B)
+    # ------------------------------------------------------------------
+
+    @property
+    def lost(self) -> bool:
+        """True when the tracker has no candidate position (no knowledge)."""
+        return not self.candidates
+
+    def observe(self, terminal: int) -> bool:
+        """Submit one event; returns True if it matched an expected event.
+
+        On mismatch the tracker restarts from every occurrence of the
+        event (tolerance to unexpected events, §II-B2); if the event never
+        occurred in the reference execution the tracker becomes *lost*
+        and the runtime must fall back to its heuristics until a known
+        event shows up.
+        """
+        self.observed += 1
+        if self.candidates:
+            matched: dict[Chain, float] = {}
+            for chain, weight in self.candidates.items():
+                for succ, w in successors(self.grammar, chain, weight):
+                    if succ is END or not succ:
+                        continue
+                    if terminal_of(self.grammar, succ) == terminal:
+                        matched[succ] = matched.get(succ, 0.0) + w
+            if matched:
+                self.candidates = self._prune(matched)
+                return True
+            self.unexpected += 1
+        restart = start_chains(self.grammar, terminal)
+        if not restart:
+            self.unknown += 1
+            self.candidates = {}
+            return False
+        agg: dict[Chain, float] = {}
+        for chain, w in restart:
+            agg[chain] = agg.get(chain, 0.0) + w
+        self.candidates = self._prune(agg)
+        return False
+
+    def _prune(self, cands: dict[Chain, float]) -> dict[Chain, float]:
+        total = sum(cands.values())
+        if total <= 0.0:
+            return {}
+        items = [(c, w / total) for c, w in cands.items() if w / total >= self.min_weight]
+        items.sort(key=lambda cw: cw[1], reverse=True)
+        items = items[: self.max_candidates]
+        norm = sum(w for _c, w in items)
+        return {c: w / norm for c, w in items}
+
+    # ------------------------------------------------------------------
+    # predicting the future (§II-C)
+    # ------------------------------------------------------------------
+
+    def predict(self, distance: int = 1, *, with_time: bool = False) -> Prediction | None:
+        """Predict the event that will occur ``distance`` events from now.
+
+        Returns ``None`` when the tracker is lost.  The prediction carries
+        the full terminal distribution and, if ``with_time`` and a timing
+        table is available, the estimated delay until that event.
+        """
+        preds = self.predict_sequence(distance, with_time=with_time)
+        if preds is None:
+            return None
+        return preds[-1]
+
+    def predict_sequence(
+        self, distance: int = 1, *, with_time: bool = False
+    ) -> list[Prediction] | None:
+        """Predict every event from 1 to ``distance`` steps ahead."""
+        if distance < 1:
+            raise ValueError("distance must be >= 1")
+        if not self.candidates:
+            return None
+        cands = dict(self.candidates)
+        out: list[Prediction] = []
+        elapsed = 0.0
+        have_time = with_time and self.timing is not None
+        for _step in range(distance):
+            nxt: dict[Chain, float] = {}
+            step_dt = 0.0
+            dt_weight = 0.0
+            for chain, weight in cands.items():
+                if chain is END or not chain:
+                    nxt[END] = nxt.get(END, 0.0) + weight
+                    continue
+                for succ, w in successors(self.grammar, chain, weight):
+                    nxt[succ] = nxt.get(succ, 0.0) + w
+                    if have_time and succ is not END and succ:
+                        dt = self.timing.estimate(succ)
+                        if dt is not None:
+                            step_dt += w * dt
+                            dt_weight += w
+            cands = self._prune_keep_end(nxt)
+            if not cands:
+                return None
+            if have_time and dt_weight > 0.0:
+                elapsed += step_dt / dt_weight
+            dist: dict[int | None, float] = {}
+            for chain, weight in cands.items():
+                t = None if (chain is END or not chain) else terminal_of(self.grammar, chain)
+                dist[t] = dist.get(t, 0.0) + weight
+            best_t, best_w = max(dist.items(), key=lambda kv: kv[1])
+            out.append(
+                Prediction(
+                    terminal=best_t,
+                    probability=best_w,
+                    eta=elapsed if have_time else None,
+                    distribution=dist,
+                )
+            )
+        return out
+
+    def _prune_keep_end(self, cands: dict[Chain, float]) -> dict[Chain, float]:
+        """Prune like :meth:`_prune` but treat END as a normal candidate."""
+        total = sum(cands.values())
+        if total <= 0.0:
+            return {}
+        items = [(c, w / total) for c, w in cands.items() if w / total >= self.min_weight]
+        items.sort(key=lambda cw: cw[1], reverse=True)
+        items = items[: self.max_candidates]
+        norm = sum(w for _c, w in items)
+        return {c: w / norm for c, w in items}
+
+    def predict_duration(self, distance: int = 1) -> float | None:
+        """Estimated time until the event ``distance`` steps ahead."""
+        pred = self.predict(distance, with_time=True)
+        if pred is None:
+            return None
+        return pred.eta
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Counters useful for Table-style reports."""
+        return {
+            "observed": self.observed,
+            "unexpected": self.unexpected,
+            "unknown": self.unknown,
+            "candidates": len(self.candidates),
+        }

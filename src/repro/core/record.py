@@ -1,0 +1,91 @@
+"""PYTHIA-RECORD: event intake during the reference execution (§II-A).
+
+The recorder owns one grammar per thread of the traced application (the
+paper: "a grammar that represents the program execution is maintained for
+each thread").  Each submitted event appends one terminal; optionally its
+timestamp is logged sequentially, and :meth:`PythiaRecord.finish` replays
+the trace to build the duration table (§II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.events import Event, EventRegistry
+from repro.core.frozen import FrozenGrammar
+from repro.core.grammar import Grammar
+from repro.core.timing import TimingTable
+
+
+@dataclass(slots=True)
+class ThreadTrace:
+    """The frozen outcome of recording one thread."""
+
+    grammar: FrozenGrammar
+    timing: TimingTable | None
+    event_count: int
+
+
+class PythiaRecord:
+    """Single-thread recorder: feeds events into an on-line grammar.
+
+    Parameters
+    ----------
+    registry:
+        Shared event registry (one per process); created if omitted.
+    record_timestamps:
+        When True, every event must come with a timestamp and the
+        finished trace includes a duration table.
+    """
+
+    def __init__(
+        self,
+        registry: EventRegistry | None = None,
+        *,
+        record_timestamps: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else EventRegistry()
+        self.record_timestamps = record_timestamps
+        self.grammar = Grammar()
+        self._timestamps: list[float] = []
+        self._finished = False
+
+    @property
+    def event_count(self) -> int:
+        """Number of events recorded so far."""
+        return len(self.grammar)
+
+    @property
+    def rule_count(self) -> int:
+        """Current number of grammar rules (Table I's "# rules")."""
+        return self.grammar.rule_count
+
+    def record(self, terminal: int, timestamp: float | None = None) -> None:
+        """Submit one pre-interned event id."""
+        if self._finished:
+            raise RuntimeError("recorder already finished")
+        self.grammar.append(terminal)
+        if self.record_timestamps:
+            if timestamp is None:
+                raise ValueError("record_timestamps=True requires a timestamp per event")
+            if self._timestamps and timestamp < self._timestamps[-1]:
+                raise ValueError("timestamps must be non-decreasing")
+            self._timestamps.append(float(timestamp))
+
+    def record_event(
+        self, name: str, payload: Hashable = None, timestamp: float | None = None
+    ) -> int:
+        """Intern ``(name, payload)`` and record it; returns the terminal id."""
+        terminal = self.registry.intern(Event(name, payload))
+        self.record(terminal, timestamp)
+        return terminal
+
+    def finish(self) -> ThreadTrace:
+        """Freeze the grammar (and build the timing table if recording times)."""
+        self._finished = True
+        frozen = FrozenGrammar.from_grammar(self.grammar)
+        timing: TimingTable | None = None
+        if self.record_timestamps and self._timestamps:
+            timing = TimingTable.from_replay(frozen, self._timestamps)
+        return ThreadTrace(grammar=frozen, timing=timing, event_count=len(self.grammar))

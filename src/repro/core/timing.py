@@ -1,0 +1,123 @@
+"""Duration estimation (§II-C of the paper).
+
+PYTHIA-RECORD optionally logs the timestamp of every event.  At the end of
+the reference execution, the event sequence is *replayed* through the
+prediction algorithm: for every event, the replay knows the full progress
+sequence, and the elapsed time since the previous event is accumulated for
+**every suffix** of that progress sequence.
+
+This yields the context-sensitive estimates of Fig. 6: the duration
+attached to the deep suffix ``B A b`` averages only the occurrences of
+``b`` that happen in that context, while the shallow suffix ``A b``
+averages all four occurrences of ``b`` after an ``a``.  At prediction
+time, the longest recorded suffix of the candidate chain is used, so more
+context means a tighter estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.frozen import FrozenGrammar
+from repro.core.progress import Chain, advance_exact, initial_chain, suffix_key, terminal_of
+
+SuffixKey = tuple[tuple[int, int], ...]
+
+
+class TimingTable:
+    """Mean inter-event durations keyed by progress-sequence suffixes."""
+
+    __slots__ = ("_sums", "_counts")
+
+    def __init__(self) -> None:
+        self._sums: dict[SuffixKey, float] = {}
+        self._counts: dict[SuffixKey, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+    def add(self, chain: Chain, dt: float) -> None:
+        """Accumulate one observed delay for every suffix of ``chain``."""
+        for depth in range(1, len(chain) + 1):
+            key = suffix_key(chain, depth)
+            self._sums[key] = self._sums.get(key, 0.0) + dt
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def mean(self, key: SuffixKey) -> float | None:
+        """Mean delay recorded for an exact suffix key, or ``None``."""
+        count = self._counts.get(key)
+        if not count:
+            return None
+        return self._sums[key] / count
+
+    def count(self, key: SuffixKey) -> int:
+        """Number of samples recorded for an exact suffix key."""
+        return self._counts.get(key, 0)
+
+    def estimate(self, chain: Chain) -> float | None:
+        """Best duration estimate for stepping onto ``chain``.
+
+        Looks up the longest recorded suffix (most context), falling back
+        to shallower ones; ``None`` if even the single-step suffix is
+        unknown.
+        """
+        for depth in range(len(chain), 0, -1):
+            value = self.mean(suffix_key(chain, depth))
+            if value is not None:
+                return value
+        return None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_replay(
+        cls,
+        fg: FrozenGrammar,
+        timestamps: Sequence[float],
+    ) -> "TimingTable":
+        """Build the table by replaying the reference trace (§II-C).
+
+        ``timestamps[i]`` is the time of the ``i``-th event of the trace
+        the grammar represents; the grammar itself supplies the event
+        sequence, so only timestamps must be kept by the recorder.
+        """
+        table = cls()
+        n = fg.trace_len
+        if len(timestamps) != n:
+            raise ValueError(
+                f"{len(timestamps)} timestamps for a trace of {n} events"
+            )
+        if n == 0:
+            return table
+        chain = initial_chain(fg)
+        prev_ts = timestamps[0]
+        for i in range(1, n):
+            chain = advance_exact(fg, chain)
+            if chain == ():
+                raise RuntimeError("replay ended before the trace did")
+            dt = timestamps[i] - prev_ts
+            table.add(chain, dt)
+            prev_ts = timestamps[i]
+        return table
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_obj(self) -> list[list]:
+        """JSON-compatible representation."""
+        out = []
+        for key, total in self._sums.items():
+            flat = [v for pair in key for v in pair]
+            out.append([flat, total, self._counts[key]])
+        return out
+
+    @classmethod
+    def from_obj(cls, obj: list) -> "TimingTable":
+        """Inverse of :meth:`to_obj`."""
+        table = cls()
+        for flat, total, count in obj:
+            key = tuple((flat[i], flat[i + 1]) for i in range(0, len(flat), 2))
+            table._sums[key] = float(total)
+            table._counts[key] = int(count)
+        return table

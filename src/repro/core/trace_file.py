@@ -1,0 +1,145 @@
+"""On-disk trace format.
+
+A *trace file* is what PYTHIA-RECORD stores "at the end of the execution"
+and what PYTHIA-PREDICT reloads on the next run (§II).  It contains:
+
+- the event registry (so ``(name, payload)`` pairs resolve to the same
+  terminal ids across executions),
+- one frozen grammar per recorded thread,
+- optional per-thread timing tables,
+- free-form metadata (application name, working set, ...).
+
+The format is versioned JSON; files ending in ``.gz`` are gzipped.  JSON
+keeps traces diffable and debuggable, which matters more here than raw
+size — grammars are tiny compared to the traces they compress (Table I:
+millions of events, tens of rules).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.core.events import EventRegistry
+from repro.core.frozen import FrozenGrammar
+from repro.core.record import ThreadTrace
+from repro.core.timing import TimingTable
+
+FORMAT_VERSION = 1
+
+__all__ = ["Trace", "load_trace", "save_trace", "FORMAT_VERSION"]
+
+
+@dataclass(slots=True)
+class Trace:
+    """A complete recorded reference execution (all threads)."""
+
+    registry: EventRegistry
+    threads: dict[int, ThreadTrace] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    # -- single-thread conveniences --------------------------------------
+
+    def _only(self) -> ThreadTrace:
+        if len(self.threads) != 1:
+            raise ValueError(
+                f"trace holds {len(self.threads)} threads; address one explicitly"
+            )
+        return next(iter(self.threads.values()))
+
+    @property
+    def grammar(self) -> FrozenGrammar:
+        """Grammar of the only thread (single-thread traces)."""
+        return self._only().grammar
+
+    @property
+    def timing(self) -> TimingTable | None:
+        """Timing table of the only thread (single-thread traces)."""
+        return self._only().timing
+
+    @property
+    def event_count(self) -> int:
+        """Total events recorded across all threads."""
+        return sum(t.event_count for t in self.threads.values())
+
+    @property
+    def rule_count(self) -> int:
+        """Total grammar rules across all threads (Table I aggregates this)."""
+        return sum(t.grammar.rule_count for t in self.threads.values())
+
+    def thread(self, tid: int) -> ThreadTrace:
+        """Trace of one thread."""
+        return self.threads[tid]
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_obj(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "format": "pythia-trace",
+            "version": FORMAT_VERSION,
+            "meta": self.meta,
+            "events": self.registry.to_obj(),
+            "threads": {
+                str(tid): {
+                    "grammar": t.grammar.to_obj(),
+                    "timing": t.timing.to_obj() if t.timing is not None else None,
+                    "event_count": t.event_count,
+                }
+                for tid, t in self.threads.items()
+            },
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Trace":
+        """Inverse of :meth:`to_obj`."""
+        if obj.get("format") != "pythia-trace":
+            raise ValueError("not a pythia trace file")
+        if obj.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace version {obj.get('version')!r}")
+        threads: dict[int, ThreadTrace] = {}
+        for tid, tobj in obj["threads"].items():
+            timing = tobj.get("timing")
+            threads[int(tid)] = ThreadTrace(
+                grammar=FrozenGrammar.from_obj(tobj["grammar"]),
+                timing=TimingTable.from_obj(timing) if timing is not None else None,
+                event_count=int(tobj.get("event_count", 0)),
+            )
+        return cls(
+            registry=EventRegistry.from_obj(obj["events"]),
+            threads=threads,
+            meta=obj.get("meta", {}),
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the trace file (gzipped if the path ends in ``.gz``)."""
+        save_trace(self, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Trace":
+        """Read a trace file written by :meth:`save`."""
+        return load_trace(path)
+
+
+def _open(path: str | os.PathLike, mode: str, *, gz: bool) -> IO:
+    if gz:
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Serialize ``trace`` to ``path`` (atomic: write then rename)."""
+    gz = str(path).endswith(".gz")
+    tmp = f"{path}.tmp"
+    with _open(tmp, "w", gz=gz) as fh:
+        json.dump(trace.to_obj(), fh, separators=(",", ":"))
+    os.replace(tmp, path)
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Load a trace file produced by :func:`save_trace`."""
+    with _open(path, "r", gz=str(path).endswith(".gz")) as fh:
+        return Trace.from_obj(json.load(fh))

@@ -1,0 +1,55 @@
+"""Regeneration of every table and figure of the paper's evaluation (§III).
+
+Each module regenerates one artifact:
+
+========  ====================================================  =============
+artifact  content                                               module
+========  ====================================================  =============
+Table I   PYTHIA-RECORD overhead / #events / #rules, 13 apps    ``table1``
+Fig 7     example grammar extracted from BT                     ``fig7``
+Fig 8     prediction accuracy vs distance (3 working sets)      ``fig8``
+Fig 9     cost of one prediction vs distance                    ``fig9``
+Fig 10    Lulesh time vs problem size (Pudding, 24 threads)     ``fig10_13``
+Fig 11    Lulesh time vs problem size (Pixel, 16 threads)       ``fig10_13``
+Fig 12    Lulesh time vs max threads (Pudding, size 30)         ``fig10_13``
+Fig 13    Lulesh time vs max threads (Pixel, size 30)           ``fig10_13``
+Fig 14    Lulesh time vs injected error rate (Pudding)          ``fig14``
+========  ====================================================  =============
+
+``python -m repro.experiments`` runs everything at a reduced but
+shape-preserving scale and prints the paper-style tables.
+"""
+
+from repro.experiments.fig7 import fig7_bt_grammar
+from repro.experiments.fig8 import fig8_accuracy
+from repro.experiments.fig9 import fig9_prediction_cost
+from repro.experiments.fig10_13 import (
+    fig10_11_problem_size_sweep,
+    fig12_13_thread_sweep,
+)
+from repro.experiments.fig14 import fig14_error_rate
+from repro.experiments.harness import (
+    mpi_predict_run,
+    mpi_record_run,
+    mpi_vanilla_run,
+    omp_predict_run,
+    omp_record_run,
+    omp_vanilla_run,
+)
+from repro.experiments.table1 import table1_record_overhead
+
+__all__ = [
+    "fig7_bt_grammar",
+    "fig8_accuracy",
+    "fig9_prediction_cost",
+    "fig10_11_problem_size_sweep",
+    "fig12_13_thread_sweep",
+    "fig14_error_rate",
+    "mpi_predict_run",
+    "mpi_record_run",
+    "mpi_vanilla_run",
+    "omp_predict_run",
+    "omp_record_run",
+    "omp_vanilla_run",
+    "table1_record_overhead",
+]

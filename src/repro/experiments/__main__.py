@@ -1,0 +1,89 @@
+"""Run the full evaluation: ``python -m repro.experiments [--quick] [-o DIR]``.
+
+Regenerates Table I and Figs 7-14 and writes one text file per artifact
+(plus everything to stdout).  ``--quick`` trims the sweeps for a fast
+smoke pass; the default configuration reproduces every series the paper
+reports at this repo's reduced scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.fig7 import fig7_bt_grammar
+from repro.experiments.fig8 import DISTANCES, fig8_accuracy, render_fig8
+from repro.experiments.fig9 import fig9_prediction_cost, render_fig9
+from repro.experiments.fig10_13 import (
+    fig10_11_problem_size_sweep,
+    fig12_13_thread_sweep,
+    render_omp_sweep,
+)
+from repro.experiments.fig14 import fig14_error_rate, render_fig14
+from repro.experiments.table1 import render_table1, table1_record_overhead
+from repro.machines import PIXEL, PUDDING
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced sweeps")
+    parser.add_argument("-o", "--out", default="results", help="output directory")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="artifacts to run (table1 fig7 fig8 fig9 fig10 fig12 fig14)",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+    selected = set(args.only) if args.only else None
+
+    def wanted(tag: str) -> bool:
+        return selected is None or tag in selected
+
+    def emit(tag: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{text}\n")
+        with open(os.path.join(args.out, f"{tag}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    t0 = time.time()
+    if wanted("table1"):
+        ws = "small" if args.quick else "large"
+        rows = table1_record_overhead(ws=ws, ranks=4 if args.quick else None)
+        emit("table1", render_table1(rows))
+    if wanted("fig7"):
+        grammar = fig7_bt_grammar(ws="small" if args.quick else "large",
+                                  ranks=4 if args.quick else 16)
+        emit("fig7", "Fig 7: grammar extracted from BT\n" + grammar)
+    if wanted("fig8"):
+        apps = ["bt", "lu", "amg", "quicksilver"] if args.quick else None
+        res = fig8_accuracy(apps,
+                            distances=(1, 4, 16, 64) if args.quick else DISTANCES,
+                            ranks=4 if args.quick else None)
+        emit("fig8", render_fig8(res))
+    if wanted("fig9"):
+        apps = ["bt", "quicksilver"] if args.quick else None
+        res = fig9_prediction_cost(apps, ws="small" if args.quick else "large",
+                                   ranks=4 if args.quick else None,
+                                   repeats=10 if args.quick else 30)
+        emit("fig9", render_fig9(res))
+    if wanted("fig10"):
+        sizes = (10, 30) if args.quick else (10, 20, 30, 40, 50)
+        res = fig10_11_problem_size_sweep((PUDDING, PIXEL), sizes=sizes)
+        emit("fig10_11", render_omp_sweep(res, "Figs 10/11 - Lulesh vs problem size"))
+    if wanted("fig12"):
+        counts = {"Pudding": (1, 8, 24), "Pixel": (1, 8, 16)} if args.quick else None
+        res = fig12_13_thread_sweep((PUDDING, PIXEL), thread_counts=counts)
+        emit("fig12_13", render_omp_sweep(res, "Figs 12/13 - Lulesh size 30 vs max threads"))
+    if wanted("fig14"):
+        rates = (0.0, 0.1, 0.5) if args.quick else None
+        res = fig14_error_rate(rates=rates) if rates else fig14_error_rate()
+        emit("fig14", render_fig14(res))
+    print(f"done in {time.time() - t0:.1f}s; results in {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

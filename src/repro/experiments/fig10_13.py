@@ -1,0 +1,130 @@
+"""Figs 10-13 — the adaptive OpenMP thread-count optimisation (§III-D).
+
+- Figs 10/11: Lulesh execution time vs problem size (10..50) with all
+  three configurations (Vanilla / PYTHIA-RECORD / PYTHIA-PREDICT) on
+  Pudding (24 threads) and Pixel (16 threads).  Expected shape: PREDICT
+  wins big at small sizes (~38 % at s=30 on Pudding), the gap closes as
+  volume regions dominate.
+- Figs 12/13: Lulesh (size 30) vs the maximum thread count.  All three
+  configurations coincide up to ~8 threads; beyond that VANILLA and
+  RECORD pay fork/barrier overhead on tiny regions while PREDICT keeps
+  them nearly serial.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import (
+    omp_predict_run,
+    omp_record_run,
+    omp_vanilla_run,
+    temp_trace_path,
+)
+from repro.experiments.report import render_series
+from repro.machines import MachineSpec, PIXEL, PUDDING
+
+__all__ = [
+    "LULESH_SIZES",
+    "OmpSweepResult",
+    "fig10_11_problem_size_sweep",
+    "fig12_13_thread_sweep",
+    "render_omp_sweep",
+]
+
+LULESH_SIZES = (10, 20, 30, 40, 50)
+
+
+@dataclass(slots=True)
+class OmpSweepResult:
+    """One machine's sweep: x values and per-configuration times."""
+
+    machine: str
+    x_label: str
+    xs: list[int]
+    vanilla: list[float] = field(default_factory=list)
+    record: list[float] = field(default_factory=list)
+    predict: list[float] = field(default_factory=list)
+
+    def improvement_pct(self, i: int) -> float:
+        """PREDICT's improvement over VANILLA at x index ``i``."""
+        if self.vanilla[i] == 0:
+            return 0.0
+        return 100.0 * (self.vanilla[i] - self.predict[i]) / self.vanilla[i]
+
+
+def _three_way(machine: MachineSpec, size: int, max_threads: int) -> tuple[float, float, float]:
+    """Vanilla / record / predict times for one configuration."""
+    path = temp_trace_path(f"omp-{machine.name}-{size}-{max_threads}")
+    try:
+        vanilla = omp_vanilla_run(machine, size, max_threads=max_threads)
+        record = omp_record_run(machine, size, path, max_threads=max_threads)
+        predict = omp_predict_run(machine, size, path, max_threads=max_threads)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+    return vanilla.time, record.time, predict.time
+
+
+def fig10_11_problem_size_sweep(
+    machines: tuple[MachineSpec, ...] = (PUDDING, PIXEL),
+    *,
+    sizes: tuple[int, ...] = LULESH_SIZES,
+) -> list[OmpSweepResult]:
+    """Figs 10 (Pudding) and 11 (Pixel): time vs problem size."""
+    results = []
+    for machine in machines:
+        res = OmpSweepResult(machine.name, "size", list(sizes))
+        for size in sizes:
+            v, r, p = _three_way(machine, size, machine.cores)
+            res.vanilla.append(v)
+            res.record.append(r)
+            res.predict.append(p)
+        results.append(res)
+    return results
+
+
+def fig12_13_thread_sweep(
+    machines: tuple[MachineSpec, ...] = (PUDDING, PIXEL),
+    *,
+    size: int = 30,
+    thread_counts: dict[str, tuple[int, ...]] | None = None,
+) -> list[OmpSweepResult]:
+    """Figs 12 (Pudding) and 13 (Pixel): time vs maximum thread count."""
+    results = []
+    for machine in machines:
+        if thread_counts and machine.name in thread_counts:
+            counts = thread_counts[machine.name]
+        else:
+            counts = tuple(
+                n for n in (1, 2, 4, 8, 12, 16, 20, 24) if n <= machine.cores
+            )
+        res = OmpSweepResult(machine.name, "max threads", list(counts))
+        for n in counts:
+            v, r, p = _three_way(machine, size, n)
+            res.vanilla.append(v)
+            res.record.append(r)
+            res.predict.append(p)
+        results.append(res)
+    return results
+
+
+def render_omp_sweep(results: list[OmpSweepResult], title: str) -> str:
+    """Figure-style table per machine, with the improvement column."""
+    blocks = []
+    for res in results:
+        series = {
+            "Vanilla (s)": res.vanilla,
+            "Record (s)": res.record,
+            "Predict (s)": res.predict,
+            "gain (%)": [res.improvement_pct(i) for i in range(len(res.xs))],
+        }
+        blocks.append(
+            render_series(
+                res.x_label, res.xs, series,
+                title=f"{title} - {res.machine}",
+                fmt=lambda v: f"{v:.2f}",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,75 @@
+"""Fig 14 — resilience to unexpected events (§III-E).
+
+The OpenMP runtime randomly submits events that never occurred in the
+reference execution.  Each injected event knocks the tracker off its
+position; the following genuine event re-synchronises it, but the
+prediction made in between is not trusted, so the affected regions run
+with the vanilla heuristic (maximum threads).  As the error rate grows,
+PYTHIA-PREDICT's advantage decays toward VANILLA — the paper's curve.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import (
+    omp_predict_run,
+    omp_record_run,
+    omp_vanilla_run,
+    temp_trace_path,
+)
+from repro.experiments.report import render_series
+from repro.machines import MachineSpec, PUDDING
+
+__all__ = ["ERROR_RATES", "ErrorRateResult", "fig14_error_rate", "render_fig14"]
+
+ERROR_RATES = (0.0, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5)
+
+
+@dataclass(slots=True)
+class ErrorRateResult:
+    """Execution times vs injected error rate."""
+
+    machine: str
+    size: int
+    rates: list[float]
+    vanilla: float = 0.0
+    record: float = 0.0
+    predict: list[float] = field(default_factory=list)
+
+
+def fig14_error_rate(
+    machine: MachineSpec = PUDDING,
+    *,
+    size: int = 30,
+    rates: tuple[float, ...] = ERROR_RATES,
+    seed: int = 0,
+) -> ErrorRateResult:
+    """Measure Lulesh (size 30) while injecting unexpected events."""
+    path = temp_trace_path(f"fig14-{machine.name}-{size}")
+    result = ErrorRateResult(machine.name, size, list(rates))
+    try:
+        result.vanilla = omp_vanilla_run(machine, size).time
+        result.record = omp_record_run(machine, size, path).time
+        for rate in rates:
+            run = omp_predict_run(machine, size, path, error_rate=rate, seed=seed)
+            result.predict.append(run.time)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+    return result
+
+
+def render_fig14(result: ErrorRateResult) -> str:
+    """Fig 14-style table."""
+    series = {
+        "Vanilla (s)": [result.vanilla] * len(result.rates),
+        "Record (s)": [result.record] * len(result.rates),
+        "Predict (s)": result.predict,
+    }
+    return render_series(
+        "error rate", [f"{r:.2f}" for r in result.rates], series,
+        title=f"Fig 14 - Lulesh size {result.size} on {result.machine} vs error rate",
+        fmt=lambda v: f"{v:.2f}",
+    )

@@ -1,0 +1,47 @@
+"""Fig 7 — the grammar PYTHIA extracts from BT.
+
+The paper prints one MPI rank's grammar for BT.large:
+
+    R -> Bcast^6 B Barrier A^200 Allreduce Allreduce B Reduce Barrier
+    A -> B Isend Irecv [...] Wait^2
+    B -> Irecv Irecv [...] WaitAll
+
+This module records the BT skeleton and renders the resulting grammar
+with event names, so the structural match can be inspected (and is
+asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+from repro.core.oracle import Pythia
+from repro.experiments.harness import default_network
+from repro.apps.base import get_app
+from repro.mpi.launcher import mpirun
+from repro.runtime.mpi_interpose import MPIRuntimeSystem
+
+__all__ = ["fig7_bt_grammar"]
+
+
+def fig7_bt_grammar(*, ws: str = "large", ranks: int = 16, rank: int = 1, path: str | None = None) -> str:
+    """Record BT and return rank ``rank``'s grammar in paper notation."""
+    import tempfile, os
+
+    app = get_app("bt")
+    tmp = path or os.path.join(tempfile.gettempdir(), "pythia-fig7-bt.pythia")
+    oracle = Pythia(tmp, mode="record", record_timestamps=False)
+    mpirun(
+        ranks,
+        app.main,
+        ws,
+        0,
+        network=default_network(app, ranks),
+        interceptor_factory=lambda r, comm: MPIRuntimeSystem(oracle, r, comm),
+        name="bt",
+    )
+    trace = oracle.finish()
+    if path is None:
+        os.unlink(tmp)
+    grammar = trace.thread(rank).grammar
+    names = {i: str(ev).replace("MPI_", "").replace("GOMP_", "")
+             for i, ev in enumerate(oracle.registry)}
+    return grammar.dump(lambda t: names.get(t, f"?{t}"))

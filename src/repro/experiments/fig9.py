@@ -1,0 +1,83 @@
+"""Fig 9 — cost of PYTHIA-PREDICT predictions.
+
+The paper measures the oracle's real response time as a function of the
+prediction distance: a few hundred ns to ~2 us for short distances,
+growing linearly, with irregular applications (complex grammars) costing
+more.  Here the measured implementation is this repository's Python
+predictor, so absolute numbers are larger by the Python constant, but
+the *shape* — linear growth with distance, irregular apps slower — is
+the reproduced claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.apps.base import APPS, get_app
+from repro.core.predict import PythiaPredict
+from repro.experiments.harness import mpi_record_run, temp_trace_path
+from repro.experiments.report import render_series
+
+__all__ = ["PredictionCostResult", "COST_DISTANCES", "fig9_prediction_cost", "render_fig9"]
+
+COST_DISTANCES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(slots=True)
+class PredictionCostResult:
+    """Mean seconds per prediction, per distance, for one application."""
+
+    app: str
+    distances: tuple[int, ...]
+    cost_s: list[float] = field(default_factory=list)
+
+
+def fig9_prediction_cost(
+    apps: list[str] | None = None,
+    *,
+    ws: str = "large",
+    distances: tuple[int, ...] = COST_DISTANCES,
+    ranks: int | None = None,
+    repeats: int = 30,
+    warm_events: int = 64,
+) -> list[PredictionCostResult]:
+    """Measure the wall-clock cost of one prediction vs distance."""
+    import os
+
+    results: list[PredictionCostResult] = []
+    for name in apps or sorted(APPS):
+        spec = get_app(name)
+        nr = ranks or spec.default_ranks
+        path = temp_trace_path(f"fig9-{name}")
+        try:
+            record = mpi_record_run(name, ws, path, ranks=nr, seed=0)
+            trace = record.trace
+            tt = trace.thread(min(1, nr - 1))
+            predictor = PythiaPredict(tt.grammar, tt.timing)
+            # warm the tracker onto the trace (mid-stream, like a runtime)
+            stream = tt.grammar.unfold()
+            for ev in stream[: min(warm_events, len(stream))]:
+                predictor.observe(ev)
+            costs = []
+            for d in distances:
+                t0 = time.perf_counter()
+                for _ in range(repeats):
+                    predictor.predict(d)
+                costs.append((time.perf_counter() - t0) / repeats)
+            results.append(PredictionCostResult(name, distances, costs))
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+    return results
+
+
+def render_fig9(results: list[PredictionCostResult]) -> str:
+    """Prediction cost table (microseconds)."""
+    series = {res.app: [c * 1e6 for c in res.cost_s] for res in results}
+    xs = list(results[0].distances) if results else []
+    return render_series(
+        "distance", xs, series,
+        title="Fig 9 - cost of one prediction (us)",
+        fmt=lambda v: f"{v:.1f}",
+    )

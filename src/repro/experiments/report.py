@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_time", "format_pct"]
+
+
+def format_time(seconds: float) -> str:
+    """Human-scaled time formatting."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.0f} ns"
+
+
+def format_pct(fraction: float) -> str:
+    """Percentage with one decimal."""
+    return f"{100.0 * fraction:.1f} %"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    fmt=lambda v: f"{v:.4g}",
+) -> str:
+    """Render figure-style data: one row per x, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [fmt(series[name][i]) for name in series])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,94 @@
+"""Table I — performance evaluation of PYTHIA-RECORD.
+
+For every application (large working set): execution time without and
+with event recording, the recording overhead, the number of collected
+events, and the average grammar size.  The paper runs on 4 Paravance
+nodes (64 NPB ranks / 8x8 hybrid); this reproduction uses the same
+placement shape at a reduced rank count and event scale, and reports the
+paper's values side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import APPS, get_app
+from repro.experiments.harness import mpi_record_run, mpi_vanilla_run, temp_trace_path
+from repro.experiments.report import render_table
+
+__all__ = ["Table1Row", "table1_record_overhead", "render_table1"]
+
+
+@dataclass(slots=True)
+class Table1Row:
+    """One application's Table I measurements."""
+
+    app: str
+    vanilla_s: float
+    record_s: float
+    events: int
+    rules: float
+
+    @property
+    def overhead_pct(self) -> float:
+        """Recording overhead relative to vanilla."""
+        if self.vanilla_s == 0:
+            return 0.0
+        return 100.0 * (self.record_s - self.vanilla_s) / self.vanilla_s
+
+
+def table1_record_overhead(
+    apps: list[str] | None = None,
+    *,
+    ws: str = "large",
+    ranks: int | None = None,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Run the Table I measurement for the selected applications."""
+    rows: list[Table1Row] = []
+    for name in apps or sorted(APPS):
+        spec = get_app(name)
+        nr = ranks or spec.default_ranks
+        vanilla = mpi_vanilla_run(name, ws, ranks=nr, seed=seed)
+        path = temp_trace_path(f"table1-{name}")
+        try:
+            record = mpi_record_run(name, ws, path, ranks=nr, seed=seed)
+        finally:
+            import os
+
+            if os.path.exists(path):
+                os.unlink(path)
+        rows.append(
+            Table1Row(
+                app=f"{spec.name.upper()}.{ws.capitalize()}",
+                vanilla_s=vanilla.time,
+                record_s=record.time,
+                events=record.events,
+                rules=record.rules_per_rank,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Paper-style rendering, with the paper's reference values."""
+    headers = [
+        "Application", "Vanilla (s)", "RECORD (s)", "overhead(%)",
+        "# events", "# rules", "paper ovh(%)", "paper # rules",
+    ]
+    out_rows = []
+    for row in rows:
+        paper = get_app(row.app.split(".")[0].lower()).paper
+        out_rows.append(
+            [
+                row.app,
+                f"{row.vanilla_s:.2f}",
+                f"{row.record_s:.2f}",
+                f"{row.overhead_pct:+.1f}",
+                f"{row.events:,}",
+                f"{row.rules:.0f}",
+                f"{paper.get('overhead_pct', 0):+.1f}",
+                f"{paper.get('rules', 0)}",
+            ]
+        )
+    return render_table(headers, out_rows, title="Table I: PYTHIA-RECORD evaluation")

@@ -1,0 +1,90 @@
+"""Models of the paper's experimental platforms (§III-A1).
+
+Only the parameters that drive the reported trends are modelled: core
+counts, relative clock speed, thread-management overheads (for the
+OpenMP experiments of §III-D) and network characteristics (for the MPI
+experiments on Paravance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "ClusterSpec", "PUDDING", "PIXEL", "PARAVANCE"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """A shared-memory node.
+
+    The OpenMP overhead constants follow GNU OpenMP's behaviour: forking
+    a parallel region costs a fixed dispatch plus a per-thread wake-up,
+    and the closing barrier grows with the thread count.  Spawning a
+    brand-new pthread is far more expensive than waking a parked one —
+    the asymmetry the paper's thread-pool modification exploits.
+    """
+
+    name: str
+    cores: int
+    threads_per_core: int
+    ghz: float
+    #: fixed cost to enter any parallel region (s)
+    fork_base: float = 1.2e-6
+    #: per-woken-thread dispatch cost (s)
+    fork_per_thread: float = 0.35e-6
+    #: closing barrier: base + log2(n) * factor (s)
+    barrier_base: float = 0.6e-6
+    barrier_log: float = 0.9e-6
+    #: waking a parked pool thread vs creating a fresh one (s)
+    thread_wake: float = 1.5e-6
+    thread_spawn: float = 60e-6
+    #: destroying a thread (GNU OpenMP's default on shrink) (s)
+    thread_destroy: float = 25e-6
+
+    @property
+    def hw_threads(self) -> int:
+        """Total hardware threads (SMT included)."""
+        return self.cores * self.threads_per_core
+
+    def cycles_per_second(self) -> float:
+        """Clock rate in Hz."""
+        return self.ghz * 1e9
+
+    def seconds_for_work(self, work_units: float) -> float:
+        """Serial time for an abstract work amount (units of 1e9 cycles)."""
+        return work_units / self.ghz
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """A cluster of identical nodes with a flat Ethernet fabric."""
+
+    name: str
+    node: MachineSpec
+    nodes: int
+    #: inter-node latency (s) and bandwidth (B/s)
+    latency: float
+    bandwidth: float
+    #: intra-node (shared-memory) transport
+    intra_latency: float = 0.4e-6
+    intra_bandwidth: float = 8e9
+
+    def total_cores(self) -> int:
+        """Core count across the whole cluster."""
+        return self.node.cores * self.nodes
+
+
+#: Pudding: 2x Intel Xeon Silver 4116, 24 cores / 48 threads, 2.1 GHz
+PUDDING = MachineSpec(name="Pudding", cores=24, threads_per_core=2, ghz=2.1)
+
+#: Pixel: 2x Intel Xeon E5-2630 v3, 16 cores / 32 threads, 2.4 GHz
+PIXEL = MachineSpec(name="Pixel", cores=16, threads_per_core=2, ghz=2.4)
+
+#: Paravance: 72 nodes x 16 cores, 10 Gbps Ethernet
+PARAVANCE = ClusterSpec(
+    name="Paravance",
+    node=MachineSpec(name="paravance-node", cores=16, threads_per_core=1, ghz=2.4),
+    nodes=72,
+    latency=25e-6,
+    bandwidth=10e9 / 8,  # 10 Gbps -> 1.25 GB/s
+)

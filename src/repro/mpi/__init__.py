@@ -1,0 +1,29 @@
+"""Simulated MPI.
+
+A faithful-enough MPI for PYTHIA's purposes: ranks run as simulator
+processes, point-to-point messages go through matching queues with a
+latency/bandwidth network model, nonblocking operations return requests,
+and collectives synchronise the whole communicator with tree-shaped cost
+models.  The :mod:`repro.runtime.mpi_interpose` layer hooks every call —
+playing the role of the paper's ``LD_PRELOAD`` interception.
+"""
+
+from repro.mpi.comm import Request, SimComm
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Status
+from repro.mpi.launcher import MPIRun, mpirun
+from repro.mpi.network import NetworkModel
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX",
+    "MIN",
+    "MPIRun",
+    "NetworkModel",
+    "PROD",
+    "Request",
+    "SimComm",
+    "Status",
+    "SUM",
+    "mpirun",
+]

@@ -1,0 +1,394 @@
+"""The simulated MPI communicator.
+
+Each rank holds a :class:`SimComm` handle.  Point-to-point messages are
+matched through per-rank mailboxes with MPI semantics (source/tag
+wildcards, non-overtaking order); nonblocking calls return
+:class:`Request` objects consumed by ``wait``/``waitall``.  Collectives
+synchronise all ranks of the world and complete together after a
+tree-model cost.
+
+Every MPI entry point reports itself to the rank's *interceptor* (if
+set) — the moral equivalent of the paper's ``LD_PRELOAD`` shim — passing
+the same distinguishing payload the paper records: source/destination
+for point-to-point calls, the reduction operation for reductions, the
+root for rooted collectives (§III-B).
+
+All blocking calls are generators: application skeletons drive them with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Protocol, Sequence
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Envelope, ReduceOp, Status, SUM
+from repro.mpi.network import NetworkModel
+from repro.sim.engine import AllOf, SimEvent, Simulator
+from repro.sim.resources import Mailbox
+
+__all__ = ["Interceptor", "Request", "SimComm", "SimMPIWorld"]
+
+
+class Interceptor(Protocol):
+    """What a runtime system plugs into the simulated MPI."""
+
+    def mpi_call(self, fn: str, payload: Any) -> None:
+        """An MPI function was entered (record an event)."""
+
+    def mpi_sync(self, fn: str) -> None:
+        """A blocking/synchronising function was entered (ask the oracle)."""
+
+    def take_overhead(self) -> float:
+        """Oracle time (s) accumulated since the last charge; the
+        communicator adds it to simulated time at blocking calls."""
+
+
+class Request:
+    """Handle for a nonblocking operation."""
+
+    __slots__ = ("event", "kind", "status")
+
+    def __init__(self, event: SimEvent, kind: str) -> None:
+        self.event = event
+        self.kind = kind
+        self.status = Status()
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation finished (test-style check)."""
+        return self.event.triggered
+
+
+class _Collective:
+    """One collective operation instance across all ranks."""
+
+    __slots__ = ("kind", "arrivals", "events", "meta")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.arrivals: dict[int, Any] = {}
+        self.events: dict[int, SimEvent] = {}
+        self.meta: dict[int, Any] = {}
+
+
+class SimMPIWorld:
+    """Shared state of one simulated ``MPI_COMM_WORLD``."""
+
+    def __init__(self, sim: Simulator, size: int, network: NetworkModel) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.sim = sim
+        self.size = size
+        self.network = network
+        self.mailboxes = [Mailbox(sim) for _ in range(size)]
+        self._coll_counter = [0] * size
+        self._collectives: dict[int, _Collective] = {}
+        self.stats = {"messages": 0, "bytes": 0, "collectives": 0}
+
+    def comm(self, rank: int) -> "SimComm":
+        """The communicator handle of one rank."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        return SimComm(self, rank)
+
+    # -- collective rendezvous -------------------------------------------
+
+    def _collective_arrive(
+        self, rank: int, kind: str, value: Any, cost_fn, combine
+    ) -> SimEvent:
+        """Register one rank's arrival at its next collective.
+
+        ``cost_fn()`` yields the completion delay once everyone arrived;
+        ``combine(values_by_rank)`` yields the per-rank results.
+        """
+        seq = self._coll_counter[rank]
+        self._coll_counter[rank] += 1
+        ctx = self._collectives.get(seq)
+        if ctx is None:
+            ctx = _Collective(kind)
+            self._collectives[seq] = ctx
+        elif ctx.kind != kind:
+            raise RuntimeError(
+                f"collective mismatch at op #{seq}: rank {rank} called {kind}, "
+                f"others called {ctx.kind}"
+            )
+        if rank in ctx.arrivals:
+            raise RuntimeError(f"rank {rank} arrived twice at collective #{seq}")
+        ev = self.sim.event(f"{kind}#{seq}@{rank}")
+        ctx.arrivals[rank] = value
+        ctx.events[rank] = ev
+        if len(ctx.arrivals) == self.size:
+            del self._collectives[seq]
+            self.stats["collectives"] += 1
+            results = combine(ctx.arrivals)
+            cost = cost_fn()
+            for r, rev in ctx.events.items():
+                self.sim.call_later(cost, rev.trigger, results[r])
+        return ev
+
+
+class SimComm:
+    """Per-rank MPI interface (generator-based blocking calls)."""
+
+    __slots__ = ("world", "rank", "interceptor")
+
+    def __init__(self, world: SimMPIWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.interceptor: Interceptor | None = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.size
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator (for timeouts/compute phases)."""
+        return self.world.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.world.sim.now
+
+    def _note(self, fn: str, payload: Any = None) -> None:
+        if self.interceptor is not None:
+            self.interceptor.mpi_call(fn, payload)
+
+    def _sync(self, fn: str) -> None:
+        if self.interceptor is not None:
+            self.interceptor.mpi_sync(fn)
+
+    def _charge(self) -> Generator:
+        """Add accumulated oracle overhead to simulated time."""
+        if self.interceptor is not None:
+            debt = self.interceptor.take_overhead()
+            if debt > 0.0:
+                yield self.sim.timeout(debt)
+
+    # -- point-to-point ----------------------------------------------------
+
+    def isend(self, data: Any, dest: int, tag: int = 0, size: int = 8) -> Request:
+        """Nonblocking send (eager: completes locally at once)."""
+        self._note("MPI_Isend", dest)
+        return self._post_send(data, dest, tag, size)
+
+    def _post_send(self, data: Any, dest: int, tag: int, size: int) -> Request:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        world = self.world
+        env = Envelope(self.rank, dest, tag, size)
+        delay = world.network.ptp_time(self.rank, dest, size)
+        world.sim.call_later(delay, world.mailboxes[dest].deliver, env, data)
+        world.stats["messages"] += 1
+        world.stats["bytes"] += size
+        ev = world.sim.event("send-done")
+        ev.trigger(None)
+        return Request(ev, "send")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive."""
+        self._note("MPI_Irecv", source if source != ANY_SOURCE else None)
+        ev = self.world.mailboxes[self.rank].receive(
+            lambda env: env.matches(source, tag)
+        )
+        return Request(ev, "recv")
+
+    def send(self, data: Any, dest: int, tag: int = 0, size: int = 8) -> Generator:
+        """Blocking send."""
+        self._note("MPI_Send", dest)
+        yield from self._charge()
+        req = self._post_send(data, dest, tag, size)
+        yield req.event
+        return None
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the payload."""
+        self._note("MPI_Recv", source if source != ANY_SOURCE else None)
+        yield from self._charge()
+        ev = self.world.mailboxes[self.rank].receive(
+            lambda env: env.matches(source, tag)
+        )
+        envelope, payload = yield ev
+        return payload
+
+    def wait(self, request: Request) -> Generator:
+        """Complete one request; returns the received payload (or None)."""
+        self._note("MPI_Wait")
+        self._sync("MPI_Wait")
+        yield from self._charge()
+        value = yield request.event
+        return self._finish(request, value)
+
+    def waitall(self, requests: Sequence[Request]) -> Generator:
+        """Complete several requests; returns their payloads in order."""
+        self._note("MPI_Waitall")
+        self._sync("MPI_Waitall")
+        yield from self._charge()
+        values = yield AllOf([r.event for r in requests])
+        return [self._finish(r, v) for r, v in zip(requests, values)]
+
+    @staticmethod
+    def _finish(request: Request, value: Any) -> Any:
+        if request.kind == "recv" and value is not None:
+            envelope, payload = value
+            request.status = Status(envelope.source, envelope.tag, envelope.size)
+            return payload
+        return None
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message already arrived."""
+        self._note("MPI_Iprobe", source if source != ANY_SOURCE else None)
+        return self.world.mailboxes[self.rank].probe(
+            lambda env: env.matches(source, tag)
+        )
+
+    # -- collectives ---------------------------------------------------------
+
+    def _collective(
+        self, fn: str, payload: Any, value: Any, cost_fn, combine
+    ) -> Generator:
+        self._note(fn, payload)
+        self._sync(fn)
+        yield from self._charge()
+        ev = self.world._collective_arrive(self.rank, fn, value, cost_fn, combine)
+        result = yield ev
+        return result
+
+    def barrier(self) -> Generator:
+        """Synchronise all ranks."""
+        net, n = self.world.network, self.size
+        return self._collective(
+            "MPI_Barrier",
+            None,
+            None,
+            lambda: net.collective_time(n, 0),
+            lambda vals: {r: None for r in vals},
+        )
+
+    def bcast(self, value: Any, root: int = 0, size: int = 8) -> Generator:
+        """Broadcast from ``root``; every rank returns the root's value."""
+        net, n = self.world.network, self.size
+        return self._collective(
+            "MPI_Bcast",
+            root,
+            value if self.rank == root else None,
+            lambda: net.collective_time(n, size),
+            lambda vals: {r: vals[root] for r in vals},
+        )
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0, size: int = 8) -> Generator:
+        """Reduce to ``root``; other ranks return None."""
+        net, n = self.world.network, self.size
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            ordered = [vals[r] for r in sorted(vals)]
+            result = op.reduce(ordered)
+            return {r: (result if r == root else None) for r in vals}
+
+        return self._collective(
+            "MPI_Reduce", (str(op), root), value, lambda: net.collective_time(n, size), combine
+        )
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM, size: int = 8) -> Generator:
+        """Reduce and broadcast; every rank returns the result."""
+        net, n = self.world.network, self.size
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            ordered = [vals[r] for r in sorted(vals)]
+            result = op.reduce(ordered)
+            return {r: result for r in vals}
+
+        return self._collective(
+            "MPI_Allreduce",
+            str(op),
+            value,
+            lambda: net.collective_time(n, size, phases=2),
+            combine,
+        )
+
+    def gather(self, value: Any, root: int = 0, size: int = 8) -> Generator:
+        """Gather to ``root`` (rank-ordered list); others return None."""
+        net, n = self.world.network, self.size
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            ordered = [vals[r] for r in sorted(vals)]
+            return {r: (ordered if r == root else None) for r in vals}
+
+        return self._collective(
+            "MPI_Gather", root, value, lambda: net.collective_time(n, size * n), combine
+        )
+
+    def allgather(self, value: Any, size: int = 8) -> Generator:
+        """Gather everywhere; every rank returns the rank-ordered list."""
+        net, n = self.world.network, self.size
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            ordered = [vals[r] for r in sorted(vals)]
+            return {r: list(ordered) for r in vals}
+
+        return self._collective(
+            "MPI_Allgather",
+            None,
+            value,
+            lambda: net.collective_time(n, size * n, phases=2),
+            combine,
+        )
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0, size: int = 8) -> Generator:
+        """Scatter ``values`` from ``root``; rank ``i`` returns ``values[i]``."""
+        net, n = self.world.network, self.size
+        if self.rank == root and (values is None or len(values) != n):
+            raise ValueError("scatter root must supply one value per rank")
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            data = vals[root]
+            return {r: data[r] for r in vals}
+
+        return self._collective(
+            "MPI_Scatter",
+            root,
+            values if self.rank == root else None,
+            lambda: net.collective_time(n, size * n),
+            combine,
+        )
+
+    def alltoall(self, values: Sequence[Any], size: int = 8) -> Generator:
+        """Personalised all-to-all: rank ``i`` returns ``[v[j][i] for j]``."""
+        net, n = self.world.network, self.size
+        if len(values) != n:
+            raise ValueError("alltoall needs one value per destination rank")
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            return {r: [vals[src][r] for src in sorted(vals)] for r in vals}
+
+        return self._collective(
+            "MPI_Alltoall", None, list(values), lambda: net.alltoall_time(n, size), combine
+        )
+
+    def alltoallv(self, values: Sequence[Sequence[Any]], sizes: Sequence[int] | None = None) -> Generator:
+        """Variable-size all-to-all (sizes in bytes per destination)."""
+        net, n = self.world.network, self.size
+        if len(values) != n:
+            raise ValueError("alltoallv needs one bucket per destination rank")
+        total = sum(sizes) if sizes else 8 * n
+
+        def combine(vals: dict[int, Any]) -> dict[int, Any]:
+            return {r: [vals[src][r] for src in sorted(vals)] for r in vals}
+
+        return self._collective(
+            "MPI_Alltoallv",
+            None,
+            [list(v) for v in values],
+            lambda: net.alltoall_time(n, max(total // n, 1)),
+            combine,
+        )
+
+    # -- compute phases ------------------------------------------------------
+
+    def compute(self, seconds: float) -> SimEvent:
+        """A local compute phase: ``yield comm.compute(dt)``."""
+        return self.sim.timeout(seconds)

@@ -1,0 +1,63 @@
+"""MPI value types: wildcards, reduction operations, statuses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+ANY_SOURCE = -1
+"""Wildcard source rank for receives."""
+
+ANY_TAG = -1
+"""Wildcard message tag for receives."""
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceOp:
+    """A named, associative reduction operation."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def reduce(self, values: Sequence[Any]) -> Any:
+        """Fold ``values`` left to right."""
+        if not values:
+            raise ValueError("cannot reduce zero values")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.fn(acc, v)
+        return acc
+
+    def __str__(self) -> str:
+        return self.name
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b)
+PROD = ReduceOp("PROD", lambda a, b: a * b)
+MIN = ReduceOp("MIN", min)
+MAX = ReduceOp("MAX", max)
+
+
+@dataclass(slots=True)
+class Status:
+    """Receive status (source, tag, size in bytes)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    size: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """Message envelope used for matching."""
+
+    source: int
+    dest: int
+    tag: int
+    size: int
+
+    def matches(self, source: int, tag: int) -> bool:
+        """MPI matching semantics with wildcards."""
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )

@@ -1,0 +1,79 @@
+"""``mpirun`` for the simulated MPI.
+
+Spawns ``size`` rank processes inside one simulator, runs to completion
+and reports per-rank results and the total simulated makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.mpi.comm import SimComm, SimMPIWorld
+from repro.mpi.network import NetworkModel
+from repro.sim.engine import Process, Simulator
+
+__all__ = ["MPIRun", "mpirun"]
+
+RankMain = Callable[..., Generator]
+InterceptorFactory = Callable[[int, SimComm], Any]
+
+
+@dataclass(slots=True)
+class MPIRun:
+    """Result of one simulated MPI execution."""
+
+    sim: Simulator
+    world: SimMPIWorld
+    procs: list[Process]
+    interceptors: list[Any] = field(default_factory=list)
+
+    @property
+    def time(self) -> float:
+        """Total simulated wall time (the makespan)."""
+        return self.sim.now
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self.world.size
+
+    def rank_result(self, rank: int) -> Any:
+        """Return value of one rank's main generator."""
+        return self.procs[rank].value
+
+    def interceptor(self, rank: int) -> Any:
+        """The interceptor attached to one rank (if any)."""
+        return self.interceptors[rank]
+
+
+def mpirun(
+    size: int,
+    main: RankMain,
+    *args: Any,
+    network: NetworkModel | None = None,
+    interceptor_factory: InterceptorFactory | None = None,
+    sim: Simulator | None = None,
+    name: str = "app",
+    **kwargs: Any,
+) -> MPIRun:
+    """Run ``main(comm, *args, **kwargs)`` on ``size`` simulated ranks.
+
+    ``interceptor_factory(rank, comm)`` attaches a runtime-system shim to
+    each rank (the PYTHIA MPI runtime in the experiments).
+    """
+    sim = sim or Simulator()
+    network = network or NetworkModel(ranks_per_node=max(1, size // 4))
+    world = SimMPIWorld(sim, size, network)
+    procs: list[Process] = []
+    interceptors: list[Any] = []
+    for rank in range(size):
+        comm = world.comm(rank)
+        shim = None
+        if interceptor_factory is not None:
+            shim = interceptor_factory(rank, comm)
+            comm.interceptor = shim
+        interceptors.append(shim)
+        procs.append(sim.spawn(main(comm, *args, **kwargs), name=f"{name}.{rank}"))
+    sim.run()
+    return MPIRun(sim=sim, world=world, procs=procs, interceptors=interceptors)

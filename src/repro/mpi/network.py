@@ -1,0 +1,74 @@
+"""Network cost model for the simulated MPI.
+
+The classic latency/bandwidth (Hockney) model, with separate intra-node
+and inter-node parameters and log-tree costs for collectives — enough to
+give applications realistic-looking time structure without simulating a
+fabric.  PYTHIA itself never sees these numbers; they only shape the
+timestamps the oracle records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machines import ClusterSpec
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Point-to-point and collective communication costs.
+
+    ``ranks_per_node`` maps ranks onto nodes round-robin-block style
+    (rank r lives on node ``r // ranks_per_node``), mirroring the
+    paper's "16 ranks per machine" placement.
+    """
+
+    latency: float = 25e-6
+    bandwidth: float = 1.25e9
+    intra_latency: float = 0.4e-6
+    intra_bandwidth: float = 8e9
+    ranks_per_node: int = 16
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterSpec, ranks_per_node: int) -> "NetworkModel":
+        """Derive the model from a cluster description."""
+        return cls(
+            latency=cluster.latency,
+            bandwidth=cluster.bandwidth,
+            intra_latency=cluster.intra_latency,
+            intra_bandwidth=cluster.intra_bandwidth,
+            ranks_per_node=ranks_per_node,
+        )
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting ``rank``."""
+        return rank // max(self.ranks_per_node, 1)
+
+    def ptp_time(self, src: int, dst: int, size: int) -> float:
+        """Transfer time for ``size`` bytes between two ranks."""
+        if self.node_of(src) == self.node_of(dst):
+            return self.intra_latency + size / self.intra_bandwidth
+        return self.latency + size / self.bandwidth
+
+    def collective_time(self, nranks: int, size: int, *, phases: int = 1) -> float:
+        """Tree-based collective cost: ``phases * ceil(log2 P)`` stages.
+
+        Each stage moves ``size`` bytes over the slower (inter-node)
+        transport when the communicator spans nodes.
+        """
+        if nranks <= 1:
+            return 0.0
+        stages = max(1, math.ceil(math.log2(nranks))) * phases
+        spans_nodes = self.node_of(0) != self.node_of(nranks - 1)
+        lat = self.latency if spans_nodes else self.intra_latency
+        bw = self.bandwidth if spans_nodes else self.intra_bandwidth
+        return stages * (lat + size / bw)
+
+    def alltoall_time(self, nranks: int, size: int) -> float:
+        """All-to-all personalised exchange: P-1 pairwise steps."""
+        if nranks <= 1:
+            return 0.0
+        return (nranks - 1) * (self.latency + size / self.bandwidth)

@@ -1,0 +1,36 @@
+"""Simulated GNU OpenMP runtime.
+
+The paper's §III-D experiment modifies GNU OpenMP so that PYTHIA's
+predicted parallel-region durations drive the number of threads used per
+region.  This package models the pieces of GOMP that matter for that
+experiment:
+
+- a *cost model* for executing a parallel region with ``n`` threads
+  (fork dispatch, work division, imbalance, closing barrier);
+- a *thread pool* with the expensive-spawn/cheap-wake asymmetry —
+  including the paper's pool modification (park idle threads instead of
+  destroying them);
+- a *runtime* that launches regions under a pluggable thread-count
+  policy (vanilla max-threads vs PYTHIA-adaptive).
+"""
+
+from repro.openmp.costmodel import RegionCostModel
+from repro.openmp.policies import (
+    AdaptivePythiaPolicy,
+    FixedThreadsPolicy,
+    MaxThreadsPolicy,
+    ThreadCountPolicy,
+)
+from repro.openmp.runtime import GompRuntime, OmpInterceptor
+from repro.openmp.threadpool import ThreadPool
+
+__all__ = [
+    "AdaptivePythiaPolicy",
+    "FixedThreadsPolicy",
+    "GompRuntime",
+    "MaxThreadsPolicy",
+    "OmpInterceptor",
+    "RegionCostModel",
+    "ThreadCountPolicy",
+    "ThreadPool",
+]

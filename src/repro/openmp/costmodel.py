@@ -1,0 +1,92 @@
+"""Parallel-region execution cost model.
+
+The trade-off the paper's optimisation exploits (§III-D1): "the speedup
+due to many threads processing a workload in parallel against the cost
+of synchronizing the threads".  The model:
+
+``T(n) = fork(n) + W_par/n * (1 + imbalance*(n-1)) + W_ser + barrier(n)``
+
+with ``fork`` and ``barrier`` growing with the thread count.  For small
+``W`` the overhead dominates and few threads win; for large ``W`` the
+division dominates and the maximum thread count wins — producing the
+crossover Figs 10–13 show.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machines import MachineSpec
+
+__all__ = ["REFERENCE_GHZ", "RegionCostModel"]
+
+#: application work amounts are expressed as serial seconds on Pudding
+#: (2.1 GHz); other machines scale by their clock ratio
+REFERENCE_GHZ = 2.1
+
+
+@dataclass(frozen=True, slots=True)
+class RegionCostModel:
+    """Time model for one machine's parallel regions.
+
+    ``overhead_scale`` globally scales fork/barrier costs; the default
+    is calibrated so that region durations and crossover points land in
+    the ranges the paper reports for Lulesh on Pudding/Pixel.
+    """
+
+    machine: MachineSpec
+    overhead_scale: float = 12.0
+    imbalance: float = 0.015
+
+    def fork_cost(self, nthreads: int) -> float:
+        """Cost to dispatch a region onto ``nthreads`` threads."""
+        if nthreads <= 1:
+            return 0.0
+        m = self.machine
+        return self.overhead_scale * (m.fork_base + m.fork_per_thread * (nthreads - 1))
+
+    def barrier_cost(self, nthreads: int) -> float:
+        """Cost of the implicit barrier closing a region."""
+        if nthreads <= 1:
+            return 0.0
+        m = self.machine
+        return self.overhead_scale * (m.barrier_base + m.barrier_log * math.log2(nthreads))
+
+    def body_time(self, work: float, nthreads: int, parallel_fraction: float = 1.0) -> float:
+        """Execution time of the region body itself.
+
+        ``work`` is serial seconds on the reference machine; a faster
+        clock shrinks it proportionally.
+        """
+        n = max(1, nthreads)
+        work = work * (REFERENCE_GHZ / self.machine.ghz)
+        par = work * parallel_fraction
+        ser = work - par
+        eff = par / n * (1.0 + self.imbalance * (n - 1))
+        return ser + eff
+
+    def region_time(self, work: float, nthreads: int, parallel_fraction: float = 1.0) -> float:
+        """Total wall time of a region executed with ``nthreads`` threads."""
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        n = max(1, min(nthreads, self.machine.hw_threads))
+        return self.fork_cost(n) + self.body_time(work, n, parallel_fraction) + self.barrier_cost(n)
+
+    def best_threads(self, work: float, max_threads: int, parallel_fraction: float = 1.0) -> int:
+        """Oracle-optimal thread count among {1, 2, 4, ..., max}."""
+        candidates = self.candidate_counts(max_threads)
+        return min(
+            candidates, key=lambda n: self.region_time(work, n, parallel_fraction)
+        )
+
+    @staticmethod
+    def candidate_counts(max_threads: int) -> list[int]:
+        """The thread-count ladder the runtime picks from (1,2,4,...,max)."""
+        counts = []
+        n = 1
+        while n < max_threads:
+            counts.append(n)
+            n *= 2
+        counts.append(max_threads)
+        return counts

@@ -1,0 +1,117 @@
+"""Thread-count policies for parallel regions.
+
+- :class:`MaxThreadsPolicy` — GNU OpenMP's default ("usually chooses the
+  maximum number of threads", §III-D1): the VANILLA configuration.
+- :class:`FixedThreadsPolicy` — a constant count (used in sweeps).
+- :class:`AdaptivePythiaPolicy` — the paper's optimisation: ask PYTHIA
+  for the probable duration of the starting region and pick the thread
+  count by duration thresholds ("1 thread if D < t1, 4 threads if
+  D < t4, 8 threads if D < t8, and so on").
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.openmp.costmodel import RegionCostModel
+
+__all__ = [
+    "AdaptivePythiaPolicy",
+    "FixedThreadsPolicy",
+    "MaxThreadsPolicy",
+    "ThreadCountPolicy",
+]
+
+
+class ThreadCountPolicy(Protocol):
+    """Decides the team size for an OpenMP parallel region."""
+
+    def threads_for(self, region_id, predicted_duration: float | None, max_threads: int) -> int:
+        """Return the number of threads for the region starting now."""
+
+
+class MaxThreadsPolicy:
+    """Always use every available thread (vanilla GNU OpenMP)."""
+
+    def threads_for(self, region_id, predicted_duration, max_threads: int) -> int:
+        return max_threads
+
+
+class FixedThreadsPolicy:
+    """Always use a constant team size."""
+
+    def __init__(self, nthreads: int) -> None:
+        if nthreads < 1:
+            raise ValueError("need at least one thread")
+        self.nthreads = nthreads
+
+    def threads_for(self, region_id, predicted_duration, max_threads: int) -> int:
+        return min(self.nthreads, max_threads)
+
+
+class AdaptivePythiaPolicy:
+    """Duration-thresholded team sizing driven by oracle predictions.
+
+    ``thresholds`` maps duration upper bounds to thread counts, sorted
+    ascending: ``[(t1, 1), (t4, 4), (t8, 8), ...]``; durations above the
+    last bound use the maximum.  When the oracle has no prediction
+    (lost, or first encounter of a region) the policy falls back to the
+    vanilla heuristic — exactly the paper's fallback behaviour.
+
+    Default thresholds are derived from the machine's cost model: for
+    each ladder count ``n`` we find the largest region duration (as
+    measured at max threads during the reference run) for which ``n``
+    threads would still be at least as fast as using more.
+    """
+
+    def __init__(
+        self,
+        cost_model: RegionCostModel | None = None,
+        thresholds: list[tuple[float, int]] | None = None,
+        max_threads: int | None = None,
+    ) -> None:
+        if thresholds is None:
+            if cost_model is None or max_threads is None:
+                raise ValueError("need either explicit thresholds or a cost model + max_threads")
+            thresholds = self.derive_thresholds(cost_model, max_threads)
+        self.thresholds = sorted(thresholds)
+        self.decisions = {"adaptive": 0, "fallback": 0}
+
+    @staticmethod
+    def derive_thresholds(
+        model: RegionCostModel, max_threads: int
+    ) -> list[tuple[float, int]]:
+        """Build the duration ladder from the region cost model.
+
+        The predicted duration D is a *max-threads* execution time (the
+        reference run used max threads).  We invert it to a work amount,
+        then ask the model which ladder count executes that work
+        fastest; the thresholds are the D-values where the best count
+        steps up.
+        """
+        counts = model.candidate_counts(max_threads)
+        overhead_max = model.fork_cost(max_threads) + model.barrier_cost(max_threads)
+        thresholds: list[tuple[float, int]] = []
+        prev_best = None
+        # scan durations logarithmically from 0.1 us to 1 s
+        d = 1e-7
+        while d < 1.0:
+            work = max(0.0, (d - overhead_max)) * max_threads / (
+                1.0 + model.imbalance * (max_threads - 1)
+            )
+            best = min(counts, key=lambda n: model.region_time(work, n))
+            if prev_best is not None and best != prev_best:
+                thresholds.append((d, prev_best))
+            prev_best = best
+            d *= 1.12
+        return thresholds or [(overhead_max, 1)]
+
+    def threads_for(self, region_id, predicted_duration, max_threads: int) -> int:
+        if predicted_duration is None:
+            self.decisions["fallback"] += 1
+            return max_threads
+        self.decisions["adaptive"] += 1
+        for bound, count in self.thresholds:
+            if predicted_duration < bound:
+                return min(count, max_threads)
+        return max_threads

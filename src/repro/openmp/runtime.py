@@ -1,0 +1,109 @@
+"""The simulated GOMP runtime.
+
+:class:`GompRuntime` executes parallel regions on a simulated clock:
+each :meth:`GompRuntime.parallel` call asks its policy for a team size,
+charges pool-resize + fork + body + barrier costs, and advances the
+clock.  An :class:`OmpInterceptor` hook sees region begin/end — that is
+where the paper's modified GOMP submits events to PYTHIA-RECORD and asks
+PYTHIA-PREDICT for the probable region duration (§III-D1; "less than 100
+lines of code" in the real runtime, and about as many here).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.machines import MachineSpec
+from repro.openmp.costmodel import RegionCostModel
+from repro.openmp.policies import MaxThreadsPolicy, ThreadCountPolicy
+from repro.openmp.threadpool import ThreadPool
+
+__all__ = ["GompRuntime", "OmpInterceptor"]
+
+
+class OmpInterceptor(Protocol):
+    """What the PYTHIA-enabled runtime plugs into GOMP."""
+
+    def region_begin(self, region_id: Any, clock: float) -> float | None:
+        """A parallel region starts.  May return a predicted duration
+        (seconds) — the paper's D_est — and may charge oracle overhead by
+        returning it via :meth:`overhead` instead."""
+
+    def region_end(self, region_id: Any, clock: float) -> None:
+        """The parallel region finished."""
+
+    def overhead(self) -> float:
+        """Oracle time to charge to the application clock this call."""
+
+
+class GompRuntime:
+    """A single-node OpenMP runtime on a simulated clock."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        max_threads: int | None = None,
+        policy: ThreadCountPolicy | None = None,
+        pool_mode: str = "park",
+        cost_model: RegionCostModel | None = None,
+        interceptor: OmpInterceptor | None = None,
+    ) -> None:
+        self.machine = machine
+        self.max_threads = machine.cores if max_threads is None else max_threads
+        if self.max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+        self.policy = policy or MaxThreadsPolicy()
+        self.pool = ThreadPool(machine, pool_mode)
+        self.cost_model = cost_model or RegionCostModel(machine)
+        self.interceptor = interceptor
+        self.clock = 0.0
+        self.stats = {"regions": 0, "threads_used": 0}
+        self._team = 1
+
+    # ------------------------------------------------------------------
+
+    def parallel(self, region_id: Any, work: float, *, parallel_fraction: float = 1.0) -> float:
+        """Execute one parallel region; returns its wall duration.
+
+        ``work`` is the serial execution time of the region body on this
+        machine (seconds); ``region_id`` identifies the region code — the
+        paper uses the outlined function pointer.
+        """
+        predicted = None
+        if self.interceptor is not None:
+            predicted = self.interceptor.region_begin(region_id, self.clock)
+            self.clock += self.interceptor.overhead()
+        n = self.policy.threads_for(region_id, predicted, self.max_threads)
+        n = max(1, min(n, self.max_threads))
+        resize_cost = self.pool.acquire(n)
+        duration = self.cost_model.region_time(work, n, parallel_fraction)
+        self.clock += resize_cost + duration
+        self._team = n
+        self.stats["regions"] += 1
+        self.stats["threads_used"] += n
+        if self.interceptor is not None:
+            self.interceptor.region_end(region_id, self.clock)
+            self.clock += self.interceptor.overhead()
+        return resize_cost + duration
+
+    def serial(self, seconds: float) -> None:
+        """A serial (master-thread) phase between regions."""
+        if seconds < 0:
+            raise ValueError("time cannot be negative")
+        self.clock += seconds
+
+    def omp_get_max_threads(self) -> int:
+        """OpenMP API shim (the Lulesh fix of §III-D2 calls this)."""
+        return self.max_threads
+
+    def omp_get_num_threads(self) -> int:
+        """Team size of the most recent region."""
+        return self._team
+
+    @property
+    def average_team(self) -> float:
+        """Mean team size across regions executed so far."""
+        if self.stats["regions"] == 0:
+            return 0.0
+        return self.stats["threads_used"] / self.stats["regions"]

@@ -1,0 +1,74 @@
+"""The OpenMP worker-thread pool.
+
+GNU OpenMP's default behaviour: when a parallel region uses fewer threads
+than the previous one, the spurious threads are *destroyed*; growing
+again later must *spawn* fresh pthreads — expensive.  The paper changes
+this ("we have made the spurious threads wait until they are needed
+again"): shrinking *parks* threads, growing *wakes* them cheaply.
+
+:class:`ThreadPool` models both modes and charges the respective costs;
+the adaptive-thread-count experiment (§III-D) depends on the park mode,
+otherwise varying the thread count would thrash spawn/destroy.
+"""
+
+from __future__ import annotations
+
+from repro.machines import MachineSpec
+
+__all__ = ["ThreadPool"]
+
+MODES = ("park", "destroy")
+
+
+class ThreadPool:
+    """Tracks worker threads and the cost of resizing the team."""
+
+    __slots__ = ("machine", "mode", "active", "parked", "spawned_total", "stats")
+
+    def __init__(self, machine: MachineSpec, mode: str = "park") -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.machine = machine
+        self.mode = mode
+        self.active = 1  # the master thread always exists
+        self.parked = 0
+        self.spawned_total = 1
+        self.stats = {"spawns": 0, "wakes": 0, "destroys": 0, "parks": 0}
+
+    def acquire(self, nthreads: int) -> float:
+        """Resize the team to ``nthreads``; returns the time it costs."""
+        if nthreads < 1:
+            raise ValueError("a team needs at least the master thread")
+        if nthreads > self.machine.hw_threads:
+            nthreads = self.machine.hw_threads
+        m = self.machine
+        cost = 0.0
+        if nthreads > self.active:
+            need = nthreads - self.active
+            woken = min(need, self.parked)
+            if woken:
+                self.parked -= woken
+                self.stats["wakes"] += woken
+                cost += woken * m.thread_wake
+            fresh = need - woken
+            if fresh:
+                self.spawned_total += fresh
+                self.stats["spawns"] += fresh
+                cost += fresh * m.thread_spawn
+            self.active = nthreads
+        elif nthreads < self.active:
+            excess = self.active - nthreads
+            if self.mode == "park":
+                self.parked += excess
+                self.stats["parks"] += excess
+                # parking is a no-cost state change (threads block on a futex)
+            else:
+                self.stats["destroys"] += excess
+                cost += excess * m.thread_destroy
+            self.active = nthreads
+        return cost
+
+    @property
+    def team_size(self) -> int:
+        """Threads currently active in the team."""
+        return self.active

@@ -1,0 +1,26 @@
+"""Runtime systems that consult PYTHIA.
+
+Two runtime-system shims mirror §III-B of the paper:
+
+- :class:`repro.runtime.mpi_interpose.MPIRuntimeSystem` — intercepts
+  every simulated MPI call, records one event per call (with the
+  distinguishing payload), and requests predictions when entering
+  ``MPI_Wait*`` or blocking collectives;
+- :class:`repro.runtime.omp_interpose.OMPRuntimeSystem` — intercepts
+  parallel-region begin/end in the simulated GOMP, and at region entry
+  asks PYTHIA for the probable region duration (feeding the adaptive
+  thread policy of §III-D).
+
+:mod:`repro.runtime.faults` injects random unexpected events (§III-E).
+"""
+
+from repro.runtime.faults import ErrorInjector
+from repro.runtime.mpi_interpose import MPIRuntimeSystem, PredictionScore
+from repro.runtime.omp_interpose import OMPRuntimeSystem
+
+__all__ = [
+    "ErrorInjector",
+    "MPIRuntimeSystem",
+    "OMPRuntimeSystem",
+    "PredictionScore",
+]

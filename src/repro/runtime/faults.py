@@ -1,0 +1,38 @@
+"""Random unexpected-event injection (§III-E).
+
+The paper evaluates PYTHIA's resilience by modifying the runtime to
+"randomly submit unexpected events with a given error rate".  The
+injected events never occurred in the reference execution, so the
+tracker loses its position and must re-synchronise on the next genuine
+event — exactly the §II-B2 tolerance path.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ErrorInjector"]
+
+
+class ErrorInjector:
+    """Bernoulli injector of never-before-seen events."""
+
+    __slots__ = ("rate", "rng", "injected", "_counter")
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"error rate must be within [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = random.Random(f"{seed}:error-injector")
+        self.injected = 0
+        self._counter = 0
+
+    def maybe_inject(self, submit) -> bool:
+        """With probability ``rate``, call ``submit(name, payload)`` with a
+        fresh bogus event.  Returns True if an event was injected."""
+        if self.rate <= 0.0 or self.rng.random() >= self.rate:
+            return False
+        self._counter += 1
+        self.injected += 1
+        submit("pythia_unexpected_event", self._counter)
+        return True

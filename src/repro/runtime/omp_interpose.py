@@ -1,0 +1,95 @@
+"""The PYTHIA-enabled OpenMP runtime system (§III-B, §III-D).
+
+Intercepts parallel-region begin/end in the simulated GOMP:
+
+- **record mode** — submits ``GOMP_parallel_begin(region)`` /
+  ``GOMP_parallel_end(region)`` events with the runtime clock as
+  timestamp, so the saved trace carries every region's duration (the
+  paper uses "the function pointer that contains the code of the
+  parallel region as an event identifier");
+- **predict mode** — at region begin, follows the event stream and asks
+  the oracle for the estimated delay until the matching region-end
+  event.  That estimate (the paper's ``D_est``) is handed to the
+  adaptive thread policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.events import Event
+from repro.core.oracle import Pythia
+from repro.runtime.faults import ErrorInjector
+
+__all__ = ["OMPRuntimeSystem"]
+
+#: simulated cost per recorded event (s)
+RECORD_EVENT_COST = 0.25e-6
+
+#: simulated cost of a distance-1 duration prediction (s)
+PREDICT_COST = 2.0e-6
+
+BEGIN = "GOMP_parallel_begin"
+END = "GOMP_parallel_end"
+
+
+class OMPRuntimeSystem:
+    """GOMP interceptor bound to a Pythia oracle (one thread: the master)."""
+
+    def __init__(
+        self,
+        oracle: Pythia,
+        *,
+        error_injector: ErrorInjector | None = None,
+        thread: int = 0,
+    ) -> None:
+        self.oracle = oracle
+        self.error_injector = error_injector
+        self.thread = thread
+        self._debt = 0.0
+        self.stats = {"regions": 0, "predictions": 0, "no_prediction": 0}
+
+    # -- GompRuntime interceptor protocol ----------------------------------
+
+    def region_begin(self, region_id: Any, clock: float) -> float | None:
+        """Submit the begin event; in predict mode return D_est (or None)."""
+        if self.error_injector is not None:
+            self.error_injector.maybe_inject(
+                lambda name, payload: self._submit(name, payload, clock)
+            )
+        expected = self._submit(BEGIN, region_id, clock)
+        self.stats["regions"] += 1
+        if not self.oracle.predicting:
+            return None
+        self._debt += PREDICT_COST
+        if not expected:
+            # the tracker just lost or re-acquired its position (an
+            # unexpected event intervened, §III-E): do not trust a
+            # prediction made right now -> vanilla heuristic this region
+            self.stats["no_prediction"] += 1
+            return None
+        pred = self.oracle.predict(1, thread=self.thread, with_time=True)
+        expected_end = self.oracle.registry.lookup(Event(END, region_id))
+        if pred is None or pred.eta is None or pred.terminal != expected_end:
+            # lost, no timing data, or the next event is not this region's
+            # end: no usable duration estimate -> fall back to heuristics
+            self.stats["no_prediction"] += 1
+            return None
+        self.stats["predictions"] += 1
+        return pred.eta
+
+    def region_end(self, region_id: Any, clock: float) -> None:
+        """Submit the end event."""
+        self._submit(END, region_id, clock)
+
+    def overhead(self) -> float:
+        """Oracle time to charge to the application clock."""
+        debt, self._debt = self._debt, 0.0
+        return debt
+
+    # ------------------------------------------------------------------
+
+    def _submit(self, name: str, payload: Any, clock: float) -> bool:
+        expected = self.oracle.event(name, payload, timestamp=clock, thread=self.thread)
+        self._debt += RECORD_EVENT_COST
+        return expected

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates PYTHIA with real MPI applications on the Paravance
+cluster.  This repo replaces that environment with a deterministic
+discrete-event simulator: application skeletons run as coroutine
+*processes* whose communication and compute phases advance a simulated
+clock.  PYTHIA itself only consumes the resulting event streams and
+timestamps, so the oracle code paths exercised are identical.
+"""
+
+from repro.sim.engine import AllOf, DeadlockError, Process, SimEvent, Simulator
+from repro.sim.resources import Barrier, Latch, Mailbox
+from repro.sim.rng import StreamRNG
+
+__all__ = [
+    "AllOf",
+    "Barrier",
+    "DeadlockError",
+    "Latch",
+    "Mailbox",
+    "Process",
+    "SimEvent",
+    "Simulator",
+    "StreamRNG",
+]

@@ -1,0 +1,250 @@
+"""A small deterministic discrete-event simulation kernel.
+
+Processes are Python generators.  A process advances by ``yield``-ing:
+
+- a number — sleep for that many simulated seconds;
+- a :class:`SimEvent` — suspend until the event triggers (the ``yield``
+  evaluates to the event's value);
+- a :class:`Process` — join: suspend until that process terminates
+  (evaluates to its return value);
+- an :class:`AllOf` — suspend until all wrapped events have triggered.
+
+The scheduler is a plain time-ordered heap with FIFO tie-breaking, which
+makes every run bit-reproducible — a property the PYTHIA record/replay
+experiments rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+__all__ = ["AllOf", "DeadlockError", "Process", "SimEvent", "Simulator"]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when live processes remain but no event can ever fire."""
+
+
+class SimEvent:
+    """A one-shot condition processes can wait on."""
+
+    __slots__ = ("sim", "triggered", "value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+        self.name = name
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._resume(proc, value)
+
+    def _wait(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.triggered else "pending"
+        return f"<SimEvent {self.name or id(self):x} {state}>"
+
+
+class AllOf:
+    """Wait for all of several events (e.g. ``MPI_Waitall``)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]) -> None:
+        self.events = list(events)
+
+
+class Process:
+    """A running coroutine inside the simulator."""
+
+    __slots__ = ("sim", "gen", "name", "done", "alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done = SimEvent(sim, name=f"done:{name}")
+        self.alive = True
+
+    @property
+    def value(self) -> Any:
+        """Return value of the process (valid once it terminated)."""
+        if self.alive:
+            raise RuntimeError(f"process {self.name!r} still running")
+        return self.done.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} {'alive' if self.alive else 'done'}>"
+
+
+class Simulator:
+    """Deterministic event-driven scheduler with a simulated clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self._live = 0
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str | None = None) -> Process:
+        """Start a new process; it first runs at the current time."""
+        proc = Process(self, gen, name or f"proc{self._seq}")
+        self._live += 1
+        self._resume(proc, None)
+        return proc
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh untriggered event."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> SimEvent:
+        """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = SimEvent(self, name=f"timeout+{delay:g}")
+        self._push(self.now + delay, _TRIGGER, ev, value)
+        return ev
+
+    def call_later(self, delay: float, fn: Any, *args: Any) -> None:
+        """Invoke ``fn(*args)`` at ``now + delay`` (message delivery etc.)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._push(self.now + delay, _CALLBACK, fn, args)
+
+    # ------------------------------------------------------------------
+    # scheduling internals
+    # ------------------------------------------------------------------
+
+    def _push(self, when: float, proc: Any, *payload: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, proc, payload))
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        self._push(self.now, proc, value)
+
+    def _step_process(self, proc: Process, send_value: Any) -> None:
+        try:
+            yielded = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.alive = False
+            self._live -= 1
+            proc.done.trigger(stop.value)
+            return
+        if isinstance(yielded, (int, float)):
+            self._push(self.now + float(yielded), proc, None)
+        elif isinstance(yielded, SimEvent):
+            if yielded.triggered:
+                self._resume(proc, yielded.value)
+            else:
+                yielded._wait(proc)
+        elif isinstance(yielded, Process):
+            target = yielded
+            if target.alive:
+                target.done._wait(proc)
+            else:
+                self._resume(proc, target.done.value)
+        elif isinstance(yielded, AllOf):
+            self._wait_all(proc, yielded.events)
+        else:
+            raise TypeError(
+                f"process {proc.name!r} yielded unsupported {yielded!r}"
+            )
+
+    def _wait_all(self, proc: Process, events: list[SimEvent]) -> None:
+        pending = [ev for ev in events if not ev.triggered]
+        if not pending:
+            self._resume(proc, [ev.value for ev in events])
+            return
+        remaining = {"n": len(pending)}
+        collector = SimEvent(self, name="allof")
+
+        for ev in pending:
+            ev._waiters.append(_AllOfWaiter(self, collector, remaining, events))
+        collector._wait(proc)
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until quiescence (or simulated time ``until``).
+
+        Raises :class:`DeadlockError` if live processes remain with an
+        empty agenda — e.g. an MPI receive whose send never comes.
+        """
+        while self._heap:
+            when, _seq, target, payload = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            if target is _TRIGGER:
+                ev, value = payload
+                ev.trigger(value)
+            elif target is _CALLBACK:
+                fn, args = payload
+                fn(*args)
+            elif isinstance(target, _AllOfWaiter):
+                target.notify(payload[0])
+            else:
+                self._step_process(target, payload[0])
+        if self._live > 0:
+            raise DeadlockError(f"{self._live} process(es) blocked forever")
+        return self.now
+
+
+class _Trigger:
+    """Sentinel heap target: fire an event at its due time."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<trigger>"
+
+
+_TRIGGER = _Trigger()
+
+
+class _Callback:
+    """Sentinel heap target: run a plain function at its due time."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<callback>"
+
+
+_CALLBACK = _Callback()
+
+
+class _AllOfWaiter:
+    """Adapter: counts down event completions, then fires the collector."""
+
+    __slots__ = ("sim", "collector", "remaining", "events")
+
+    def __init__(self, sim: Simulator, collector: SimEvent, remaining: dict, events: list[SimEvent]):
+        self.sim = sim
+        self.collector = collector
+        self.remaining = remaining
+        self.events = events
+
+    def notify(self, _value: Any) -> None:
+        self.remaining["n"] -= 1
+        if self.remaining["n"] == 0:
+            self.collector.trigger([ev.value for ev in self.events])

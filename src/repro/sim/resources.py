@@ -1,0 +1,103 @@
+"""Synchronisation resources built on the simulation kernel."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.sim.engine import SimEvent, Simulator
+
+__all__ = ["Barrier", "Latch", "Mailbox"]
+
+
+class Mailbox:
+    """An unbounded message queue with matching (MPI-style).
+
+    Messages carry an envelope; receivers pass a predicate over
+    envelopes.  Unmatched messages wait in an *unexpected queue*, pending
+    receives in a *posted queue* — the classic MPI matching structure.
+    Matching is FIFO within each queue, so message ordering between a
+    pair of endpoints is preserved (MPI's non-overtaking rule).
+    """
+
+    __slots__ = ("sim", "_unexpected", "_posted")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._unexpected: deque[tuple[Any, Any]] = deque()
+        self._posted: deque[tuple[Callable[[Any], bool], SimEvent]] = deque()
+
+    def deliver(self, envelope: Any, payload: Any) -> None:
+        """Deliver a message (called at its arrival time)."""
+        for i, (pred, ev) in enumerate(self._posted):
+            if pred(envelope):
+                del self._posted[i]
+                ev.trigger((envelope, payload))
+                return
+        self._unexpected.append((envelope, payload))
+
+    def receive(self, pred: Callable[[Any], bool]) -> SimEvent:
+        """Post a receive; the event fires with ``(envelope, payload)``."""
+        for i, (envelope, payload) in enumerate(self._unexpected):
+            if pred(envelope):
+                del self._unexpected[i]
+                ev = self.sim.event("recv-immediate")
+                ev.trigger((envelope, payload))
+                return ev
+        ev = self.sim.event("recv")
+        self._posted.append((pred, ev))
+        return ev
+
+    def probe(self, pred: Callable[[Any], bool]) -> bool:
+        """True if a matching message is already waiting."""
+        return any(pred(env) for env, _p in self._unexpected)
+
+    @property
+    def unexpected_count(self) -> int:
+        """Messages delivered but not yet received."""
+        return len(self._unexpected)
+
+
+class Barrier:
+    """A reusable barrier for a fixed group size."""
+
+    __slots__ = ("sim", "size", "_arrived", "_event")
+
+    def __init__(self, sim: Simulator, size: int) -> None:
+        if size < 1:
+            raise ValueError("barrier size must be >= 1")
+        self.sim = sim
+        self.size = size
+        self._arrived = 0
+        self._event = sim.event("barrier")
+
+    def arrive(self) -> SimEvent:
+        """Arrive at the barrier; the returned event fires when full."""
+        self._arrived += 1
+        ev = self._event
+        if self._arrived == self.size:
+            self._arrived = 0
+            self._event = self.sim.event("barrier")
+            ev.trigger(self.sim.now)
+        return ev
+
+
+class Latch:
+    """A countdown latch: fires once after ``count`` calls to :meth:`hit`."""
+
+    __slots__ = ("sim", "remaining", "event")
+
+    def __init__(self, sim: Simulator, count: int) -> None:
+        if count < 1:
+            raise ValueError("latch count must be >= 1")
+        self.sim = sim
+        self.remaining = count
+        self.event = sim.event("latch")
+
+    def hit(self, value: Any = None) -> None:
+        """Count one arrival; the last one fires the event."""
+        if self.remaining <= 0:
+            raise RuntimeError("latch already fired")
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.event.trigger(value)

@@ -1,0 +1,28 @@
+"""Deterministic per-stream random numbers.
+
+Irregular applications (Quicksilver's particle exits, AMG's setup) need
+data-dependent randomness that is reproducible per run but *differs*
+between the reference run and later runs — that difference is precisely
+what exercises PYTHIA's tolerance to unexpected events.  Each simulated
+rank derives an independent child stream from ``(seed, stream id)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["StreamRNG"]
+
+
+class StreamRNG:
+    """A family of independent deterministic random streams."""
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def stream(self, *ids: int | str) -> random.Random:
+        """An independent :class:`random.Random` for the given stream id."""
+        key = ":".join([str(self.seed), *map(str, ids)])
+        return random.Random(key)

@@ -1,0 +1,147 @@
+"""Tests for the 13 application skeletons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import APPS, get_app, list_apps
+from repro.mpi import NetworkModel, mpirun
+
+NET = NetworkModel(latency=1e-4, ranks_per_node=2)
+
+PAPER_APPS = {
+    "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",  # NPB
+    "amg", "lulesh", "kripke", "minife", "quicksilver",
+}
+
+
+class TestRegistry:
+    def test_all_13_apps_registered(self):
+        assert set(list_apps()) == PAPER_APPS
+
+    def test_hybrid_flags_match_paper(self):
+        hybrid = {name for name, spec in APPS.items() if spec.hybrid}
+        assert hybrid == {"amg", "lulesh", "kripke", "minife", "quicksilver"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_app("BT") is APPS["bt"]
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            get_app("hpl")
+
+    def test_paper_rows_present(self):
+        for spec in APPS.values():
+            assert {"vanilla_s", "overhead_pct", "events", "rules"} <= set(spec.paper)
+
+
+@pytest.mark.parametrize("app", sorted(PAPER_APPS))
+class TestEveryApp:
+    def test_runs_to_completion_small(self, app):
+        spec = get_app(app)
+        run = mpirun(4, spec.main, "small", 0, network=NET)
+        assert run.time > 0
+
+    def test_deterministic(self, app):
+        spec = get_app(app)
+        t1 = mpirun(4, spec.main, "small", 0, network=NET).time
+        t2 = mpirun(4, spec.main, "small", 0, network=NET).time
+        assert t1 == t2
+
+    def test_working_sets_scale_time(self, app):
+        spec = get_app(app)
+        small = mpirun(4, spec.main, "small", 0, network=NET).time
+        large = mpirun(4, spec.main, "large", 0, network=NET).time
+        assert large > small
+
+    def test_invalid_working_set(self, app):
+        spec = get_app(app)
+        with pytest.raises(ValueError):
+            mpirun(2, spec.main, "gigantic", 0, network=NET)
+
+
+class TestEventStreamCharacter:
+    """Structural properties Table I depends on."""
+
+    def count_events(self, app, ws="small", ranks=4, seed=0):
+        from repro.core.oracle import Pythia
+        from repro.runtime.mpi_interpose import MPIRuntimeSystem
+        import tempfile, os
+
+        path = os.path.join(tempfile.gettempdir(), f"apps-test-{app}.pythia")
+        oracle = Pythia(path, mode="record", record_timestamps=False)
+        mpirun(ranks, get_app(app).main, ws, seed, network=NET,
+               interceptor_factory=lambda r, c: MPIRuntimeSystem(oracle, r, c))
+        trace = oracle.finish()
+        os.unlink(path)
+        rules = sum(t.grammar.rule_count for t in trace.threads.values()) / ranks
+        return trace.event_count, rules
+
+    def test_ep_is_minimal(self):
+        events, rules = self.count_events("ep")
+        assert events <= 10 * 4
+        assert rules == 1  # just the root, as in Table I
+
+    def test_bt_has_three_rules(self):
+        _events, rules = self.count_events("bt")
+        assert rules == 3  # R + halo + iteration, as in Fig 7
+
+    def test_event_counts_span_magnitudes(self):
+        ep, _ = self.count_events("ep")
+        lu, _ = self.count_events("lu")
+        assert lu > 100 * ep
+
+    def test_quicksilver_most_irregular(self):
+        _e1, qs = self.count_events("quicksilver")
+        _e2, bt = self.count_events("bt")
+        _e3, amg = self.count_events("amg")
+        assert qs > amg > bt
+
+    def test_quicksilver_differs_across_seeds(self):
+        e1, _ = self.count_events("quicksilver", seed=0)
+        e2, _ = self.count_events("quicksilver", seed=99)
+        assert e1 != e2  # data-dependent communication
+
+    def test_bt_identical_across_seeds(self):
+        e1, r1 = self.count_events("bt", seed=0)
+        e2, r2 = self.count_events("bt", seed=99)
+        assert (e1, r1) == (e2, r2)
+
+    def test_lu_structure_changes_with_working_set(self):
+        e_small, _ = self.count_events("lu", ws="small")
+        e_large, _ = self.count_events("lu", ws="large")
+        # more planes and more iterations -> more events
+        assert e_large > 2 * e_small
+
+
+class TestLuleshOmpModel:
+    def test_catalogue_has_30_regions(self):
+        from repro.apps.lulesh_omp import LULESH_OMP_REGIONS
+
+        assert len(LULESH_OMP_REGIONS) == 30
+        kinds = {r.kind for r in LULESH_OMP_REGIONS}
+        assert kinds == {"volume", "surface", "fixup"}
+
+    def test_region_work_scaling(self):
+        from repro.apps.lulesh_omp import LULESH_OMP_REGIONS, region_work
+
+        vol = next(r for r in LULESH_OMP_REGIONS if r.kind == "volume")
+        fix = next(r for r in LULESH_OMP_REGIONS if r.kind == "fixup")
+        # volume scales cubically, fixup linearly
+        assert region_work(vol, 40) / region_work(vol, 20) == pytest.approx(8.0)
+        assert region_work(fix, 40) / region_work(fix, 20) == pytest.approx(2.0)
+
+    def test_timesteps_grow_with_size(self):
+        from repro.apps.lulesh_omp import lulesh_timesteps
+
+        assert lulesh_timesteps(50) > lulesh_timesteps(10)
+
+    def test_run_executes_all_regions(self):
+        from repro.apps.lulesh_omp import lulesh_omp_run
+        from repro.machines import PUDDING
+        from repro.openmp.runtime import GompRuntime
+
+        rt = GompRuntime(PUDDING, max_threads=8)
+        t = lulesh_omp_run(rt, 10, timesteps=5)
+        assert rt.stats["regions"] == 5 * 30
+        assert t > 0

@@ -1,0 +1,99 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.frozen import FrozenGrammar
+from repro.core.grammar import Grammar
+
+# terminal aliases used throughout the tests (match the paper's notation)
+A, B, C, D, E = 0, 1, 2, 3, 4
+
+NAMES = {0: "a", 1: "b", 2: "c", 3: "d", 4: "e"}
+
+
+def build_grammar(seq: list[int], *, check: bool = False) -> Grammar:
+    """Feed ``seq`` into a fresh grammar (optionally invariant-checking)."""
+    g = Grammar()
+    for t in seq:
+        g.append(t)
+        if check:
+            g.check_invariants()
+    return g
+
+
+def freeze(seq: list[int]) -> FrozenGrammar:
+    """Shorthand: reduce ``seq`` and freeze the result."""
+    return FrozenGrammar.from_grammar(build_grammar(seq))
+
+
+def random_structured_stream(seed: int, *, alphabet: int = 5, max_len: int = 400) -> list[int]:
+    """A loop-structured random event stream (what HPC traces look like)."""
+    rng = random.Random(seed)
+    body = [rng.randrange(alphabet) for _ in range(rng.randrange(1, 6))]
+    inner_reps = rng.randrange(2, 12)
+    prologue = [rng.randrange(alphabet) for _ in range(rng.randrange(0, 4))]
+    epilogue = [rng.randrange(alphabet) for _ in range(rng.randrange(0, 4))]
+    outer = rng.randrange(1, 5)
+    seq = (prologue + body * inner_reps + epilogue) * outer
+    return seq[:max_len] if seq else [0]
+
+
+def grammar_from_spec(spec: dict[str, list[tuple]], order: list[str]) -> tuple[Grammar, dict[str, object]]:
+    """Build a grammar in an exact state (white-box testing of §II-A).
+
+    ``spec`` maps rule names to bodies; body items are ``(terminal, exp)``
+    with ``terminal`` an int, or ``(rule_name, exp)`` with a str.  The
+    first name in ``order`` is the root.  Returns the grammar and the
+    name->Rule mapping.  The digram index and usage counters are rebuilt,
+    and the result is invariant-checked.
+    """
+    g = Grammar()
+    rules: dict[str, object] = {order[0]: g.root}
+    for name in order[1:]:
+        rules[name] = g._new_rule()
+    for name in order:
+        rule = rules[name]
+        for sym, exp in spec[name]:
+            target = rules[sym] if isinstance(sym, str) else sym
+            node = g._link_after(rule.guard.prev, target, exp, rule)
+            prev = node.prev
+            if not prev.is_guard():
+                key = (prev.symbol, node.symbol)
+                assert key not in g._digrams, f"spec has duplicate digram {key}"
+                g._digrams[key] = prev
+    g._maybe_useless.clear()
+    g._length = len(g.unfold())
+    g.check_invariants()
+    return g, rules
+
+
+@pytest.fixture
+def fig1_sequence() -> list[int]:
+    """The paper's Fig. 1 trace: ``abbcbcab``."""
+    return [A, B, B, C, B, C, A, B]
+
+
+@pytest.fixture
+def fig1_grammar(fig1_sequence) -> Grammar:
+    return build_grammar(fig1_sequence)
+
+
+@pytest.fixture
+def fig1_frozen(fig1_sequence) -> FrozenGrammar:
+    return freeze(fig1_sequence)
+
+
+@pytest.fixture
+def fig4_sequence() -> list[int]:
+    """The paper's Fig. 4 trace: ``abcabdababc``."""
+    #  a b c a b d a b a b c
+    return [A, B, C, A, B, D, A, B, A, B, C]
+
+
+@pytest.fixture
+def tmp_trace_path(tmp_path):
+    return str(tmp_path / "ref.pythia")

@@ -1,0 +1,66 @@
+"""Unit tests for grammar analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import GrammarStats, analyze, loop_structure, terminal_histogram
+from tests.conftest import A, B, C, D, freeze
+
+
+class TestAnalyze:
+    def test_empty(self):
+        stats = analyze(freeze([]))
+        assert stats.trace_len == 0
+        assert stats.depth == 0
+        assert stats.rule_count == 1
+
+    def test_fig1_stats(self, fig1_frozen):
+        stats = analyze(fig1_frozen)
+        assert stats.trace_len == 8
+        assert stats.rule_count == 3
+        assert stats.distinct_terminals == 3
+        assert stats.depth == 2
+        assert stats.max_exponent == 2
+
+    def test_compression_grows_with_repetition(self):
+        short = analyze(freeze([A, B] * 5))
+        long = analyze(freeze([A, B] * 500))
+        assert long.compression_ratio > short.compression_ratio * 10
+
+    def test_depth_of_nested_loops(self):
+        seq = (([A, B] * 3 + [C]) * 4 + [D]) * 2
+        stats = analyze(freeze(seq))
+        assert stats.depth >= 3
+
+    def test_summary_mentions_counts(self, fig1_frozen):
+        text = analyze(fig1_frozen).summary()
+        assert "8 events" in text
+        assert "3 rules" in text
+
+
+class TestLoopStructure:
+    def test_main_loop_tops_the_list(self):
+        seq = [A, B] * 200 + [C]
+        loops = loop_structure(freeze(seq))
+        assert loops
+        assert loops[0][2] == 200  # the big loop first
+
+    def test_min_reps_filter(self, fig1_frozen):
+        assert all(exp >= 3 for _r, _i, exp in loop_structure(fig1_frozen, min_reps=3))
+
+    def test_straight_line_has_no_loops(self):
+        assert loop_structure(freeze([A, B, C, D])) == []
+
+
+class TestTerminalHistogram:
+    def test_counts_match_trace(self, fig1_frozen, fig1_sequence):
+        hist = terminal_histogram(fig1_frozen)
+        for t in set(fig1_sequence):
+            assert hist[t] == fig1_sequence.count(t)
+
+    def test_large_trace_without_unfolding(self):
+        seq = [A, B, B] * 10_000
+        hist = terminal_histogram(freeze(seq))
+        assert hist[A] == 10_000
+        assert hist[B] == 20_000

@@ -1,0 +1,83 @@
+"""Unit tests for trace comparison / divergence detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compare import Divergence, follow, similarity
+from tests.conftest import A, B, C, D, freeze
+
+
+class TestIdenticalRuns:
+    def test_self_replay_matches_fully(self):
+        seq = ([A, B, C] * 10 + [D]) * 3
+        fg = freeze(seq)
+        report = follow(fg, seq)
+        # only the initial attach is unmatched
+        assert report.matched == report.total - 1
+        assert report.divergences == []
+        assert similarity(fg, seq) > 0.97
+
+    def test_summary_format(self):
+        fg = freeze([A, B] * 10)
+        text = follow(fg, [A, B] * 10).summary()
+        assert "events matched" in text
+
+
+class TestDivergences:
+    def test_unknown_event_reported(self):
+        seq = [A, B, C] * 10
+        fg = freeze(seq)
+        stream = seq[:5] + [99] + seq[5:]
+        report = follow(fg, stream)
+        kinds = [d.kind for d in report.divergences]
+        assert "unknown" in kinds
+        div = next(d for d in report.divergences if d.kind == "unknown")
+        assert div.index == 5
+        assert div.got == 99
+
+    def test_unexpected_known_event_reported(self):
+        seq = [A, B, C] * 10
+        fg = freeze(seq)
+        stream = seq[:6] + [A] + seq[6:]  # A where C was due
+        report = follow(fg, stream)
+        assert any(d.kind == "unexpected" for d in report.divergences)
+        div = report.divergences[0]
+        assert div.expected is not None  # the tracker knew what it wanted
+
+    def test_max_divergences_stops_early(self):
+        fg = freeze([A, B] * 10)
+        noisy = [A, C, A, C, A, C, A, C]  # constant divergence
+        report = follow(fg, noisy, max_divergences=2)
+        assert len(report.divergences) == 2
+        assert report.total <= len(noisy)
+
+    def test_similarity_orders_streams(self):
+        seq = ([A, B] * 8 + [C]) * 5
+        fg = freeze(seq)
+        import random
+
+        rng = random.Random(1)
+        light = [t if rng.random() > 0.05 else D for t in seq]
+        heavy = [t if rng.random() > 0.5 else D for t in seq]
+        assert similarity(fg, seq) > similarity(fg, light) > similarity(fg, heavy)
+
+
+class TestEdgeCases:
+    def test_empty_stream(self):
+        fg = freeze([A, B])
+        report = follow(fg, [])
+        assert report.total == 0
+        assert report.match_fraction == 1.0
+
+    def test_single_event(self):
+        fg = freeze([A, B])
+        report = follow(fg, [A])
+        assert report.total == 1
+        assert report.divergences == []
+
+    def test_completely_foreign_stream(self):
+        fg = freeze([A, B] * 5)
+        report = follow(fg, [C, D, C, D])
+        assert report.matched == 0
+        assert all(d.kind == "unknown" for d in report.divergences)

@@ -1,0 +1,114 @@
+"""Unit tests for the frozen grammar snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frozen import ROOT, FrozenGrammar, decode_rule, encode_rule, is_rule_sym
+from repro.core.grammar import GrammarError
+from tests.conftest import A, B, C, D, build_grammar, freeze
+
+
+class TestEncoding:
+    def test_rule_encoding_roundtrip(self):
+        for rid in range(10):
+            sym = encode_rule(rid)
+            assert is_rule_sym(sym)
+            assert decode_rule(sym) == rid
+
+    def test_terminals_are_not_rule_syms(self):
+        assert not is_rule_sym(0)
+        assert not is_rule_sym(42)
+
+
+class TestFreeze:
+    def test_fig1(self, fig1_frozen, fig1_sequence):
+        assert fig1_frozen.unfold() == fig1_sequence
+        assert fig1_frozen.rule_count == 3
+        assert fig1_frozen.trace_len == len(fig1_sequence)
+
+    def test_occurrence_counts_fig1(self, fig1_frozen):
+        # R -> A B^2 A: both sub-rules expand twice
+        occ = dict(fig1_frozen.occ)
+        occ.pop(ROOT)
+        assert sorted(occ.values()) == [2, 2]
+
+    def test_terminal_positions_cover_all_terminals(self, fig1_frozen, fig1_sequence):
+        assert set(fig1_frozen.terminal_positions) == set(fig1_sequence)
+
+    def test_position_occurrences_sum_to_trace_counts(self, fig1_frozen, fig1_sequence):
+        for t in set(fig1_sequence):
+            total = sum(
+                fig1_frozen.position_occurrences(rid, idx)
+                for rid, idx in fig1_frozen.terminal_positions[t]
+            )
+            assert total == fig1_sequence.count(t)
+
+    def test_nested_loops_occ(self):
+        seq = ([A, B] * 3 + [C]) * 4
+        fg = freeze(seq)
+        assert fg.unfold() == seq
+        # the a-b pair rule must expand 12 times
+        ab_positions = fg.terminal_positions[A]
+        total = sum(fg.position_occurrences(r, i) for r, i in ab_positions)
+        assert total == 12
+
+    def test_empty_trace(self):
+        fg = freeze([])
+        assert fg.unfold() == []
+        assert fg.trace_len == 0
+        assert fg.rule_count == 1
+
+    def test_uses_index(self, fig1_frozen):
+        for rid, uses in fig1_frozen.uses.items():
+            if rid == ROOT:
+                assert uses == ()
+            else:
+                for host, idx in uses:
+                    sym, _exp = fig1_frozen.bodies[host][idx]
+                    assert decode_rule(sym) == rid
+
+
+class TestValidation:
+    def test_missing_root_rejected(self):
+        with pytest.raises(GrammarError):
+            FrozenGrammar({1: ((A, 1),)})
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(GrammarError):
+            FrozenGrammar({ROOT: ((A, 0),)})
+
+    def test_dangling_rule_ref_rejected(self):
+        with pytest.raises(GrammarError):
+            FrozenGrammar({ROOT: ((encode_rule(9), 1),)})
+
+    def test_rule_cycle_rejected(self):
+        with pytest.raises(GrammarError):
+            FrozenGrammar(
+                {
+                    ROOT: ((encode_rule(1), 1),),
+                    1: ((encode_rule(2), 1), (A, 1)),
+                    2: ((encode_rule(1), 1), (B, 1)),
+                }
+            )
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            [A],
+            [A, B] * 25,
+            ([A, B, C] * 5 + [D]) * 3,
+            [A, A, A, B, B, C],
+        ],
+    )
+    def test_roundtrip(self, seq):
+        fg = freeze(seq)
+        restored = FrozenGrammar.from_obj(fg.to_obj())
+        assert restored.bodies == fg.bodies
+        assert restored.unfold() == seq
+        assert restored.occ == fg.occ
+
+    def test_dump_mentions_root(self, fig1_frozen):
+        assert fig1_frozen.dump().startswith("R ->")

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the grammar engine.
+
+The two load-bearing properties of §II-A:
+
+1. the grammar is lossless — unfolding recovers exactly the appended
+   sequence, for *any* sequence;
+2. the three paper invariants hold after every append.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.frozen import FrozenGrammar
+from repro.core.grammar import Grammar
+from tests.conftest import random_structured_stream
+
+events = st.integers(min_value=0, max_value=6)
+sequences = st.lists(events, min_size=0, max_size=200)
+
+
+@given(sequences)
+@settings(max_examples=200, deadline=None)
+def test_unfold_roundtrip(seq):
+    g = Grammar()
+    g.extend(seq)
+    assert g.unfold() == seq
+
+
+@given(st.lists(events, min_size=0, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_invariants_after_every_append(seq):
+    g = Grammar()
+    for t in seq:
+        g.append(t)
+        g.check_invariants()
+
+
+@given(
+    st.lists(events, min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_looped_streams(body, reps, outer):
+    """Loop-structured streams (the HPC case) stay lossless and legal."""
+    seq = (body * reps) * outer
+    g = Grammar()
+    g.extend(seq)
+    g.check_invariants()
+    assert g.unfold() == seq
+
+
+@given(st.lists(events, min_size=1, max_size=8), st.integers(min_value=2, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_loop_compresses(body, reps):
+    """A repeated body must compress: rules stay tiny vs. the trace."""
+    seq = body * reps
+    g = Grammar()
+    g.extend(seq)
+    # the grammar never stores more symbol uses than a small multiple of
+    # the distinct structure; certainly far fewer than the trace length
+    total_uses = sum(len(rule) for rule in g.rules.values())
+    assert total_uses <= len(set(body)) * 8 + len(body) * 4
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_structured_random_streams(seed):
+    seq = random_structured_stream(seed)
+    g = Grammar()
+    g.extend(seq)
+    g.check_invariants()
+    assert g.unfold() == seq
+
+
+@given(sequences)
+@settings(max_examples=100, deadline=None)
+def test_freeze_preserves_sequence(seq):
+    g = Grammar()
+    g.extend(seq)
+    fg = FrozenGrammar.from_grammar(g)
+    assert fg.unfold() == seq
+    assert fg.trace_len == len(seq)
+
+
+@given(sequences)
+@settings(max_examples=100, deadline=None)
+def test_frozen_occurrence_counts_match_bruteforce(seq):
+    g = Grammar()
+    g.extend(seq)
+    fg = FrozenGrammar.from_grammar(g)
+    unfolded = fg.unfold()
+    # every terminal position's occurrence count must match a brute count
+    for terminal, positions in fg.terminal_positions.items():
+        total = sum(fg.position_occurrences(rid, idx) for rid, idx in positions)
+        assert total == unfolded.count(terminal)

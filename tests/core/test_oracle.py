@@ -1,0 +1,141 @@
+"""Unit tests for the Pythia facade (record-or-predict across runs)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.oracle import Pythia
+
+
+APP_EVENTS = (
+    [("MPI_Isend", 1), ("MPI_Irecv", 1), ("MPI_Wait", None), ("MPI_Wait", None)] * 10
+    + [("MPI_Allreduce", 0)]
+) * 3
+
+
+def run_app(oracle: Pythia, events=APP_EVENTS, clock_step=0.001):
+    t = 0.0
+    for name, payload in events:
+        t += clock_step
+        oracle.event(name, payload, timestamp=t)
+
+
+class TestModes:
+    def test_auto_records_first_run(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        assert oracle.recording and not oracle.predicting
+
+    def test_auto_predicts_second_run(self, tmp_trace_path):
+        first = Pythia(tmp_trace_path)
+        run_app(first)
+        first.finish()
+        assert os.path.exists(tmp_trace_path)
+        second = Pythia(tmp_trace_path)
+        assert second.predicting
+
+    def test_forced_modes(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path, mode="record")
+        assert oracle.recording
+        run_app(oracle)
+        oracle.finish()
+        with pytest.raises(ValueError):
+            Pythia(tmp_trace_path, mode="bogus")
+
+    def test_predict_mode_without_file_fails(self, tmp_trace_path):
+        with pytest.raises(FileNotFoundError):
+            Pythia(tmp_trace_path, mode="predict")
+
+
+class TestRecordRun:
+    def test_finish_writes_trace(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path, meta={"app": "test"})
+        run_app(oracle)
+        trace = oracle.finish()
+        assert trace is not None
+        assert trace.meta["app"] == "test"
+        assert trace.event_count == len(APP_EVENTS)
+
+    def test_predict_in_record_mode_returns_none(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        run_app(oracle)
+        assert oracle.predict(1) is None
+
+    def test_double_finish_rejected(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        run_app(oracle)
+        oracle.finish()
+        with pytest.raises(RuntimeError):
+            oracle.finish()
+
+    def test_event_after_finish_rejected(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        run_app(oracle)
+        oracle.finish()
+        with pytest.raises(RuntimeError):
+            oracle.event("MPI_Wait")
+
+    def test_multi_thread_recording(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path, record_timestamps=False)
+        for tid in range(3):
+            for name, payload in APP_EVENTS[:20]:
+                oracle.event(name, payload, thread=tid)
+        trace = oracle.finish()
+        assert set(trace.threads) == {0, 1, 2}
+
+
+class TestPredictRun:
+    @pytest.fixture
+    def recorded(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        run_app(oracle)
+        oracle.finish()
+        return tmp_trace_path
+
+    def test_predictions_match_replay(self, recorded):
+        oracle = Pythia(recorded)
+        correct = total = 0
+        for i, (name, payload) in enumerate(APP_EVENTS):
+            oracle.event(name, payload)
+            if i + 1 < len(APP_EVENTS):
+                pred = oracle.predict(1)
+                if pred is not None and pred.terminal is not None:
+                    total += 1
+                    expected = oracle.registry.lookup(
+                        __import__("repro").Event(*APP_EVENTS[i + 1])
+                    )
+                    correct += pred.terminal == expected
+        assert total > 0
+        assert correct / total > 0.9
+
+    def test_duration_prediction(self, recorded):
+        oracle = Pythia(recorded)
+        for name, payload in APP_EVENTS[:8]:
+            oracle.event(name, payload)
+        eta = oracle.predict_duration(1)
+        assert eta == pytest.approx(0.001, rel=0.2)
+
+    def test_unknown_event_makes_oracle_lost(self, recorded):
+        oracle = Pythia(recorded)
+        oracle.event("MPI_Isend", 1)
+        oracle.event("never_seen_before")
+        assert oracle.predict(1) is None
+        assert oracle.stats()["unknown"] == 1
+
+    def test_describe(self, recorded):
+        oracle = Pythia(recorded)
+        assert "lost" in oracle.describe(None)
+        oracle.event("MPI_Isend", 1)
+        text = oracle.describe(oracle.predict(1))
+        assert text.startswith("<")
+
+    def test_finish_in_predict_mode_returns_none(self, recorded):
+        oracle = Pythia(recorded)
+        run_app(oracle)
+        assert oracle.finish() is None
+
+    def test_unknown_thread_rejected(self, recorded):
+        oracle = Pythia(recorded)
+        with pytest.raises(KeyError):
+            oracle.event("MPI_Isend", 1, thread=7)

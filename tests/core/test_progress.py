@@ -1,0 +1,174 @@
+"""Unit tests for progress sequences (§II-B, Figs 4–6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.progress import (
+    END,
+    advance_exact,
+    chain_is_complete,
+    descend,
+    initial_chain,
+    start_chains,
+    successors,
+    suffix_key,
+    terminal_of,
+)
+from tests.conftest import A, B, C, D, freeze
+
+
+class TestInitialChainAndReplay:
+    def test_initial_chain_points_at_first_terminal(self, fig1_frozen, fig1_sequence):
+        ch = initial_chain(fig1_frozen)
+        assert terminal_of(fig1_frozen, ch) == fig1_sequence[0]
+        assert chain_is_complete(ch)
+
+    def test_exact_replay_walks_whole_trace(self, fig1_frozen, fig1_sequence):
+        ch = initial_chain(fig1_frozen)
+        walked = [terminal_of(fig1_frozen, ch)]
+        for _ in range(len(fig1_sequence) - 1):
+            ch = advance_exact(fig1_frozen, ch)
+            walked.append(terminal_of(fig1_frozen, ch))
+        assert walked == fig1_sequence
+        # one more step falls off the end of the trace
+        assert advance_exact(fig1_frozen, ch) == END
+
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            [A],
+            [A, A, A],
+            [A, B] * 10,
+            ([A, B] * 3 + [C]) * 4 + [D],
+            [A, B, C, A, B, D, A, B, A, B, C],  # Fig 4's trace
+        ],
+    )
+    def test_exact_replay_generic(self, seq):
+        fg = freeze(seq)
+        ch = initial_chain(fg)
+        walked = [terminal_of(fg, ch)]
+        for _ in range(len(seq) - 1):
+            ch = advance_exact(fg, ch)
+            walked.append(terminal_of(fg, ch))
+        assert walked == seq
+
+    def test_empty_trace(self):
+        fg = freeze([])
+        assert initial_chain(fg) == END
+
+
+class TestFig4ProgressSequence:
+    """Fig 4: in the grammar of ``abcabdababc``, the fourth occurrence of
+    ``a`` is reached by a path terminal -> A -> B -> root."""
+
+    def test_fourth_a_path(self):
+        seq = [A, B, C, A, B, D, A, B, A, B, C]
+        fg = freeze(seq)
+        ch = initial_chain(fg)
+        seen_a = 1 if terminal_of(fg, ch) == A else 0
+        for _ in range(len(seq) - 1):
+            ch = advance_exact(fg, ch)
+            if terminal_of(fg, ch) == A:
+                seen_a += 1
+                if seen_a == 4:
+                    break
+        assert seen_a == 4
+        # the chain is a genuine multi-level path ending at the root
+        assert len(ch) >= 2
+        assert chain_is_complete(ch)
+
+
+class TestStartChains:
+    def test_start_on_b_has_all_occurrence_positions(self, fig1_frozen):
+        # §II-B example: the reference trace abbcbcab has 4 occurrences
+        # of b, spread over 2 distinct grammar positions
+        chains = start_chains(fig1_frozen, B)
+        assert len(chains) == 2
+        total_occ = sum(
+            fig1_frozen.position_occurrences(c[0][0], c[0][1]) for c, _w in chains
+        )
+        assert total_occ == 4
+
+    def test_weights_normalized(self, fig1_frozen):
+        chains = start_chains(fig1_frozen, B)
+        assert sum(w for _c, w in chains) == pytest.approx(1.0)
+
+    def test_unknown_terminal_gives_nothing(self, fig1_frozen):
+        assert start_chains(fig1_frozen, 99) == []
+
+    def test_partial_chains_are_single_step(self, fig1_frozen):
+        for chain, _w in start_chains(fig1_frozen, B):
+            assert len(chain) == 1
+
+
+class TestSuccessors:
+    def test_weights_conserved(self, fig1_frozen):
+        for chain, w in start_chains(fig1_frozen, B):
+            succ = successors(fig1_frozen, chain, w)
+            assert sum(sw for _c, sw in succ) == pytest.approx(w)
+
+    def test_terminal_repetition_branches(self):
+        # trace a^4 b: from "somewhere inside the a-run" both another a
+        # and the b exit are possible
+        fg = freeze([A, A, A, A, B])
+        chains = start_chains(fg, A)
+        assert len(chains) == 1
+        chain, w = chains[0]
+        succ = successors(fg, chain, w)
+        nexts = {terminal_of(fg, c) for c, _w in succ if c is not END}
+        assert nexts == {A, B}
+        # staying in the run is 3x more likely than leaving (exp 4)
+        stay = sum(sw for c, sw in succ if c is not END and terminal_of(fg, c) == A)
+        leave = sum(sw for c, sw in succ if c is not END and terminal_of(fg, c) == B)
+        assert stay == pytest.approx(3 * leave)
+
+    def test_loop_boundary_branches_on_unknown_iteration(self):
+        # ((ab)^5 c)-style loop: after a b with unknown iteration, both
+        # "a again" (loop) and "c" (exit) are possible
+        seq = [A, B] * 5 + [C] + [A, B] * 5 + [C]
+        fg = freeze(seq)
+        # find the b through observation: start at b
+        chains = start_chains(fg, B)
+        succ = []
+        for chain, w in chains:
+            succ.extend(successors(fg, chain, w))
+        nexts = {terminal_of(fg, c) for c, _w in succ if c is not END}
+        assert A in nexts and C in nexts
+
+    def test_end_of_trace(self):
+        fg = freeze([A, B, C])
+        ch = initial_chain(fg)
+        ch = advance_exact(fg, ch)
+        ch = advance_exact(fg, ch)
+        assert terminal_of(fg, ch) == C
+        succ = successors(fg, ch)
+        assert succ == [(END, 1.0)]
+
+    def test_successor_of_end_is_end(self, fig1_frozen):
+        assert successors(fig1_frozen, END) == [(END, 1.0)]
+
+
+class TestDescend:
+    def test_descend_reaches_first_terminal(self, fig1_frozen):
+        ch = descend(fig1_frozen, 0, 0)
+        assert terminal_of(fig1_frozen, ch) == A
+        # every level's iteration starts at 0
+        assert all(it == 0 for _r, _i, it in ch)
+
+    def test_descend_respects_top_iteration(self, fig1_frozen):
+        ch = descend(fig1_frozen, 0, 0, it=None)
+        assert ch[-1][2] is None
+        if len(ch) > 1:
+            assert all(it == 0 for _r, _i, it in ch[:-1])
+
+
+class TestSuffixKey:
+    def test_suffix_key_strips_iterations(self):
+        chain = ((1, 0, 3), (0, 2, None))
+        assert suffix_key(chain) == ((1, 0), (0, 2))
+        assert suffix_key(chain, 1) == ((1, 0),)
+
+    def test_longer_chain_prefix(self):
+        chain = ((5, 1, 0), (2, 0, 1), (0, 3, 0))
+        assert suffix_key(chain, 2) == ((5, 1), (2, 0))

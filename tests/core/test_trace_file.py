@@ -1,0 +1,97 @@
+"""Unit tests for the on-disk trace format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.events import Event, EventRegistry
+from repro.core.record import PythiaRecord
+from repro.core.trace_file import FORMAT_VERSION, Trace, load_trace, save_trace
+from tests.conftest import A, B, C
+
+
+def make_trace(*, timestamps=False, threads=1, meta=None) -> Trace:
+    reg = EventRegistry()
+    for name in ("MPI_Send", "MPI_Recv", "MPI_Barrier"):
+        reg.intern(Event(name))
+    trace = Trace(registry=reg, meta=meta or {"app": "unit-test"})
+    for tid in range(threads):
+        rec = PythiaRecord(reg, record_timestamps=timestamps)
+        t = 0.0
+        for ev in [A, B, A, B, C] * 6:
+            t += 0.5
+            rec.record(ev, t if timestamps else None)
+        trace.threads[tid] = rec.finish()
+    return trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("suffix", ["trace.pythia", "trace.pythia.gz"])
+    def test_save_load(self, tmp_path, suffix):
+        path = tmp_path / suffix
+        trace = make_trace(timestamps=True)
+        trace.save(path)
+        restored = Trace.load(path)
+        assert restored.grammar.unfold() == trace.grammar.unfold()
+        assert restored.meta == trace.meta
+        assert restored.event_count == trace.event_count
+        assert restored.registry.lookup(Event("MPI_Send")) == 0
+
+    def test_multi_thread_roundtrip(self, tmp_path):
+        path = tmp_path / "mt.pythia"
+        trace = make_trace(threads=4)
+        trace.save(path)
+        restored = load_trace(path)
+        assert set(restored.threads) == {0, 1, 2, 3}
+        for tid in range(4):
+            assert restored.thread(tid).grammar.unfold() == trace.thread(tid).grammar.unfold()
+
+    def test_timing_preserved(self, tmp_path):
+        path = tmp_path / "t.pythia"
+        trace = make_trace(timestamps=True)
+        trace.save(path)
+        restored = load_trace(path)
+        assert restored.timing is not None
+        assert len(restored.timing) == len(trace.timing)
+
+    def test_no_timing_is_none(self, tmp_path):
+        path = tmp_path / "t.pythia"
+        trace = make_trace(timestamps=False)
+        trace.save(path)
+        assert load_trace(path).timing is None
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "t.pythia"
+        make_trace().save(path)
+        assert not (tmp_path / "t.pythia.tmp").exists()
+
+
+class TestValidation:
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        trace = make_trace()
+        obj = trace.to_obj()
+        obj["version"] = FORMAT_VERSION + 1
+        path = tmp_path / "bad.pythia"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_single_thread_accessors_require_single_thread(self):
+        trace = make_trace(threads=2)
+        with pytest.raises(ValueError):
+            _ = trace.grammar
+
+    def test_aggregate_counters(self):
+        trace = make_trace(threads=3)
+        assert trace.event_count == 3 * 30
+        assert trace.rule_count == sum(
+            t.grammar.rule_count for t in trace.threads.values()
+        )

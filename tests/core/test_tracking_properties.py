@@ -1,0 +1,99 @@
+"""Property-based tests for PYTHIA-PREDICT tracking.
+
+The central soundness property: replaying the *reference stream itself*
+through the tracker keeps it synchronized — every event after the first
+is expected, and distance-1 predictions are correct except where the
+grammar is genuinely ambiguous (which cannot happen when tracking from
+the start with exact iteration knowledge... except at trace end).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predict import PythiaPredict
+from tests.conftest import freeze, random_structured_stream
+
+events = st.integers(min_value=0, max_value=5)
+
+
+@given(st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=40, deadline=None)
+def test_self_replay_stays_synchronized(seed):
+    seq = random_structured_stream(seed, max_len=250)
+    fg = freeze(seq)
+    p = PythiaPredict(fg)
+    expected_flags = [p.observe(ev) for ev in seq]
+    # the first observation is a mid-stream attach (False); afterwards
+    # the reference stream must always be expected
+    assert all(expected_flags[1:]), "tracker lost sync on its own reference"
+
+
+@given(st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=30, deadline=None)
+def test_distance1_predictions_dominate_on_self_replay(seed):
+    seq = random_structured_stream(seed, max_len=200)
+    if len(seq) < 20:
+        return
+    fg = freeze(seq)
+    p = PythiaPredict(fg)
+    correct = total = 0
+    for i, ev in enumerate(seq[:-1]):
+        p.observe(ev)
+        if i >= 10:  # warmed up
+            pred = p.predict(1)
+            if pred is not None and pred.terminal is not None:
+                total += 1
+                correct += pred.terminal == seq[i + 1]
+    if total:
+        assert correct / total > 0.55  # strictly better than ignorance
+
+
+@given(st.lists(events, min_size=2, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_candidate_weights_remain_normalized(seq):
+    fg = freeze(seq)
+    p = PythiaPredict(fg)
+    for ev in seq:
+        p.observe(ev)
+        if p.candidates:
+            total = sum(p.candidates.values())
+            assert abs(total - 1.0) < 1e-6
+
+
+@given(st.lists(events, min_size=2, max_size=60), st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_prediction_distribution_is_a_distribution(seq, distance):
+    fg = freeze(seq)
+    p = PythiaPredict(fg)
+    p.observe(seq[0])
+    pred = p.predict(distance)
+    if pred is not None:
+        assert abs(sum(pred.distribution.values()) - 1.0) < 1e-6
+        assert 0.0 < pred.probability <= 1.0 + 1e-9
+        assert pred.terminal in pred.distribution
+
+
+@given(st.lists(events, min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_unknown_event_never_crashes(seq):
+    fg = freeze(seq)
+    p = PythiaPredict(fg)
+    for ev in seq[: len(seq) // 2]:
+        p.observe(ev)
+    p.observe(999)  # never-seen event
+    assert p.lost
+    # and it can recover
+    p.observe(seq[0])
+    assert not p.lost
+
+
+@given(st.integers(min_value=0, max_value=1_000), st.sampled_from([2, 8, 64]))
+@settings(max_examples=20, deadline=None)
+def test_candidate_cap_is_respected(seed, cap):
+    seq = random_structured_stream(seed, max_len=150)
+    fg = freeze(seq)
+    p = PythiaPredict(fg, max_candidates=cap)
+    for ev in seq:
+        p.observe(ev)
+        assert len(p.candidates) <= cap

@@ -1,0 +1,123 @@
+"""Smoke + shape tests for the experiment harness (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import fig7_bt_grammar
+from repro.experiments.fig8 import fig8_accuracy, render_fig8
+from repro.experiments.fig9 import fig9_prediction_cost, render_fig9
+from repro.experiments.fig10_13 import fig10_11_problem_size_sweep, render_omp_sweep
+from repro.experiments.fig14 import fig14_error_rate, render_fig14
+from repro.experiments.harness import (
+    mpi_predict_run,
+    mpi_record_run,
+    mpi_vanilla_run,
+    temp_trace_path,
+)
+from repro.experiments.report import format_pct, format_time, render_series, render_table
+from repro.experiments.table1 import render_table1, table1_record_overhead
+from repro.machines import PUDDING
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long header"], [[1, 2], ["xx", "yy"]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines same width
+
+    def test_render_series(self):
+        text = render_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})
+        assert "s1" in text and "s2" in text
+
+    def test_format_time_scales(self):
+        assert format_time(2.0).endswith(" s")
+        assert format_time(2e-3).endswith(" ms")
+        assert format_time(2e-6).endswith(" us")
+        assert format_time(2e-9).endswith(" ns")
+
+    def test_format_pct(self):
+        assert format_pct(0.385) == "38.5 %"
+
+
+class TestHarness:
+    def test_vanilla_vs_record_overhead_is_small(self, tmp_path):
+        vanilla = mpi_vanilla_run("ft", "small", ranks=4)
+        record = mpi_record_run("ft", "small", str(tmp_path / "t.pythia"), ranks=4)
+        assert record.events > 0
+        assert abs(record.time - vanilla.time) / vanilla.time < 0.05
+
+    def test_predict_run_scores(self, tmp_path):
+        path = str(tmp_path / "t.pythia")
+        mpi_record_run("bt", "small", path, ranks=4)
+        predict = mpi_predict_run("bt", "small", path, ranks=4, distances=(1, 8))
+        assert predict.accuracy(1) > 0.95
+        assert predict.accuracy(8) > 0.9
+
+    def test_temp_trace_path_unique(self):
+        assert temp_trace_path("x") != temp_trace_path("x")
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        rows = table1_record_overhead(["ep", "ft"], ws="small", ranks=4)
+        assert len(rows) == 2
+        text = render_table1(rows)
+        assert "EP.Small" in text and "FT.Small" in text
+        for row in rows:
+            assert abs(row.overhead_pct) < 5.0
+
+
+class TestFig7:
+    def test_bt_grammar_matches_paper_shape(self):
+        text = fig7_bt_grammar(ws="small", ranks=4, rank=1)
+        assert "Bcast(0)^6" in text
+        assert "^200" in text
+        assert "Wait^2" in text
+        assert "Waitall" in text
+
+
+class TestFig8:
+    def test_bt_curves(self):
+        res = fig8_accuracy(["bt"], distances=(1, 16), ranks=4)[0]
+        assert set(res.curves) == {"small", "medium", "large"}
+        for curve in res.curves.values():
+            assert all(a > 0.9 for a in curve)
+        assert "bt" in render_fig8([res])
+
+
+class TestFig9:
+    def test_cost_positive_and_growing(self):
+        res = fig9_prediction_cost(["bt"], ws="small", distances=(1, 16), ranks=4,
+                                   repeats=5)[0]
+        assert res.cost_s[0] > 0
+        assert res.cost_s[1] > res.cost_s[0]
+        assert "bt" in render_fig9([res])
+
+
+class TestFig10:
+    def test_predict_beats_vanilla_small_size(self):
+        res = fig10_11_problem_size_sweep((PUDDING,), sizes=(10,))[0]
+        assert res.predict[0] < res.vanilla[0]
+        assert abs(res.record[0] - res.vanilla[0]) / res.vanilla[0] < 0.02
+        assert "Pudding" in render_omp_sweep([res], "t")
+
+
+class TestFig14:
+    def test_error_rate_degradation(self):
+        res = fig14_error_rate(PUDDING, size=10, rates=(0.0, 0.5))
+        assert res.predict[0] < res.predict[1] <= res.vanilla * 1.1
+        assert "error rate" in render_fig14(res)
+
+
+class TestMainModule:
+    def test_quick_run_writes_artifacts(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        out = str(tmp_path / "results")
+        rc = main(["--quick", "-o", out, "--only", "table1", "fig7"])
+        assert rc == 0
+        import os
+
+        assert os.path.exists(os.path.join(out, "table1.txt"))
+        assert os.path.exists(os.path.join(out, "fig7.txt"))

@@ -1,0 +1,123 @@
+"""End-to-end integration tests: record on one run, predict on the next."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.base import get_app
+from repro.core.oracle import Pythia
+from repro.experiments.harness import mpi_predict_run, mpi_record_run
+from repro.mpi import NetworkModel, mpirun
+from repro.runtime.mpi_interpose import MPIRuntimeSystem
+
+
+class TestRecordThenPredictAcrossProcessBoundary:
+    """The paper's workflow: the trace file is the only shared state."""
+
+    def test_trace_file_roundtrip_through_disk(self, tmp_path):
+        path = str(tmp_path / "bt.pythia.gz")  # compressed on purpose
+        record = mpi_record_run("bt", "small", path, ranks=4)
+        assert record.events > 0
+        predict = mpi_predict_run("bt", "medium", path, ranks=4, distances=(1, 32))
+        assert predict.accuracy(1) > 0.95
+        assert predict.accuracy(32) > 0.9
+
+    @pytest.mark.parametrize("app", ["cg", "mg", "minife"])
+    def test_regular_apps_predictable_across_working_sets(self, app, tmp_path):
+        path = str(tmp_path / f"{app}.pythia")
+        mpi_record_run(app, "small", path, ranks=4)
+        predict = mpi_predict_run(app, "large", path, ranks=4, distances=(1,),
+                                  sample_stride=4)
+        assert predict.accuracy(1) > 0.75
+
+    def test_auto_mode_switches_between_runs(self, tmp_path):
+        path = str(tmp_path / "auto.pythia")
+        app = get_app("ft")
+        net = NetworkModel(ranks_per_node=2)
+
+        first = Pythia(path)  # no file yet -> records
+        assert first.recording
+        mpirun(4, app.main, "small", 0, network=net,
+               interceptor_factory=lambda r, c: MPIRuntimeSystem(first, r, c))
+        first.finish()
+
+        second = Pythia(path)  # file exists -> predicts
+        assert second.predicting
+        shims = []
+
+        def factory(r, c):
+            shim = MPIRuntimeSystem(second, r, c, distances=(1,))
+            shims.append(shim)
+            return shim
+
+        mpirun(4, app.main, "small", 0, network=net, interceptor_factory=factory)
+        assert any(s.scores[1].correct > 0 for s in shims)
+
+
+class TestTimingPredictions:
+    def test_region_duration_estimates_near_truth(self, tmp_path):
+        from repro.apps.lulesh_omp import LULESH_OMP_REGIONS, lulesh_omp_run, region_work
+        from repro.machines import PUDDING
+        from repro.openmp.costmodel import RegionCostModel
+        from repro.openmp.policies import MaxThreadsPolicy
+        from repro.openmp.runtime import GompRuntime
+        from repro.runtime.omp_interpose import OMPRuntimeSystem
+
+        path = str(tmp_path / "omp.pythia")
+        oracle = Pythia(path, mode="record", record_timestamps=True)
+        rt = GompRuntime(PUDDING, max_threads=24, policy=MaxThreadsPolicy(),
+                         interceptor=OMPRuntimeSystem(oracle))
+        lulesh_omp_run(rt, 12, timesteps=40)
+        oracle.finish()
+
+        # replay: collected D_est must track the true region times
+        model = RegionCostModel(PUDDING)
+        oracle2 = Pythia(path, mode="predict")
+        shim = OMPRuntimeSystem(oracle2)
+        estimates: dict[int, float] = {}
+
+        class Spy:
+            def region_begin(self, rid, clock):
+                d = shim.region_begin(rid, clock)
+                if d is not None:
+                    estimates[rid] = d
+                return d
+
+            def region_end(self, rid, clock):
+                shim.region_end(rid, clock)
+
+            def overhead(self):
+                return shim.overhead()
+
+        rt2 = GompRuntime(PUDDING, max_threads=24, policy=MaxThreadsPolicy(),
+                          interceptor=Spy())
+        lulesh_omp_run(rt2, 12, timesteps=40)
+        assert len(estimates) >= 25
+        for region in LULESH_OMP_REGIONS:
+            if region.rid not in estimates:
+                continue
+            truth = model.region_time(region_work(region, 12), 24)
+            assert estimates[region.rid] == pytest.approx(truth, rel=0.5)
+
+
+class TestCLI:
+    def test_cli_record_predict_dump(self, tmp_path):
+        from repro.cli import main
+
+        trace = str(tmp_path / "cli.pythia")
+        assert main(["apps"]) == 0
+        assert main(["record", "ft", trace, "--ws", "small", "--ranks", "4"]) == 0
+        assert main(["predict", "ft", trace, "--ws", "small", "--ranks", "4",
+                     "--distances", "1,4"]) == 0
+        assert main(["dump", trace, "--head", "5"]) == 0
+
+    def test_cli_entrypoint_subprocess(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "apps"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "quicksilver" in result.stdout

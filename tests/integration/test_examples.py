@@ -1,0 +1,46 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = ["quickstart.py", "mpi_oracle.py", "adaptive_openmp.py", "trace_anatomy.py"]
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    out = run_example(name)
+    assert out.strip()
+
+
+def test_quickstart_predicts():
+    out = run_example("quickstart.py")
+    assert "mode=record" in out
+    assert "mode=predict" in out
+    assert "event in 1 steps" in out
+
+
+def test_adaptive_openmp_reports_gain():
+    out = run_example("adaptive_openmp.py", "20")
+    assert "improvement over vanilla" in out
+    assert "PYTHIA-PREDICT" in out
+
+
+def test_trace_anatomy_shows_paper_figures():
+    out = run_example("trace_anatomy.py")
+    assert "Fig 1" in out and "abbcbcab" in out
+    assert "distinct estimates" in out

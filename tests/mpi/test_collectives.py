@@ -1,0 +1,142 @@
+"""Unit tests for simulated MPI collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import MAX, MIN, NetworkModel, PROD, SUM, mpirun
+
+NET = NetworkModel(latency=1e-4, bandwidth=1e9, ranks_per_node=4)
+
+
+def run_collective(size, body):
+    return mpirun(size, body, network=NET)
+
+
+class TestBarrier:
+    def test_all_leave_together(self):
+        def main(comm):
+            yield comm.compute(0.01 * comm.rank)
+            yield from comm.barrier()
+            return comm.now
+
+        run = run_collective(4, main)
+        times = {run.rank_result(r) for r in range(4)}
+        assert len(times) == 1
+        assert times.pop() >= 0.03  # slowest rank dominates
+
+
+class TestBcast:
+    def test_root_value_everywhere(self):
+        def main(comm):
+            value = f"from-root" if comm.rank == 1 else None
+            got = yield from comm.bcast(value, root=1)
+            return got
+
+        run = run_collective(4, main)
+        assert all(run.rank_result(r) == "from-root" for r in range(4))
+
+
+class TestReduce:
+    @pytest.mark.parametrize(
+        "op,expected", [(SUM, 6), (PROD, 0), (MIN, 0), (MAX, 3)]
+    )
+    def test_ops(self, op, expected):
+        def main(comm):
+            return (yield from comm.reduce(comm.rank, op=op, root=0))
+
+        run = run_collective(4, main)
+        assert run.rank_result(0) == expected
+        assert all(run.rank_result(r) is None for r in range(1, 4))
+
+    def test_allreduce(self):
+        def main(comm):
+            return (yield from comm.allreduce(comm.rank + 1, op=SUM))
+
+        run = run_collective(4, main)
+        assert all(run.rank_result(r) == 10 for r in range(4))
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        def main(comm):
+            return (yield from comm.gather(comm.rank * 2, root=0))
+
+        run = run_collective(4, main)
+        assert run.rank_result(0) == [0, 2, 4, 6]
+        assert run.rank_result(2) is None
+
+    def test_allgather(self):
+        def main(comm):
+            return (yield from comm.allgather(chr(ord("a") + comm.rank)))
+
+        run = run_collective(3, main)
+        assert all(run.rank_result(r) == ["a", "b", "c"] for r in range(3))
+
+    def test_scatter(self):
+        def main(comm):
+            values = [10, 20, 30, 40] if comm.rank == 0 else None
+            return (yield from comm.scatter(values, root=0))
+
+        run = run_collective(4, main)
+        assert [run.rank_result(r) for r in range(4)] == [10, 20, 30, 40]
+
+    def test_scatter_requires_full_list(self):
+        def main(comm):
+            values = [1] if comm.rank == 0 else None
+            yield from comm.scatter(values, root=0)
+
+        with pytest.raises(ValueError):
+            run_collective(2, main)
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self):
+        def main(comm):
+            out = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return (yield from comm.alltoall(out))
+
+        run = run_collective(3, main)
+        assert run.rank_result(1) == ["0->1", "1->1", "2->1"]
+
+    def test_alltoallv(self):
+        def main(comm):
+            buckets = [[comm.rank] * (d + 1) for d in range(comm.size)]
+            return (yield from comm.alltoallv(buckets, sizes=[8 * (d + 1) for d in range(comm.size)]))
+
+        run = run_collective(2, main)
+        assert run.rank_result(0) == [[0], [1]]
+        assert run.rank_result(1) == [[0, 0], [1, 1]]
+
+
+class TestCollectiveDiscipline:
+    def test_mismatched_collectives_detected(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.barrier()
+            else:
+                yield from comm.allreduce(1)
+
+        with pytest.raises(RuntimeError, match="collective mismatch"):
+            run_collective(2, main)
+
+    def test_collective_cost_scales(self):
+        def main(comm, size):
+            yield from comm.allreduce(1, size=size)
+
+        t_small = mpirun(8, main, 8, network=NET).time
+        t_big = mpirun(8, main, 8 * 1024 * 1024, network=NET).time
+        assert t_big > t_small
+
+
+class TestSingleRankWorld:
+    def test_collectives_degenerate(self):
+        def main(comm):
+            a = yield from comm.allreduce(5)
+            b = yield from comm.bcast("v", root=0)
+            yield from comm.barrier()
+            g = yield from comm.allgather(9)
+            return (a, b, g)
+
+        run = mpirun(1, main, network=NET)
+        assert run.rank_result(0) == (5, "v", [9])

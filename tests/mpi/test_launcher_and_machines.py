@@ -1,0 +1,115 @@
+"""Tests for the MPI launcher, machine models and world bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import PARAVANCE, PIXEL, PUDDING
+from repro.mpi import NetworkModel, mpirun
+from repro.mpi.comm import SimMPIWorld
+from repro.sim.engine import Simulator
+
+
+class TestLauncher:
+    def test_rank_results_in_order(self):
+        def main(comm):
+            yield comm.compute(0.001 * (comm.size - comm.rank))
+            return comm.rank * 10
+
+        run = mpirun(4, main)
+        assert [run.rank_result(r) for r in range(4)] == [0, 10, 20, 30]
+
+    def test_makespan_is_slowest_rank(self):
+        def main(comm):
+            yield comm.compute(1.0 + comm.rank)
+
+        run = mpirun(3, main)
+        assert run.time == pytest.approx(3.0)
+
+    def test_kwargs_forwarded(self):
+        def main(comm, base, extra=0):
+            yield comm.compute(0.0)
+            return base + extra
+
+        run = mpirun(2, main, 5, extra=7)
+        assert run.rank_result(0) == 12
+
+    def test_interceptor_factory_receives_rank_and_comm(self):
+        seen = []
+
+        class Shim:
+            def __init__(self, rank):
+                self.rank = rank
+
+            def mpi_call(self, fn, payload):
+                pass
+
+            def mpi_sync(self, fn):
+                pass
+
+            def take_overhead(self):
+                return 0.0
+
+        def factory(rank, comm):
+            seen.append((rank, comm.rank))
+            return Shim(rank)
+
+        def main(comm):
+            yield from comm.barrier()
+
+        run = mpirun(3, main, interceptor_factory=factory)
+        assert seen == [(0, 0), (1, 1), (2, 2)]
+        assert all(run.interceptor(r).rank == r for r in range(3))
+
+    def test_shared_simulator_allowed(self):
+        sim = Simulator()
+
+        def main(comm):
+            yield from comm.barrier()
+
+        run = mpirun(2, main, sim=sim)
+        assert run.sim is sim
+
+
+class TestWorld:
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            SimMPIWorld(Simulator(), 0, NetworkModel())
+
+    def test_rank_out_of_range(self):
+        world = SimMPIWorld(Simulator(), 2, NetworkModel())
+        with pytest.raises(ValueError):
+            world.comm(5)
+
+    def test_traffic_statistics(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(None, dest=1, size=1000)
+            elif comm.rank == 1:
+                yield from comm.recv(source=0)
+
+        run = mpirun(2, main)
+        assert run.world.stats["messages"] == 1
+        assert run.world.stats["bytes"] == 1000
+
+
+class TestMachineModels:
+    def test_paper_machine_parameters(self):
+        # §III-A1's hardware descriptions
+        assert PUDDING.cores == 24 and PUDDING.ghz == 2.1
+        assert PIXEL.cores == 16 and PIXEL.ghz == 2.4
+        assert PARAVANCE.nodes == 72
+        assert PARAVANCE.node.cores == 16
+        assert PARAVANCE.total_cores() == 72 * 16
+
+    def test_paravance_network_is_10gbe(self):
+        assert PARAVANCE.bandwidth == pytest.approx(1.25e9)
+
+    def test_network_from_cluster(self):
+        net = NetworkModel.from_cluster(PARAVANCE, ranks_per_node=16)
+        assert net.latency == PARAVANCE.latency
+        assert net.node_of(15) == 0 and net.node_of(16) == 1
+
+    def test_work_seconds(self):
+        assert PUDDING.seconds_for_work(2.1) == pytest.approx(1.0)
+        assert PUDDING.cycles_per_second() == pytest.approx(2.1e9)

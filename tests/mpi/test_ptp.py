@@ -1,0 +1,161 @@
+"""Unit tests for simulated MPI point-to-point communication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, NetworkModel, mpirun
+from repro.sim.engine import DeadlockError
+
+
+FAST_NET = NetworkModel(latency=1e-3, bandwidth=1e9, ranks_per_node=1)
+
+
+class TestSendRecv:
+    def test_blocking_pair(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send({"x": 1}, dest=1, size=100)
+                return None
+            data = yield from comm.recv(source=0)
+            return data
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == {"x": 1}
+        # one inter-node message: latency + 100B/bw
+        assert run.time == pytest.approx(1e-3 + 100 / 1e9)
+
+    def test_nonblocking_pair(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend("payload", dest=1)
+                result = yield from comm.wait(req)
+                return result
+            req = comm.irecv(source=0)
+            data = yield from comm.wait(req)
+            return data
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == "payload"
+
+    def test_message_order_preserved(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield from comm.send(i, dest=1)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from comm.recv(source=0)))
+            return got
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == [0, 1, 2, 3, 4]
+
+    def test_tag_matching(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("tagged9", dest=1, tag=9)
+                yield from comm.send("tagged3", dest=1, tag=3)
+                return None
+            first = yield from comm.recv(source=0, tag=3)
+            second = yield from comm.recv(source=0, tag=9)
+            return (first, second)
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == ("tagged3", "tagged9")
+
+    def test_any_source(self):
+        def main(comm):
+            if comm.rank == 2:
+                got = []
+                for _ in range(2):
+                    got.append((yield from comm.recv(source=ANY_SOURCE)))
+                return sorted(got)
+            yield comm.compute(0.001 * comm.rank)
+            yield from comm.send(comm.rank, dest=2)
+            return None
+
+        run = mpirun(3, main, network=FAST_NET)
+        assert run.rank_result(2) == [0, 1]
+
+    def test_status_filled_on_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("x", dest=1, tag=7, size=64)
+                return None
+            req = comm.irecv(source=ANY_SOURCE, tag=ANY_TAG)
+            yield from comm.wait(req)
+            return (req.status.source, req.status.tag, req.status.size)
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == (0, 7, 64)
+
+    def test_waitall(self):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, dest=1, tag=i) for i in range(4)]
+                yield from comm.waitall(reqs)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(4)]
+            vals = yield from comm.waitall(reqs)
+            return vals
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == [0, 1, 2, 3]
+
+    def test_missing_send_deadlocks(self):
+        def main(comm):
+            if comm.rank == 1:
+                yield from comm.recv(source=0)  # never sent
+
+            else:
+                yield comm.compute(0.001)
+
+        with pytest.raises(DeadlockError):
+            mpirun(2, main, network=FAST_NET)
+
+    def test_invalid_dest_rejected(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("x", dest=5)
+
+            else:
+                yield comm.compute(0.0)
+
+        with pytest.raises(ValueError):
+            mpirun(2, main, network=FAST_NET)
+
+    def test_iprobe(self):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send("m", dest=1)
+                return None
+            assert not comm.iprobe(source=0)
+            yield comm.compute(1.0)  # let the message arrive
+            assert comm.iprobe(source=0)
+            return (yield from comm.recv(source=0))
+
+        run = mpirun(2, main, network=FAST_NET)
+        assert run.rank_result(1) == "m"
+
+
+class TestNetworkModel:
+    def test_intra_node_is_faster(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e9, intra_latency=1e-6,
+                           intra_bandwidth=1e10, ranks_per_node=2)
+        assert net.ptp_time(0, 1, 1000) < net.ptp_time(0, 2, 1000)
+
+    def test_node_mapping(self):
+        net = NetworkModel(ranks_per_node=4)
+        assert net.node_of(0) == net.node_of(3) == 0
+        assert net.node_of(4) == 1
+
+    def test_collective_scales_with_log_ranks(self):
+        net = NetworkModel(ranks_per_node=1)
+        assert net.collective_time(2, 8) < net.collective_time(64, 8)
+
+    def test_single_rank_collective_free(self):
+        net = NetworkModel()
+        assert net.collective_time(1, 8) == 0.0
+        assert net.alltoall_time(1, 8) == 0.0

@@ -1,0 +1,73 @@
+"""Unit tests for the parallel-region cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import PIXEL, PUDDING
+from repro.openmp.costmodel import RegionCostModel
+
+
+@pytest.fixture
+def model():
+    return RegionCostModel(PUDDING)
+
+
+class TestRegionTime:
+    def test_single_thread_has_no_overhead(self, model):
+        assert model.region_time(1e-3, 1) == pytest.approx(1e-3)
+
+    def test_overhead_grows_with_threads(self, model):
+        costs = [model.fork_cost(n) + model.barrier_cost(n) for n in (2, 4, 8, 24)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_big_region_speeds_up_with_threads(self, model):
+        work = 10e-3
+        assert model.region_time(work, 24) < model.region_time(work, 1) / 4
+
+    def test_small_region_slows_down_with_threads(self, model):
+        work = 2e-6
+        assert model.region_time(work, 24) > model.region_time(work, 1)
+
+    def test_threads_capped_at_hw_threads(self, model):
+        assert model.region_time(1e-3, 10_000) == model.region_time(
+            1e-3, PUDDING.hw_threads
+        )
+
+    def test_negative_work_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.region_time(-1.0, 4)
+
+    def test_parallel_fraction(self, model):
+        # an 80%-parallel region cannot beat its serial part
+        work = 1e-3
+        t = model.region_time(work, 24, parallel_fraction=0.8)
+        assert t > 0.2 * work
+
+
+class TestBestThreads:
+    def test_tiny_work_prefers_one_thread(self, model):
+        assert model.best_threads(1e-6, 24) == 1
+
+    def test_huge_work_prefers_max(self, model):
+        assert model.best_threads(50e-3, 24) == 24
+
+    def test_crossover_is_monotone(self, model):
+        best = [model.best_threads(w, 24) for w in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)]
+        assert best == sorted(best)
+
+    def test_candidate_ladder(self):
+        assert RegionCostModel.candidate_counts(24) == [1, 2, 4, 8, 16, 24]
+        assert RegionCostModel.candidate_counts(16) == [1, 2, 4, 8, 16]
+        assert RegionCostModel.candidate_counts(1) == [1]
+
+
+class TestMachines:
+    def test_pudding_slower_clock_than_pixel(self):
+        assert PUDDING.ghz < PIXEL.ghz
+        assert PUDDING.cores > PIXEL.cores
+
+    def test_hw_threads(self):
+        assert PUDDING.hw_threads == 48
+        assert PIXEL.hw_threads == 32

@@ -1,0 +1,143 @@
+"""Unit tests for the simulated GOMP runtime and thread policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import PUDDING
+from repro.openmp.costmodel import RegionCostModel
+from repro.openmp.policies import (
+    AdaptivePythiaPolicy,
+    FixedThreadsPolicy,
+    MaxThreadsPolicy,
+)
+from repro.openmp.runtime import GompRuntime
+
+
+class TestGompRuntime:
+    def test_clock_advances_per_region(self):
+        rt = GompRuntime(PUDDING, max_threads=8)
+        d1 = rt.parallel("r1", 1e-3)
+        assert rt.clock == pytest.approx(d1)
+        d2 = rt.parallel("r2", 1e-3)
+        assert rt.clock == pytest.approx(d1 + d2)
+
+    def test_serial_phase(self):
+        rt = GompRuntime(PUDDING)
+        rt.serial(0.5)
+        assert rt.clock == 0.5
+        with pytest.raises(ValueError):
+            rt.serial(-1)
+
+    def test_vanilla_uses_max_threads(self):
+        rt = GompRuntime(PUDDING, max_threads=24, policy=MaxThreadsPolicy())
+        rt.parallel("big", 1e-2)
+        assert rt.omp_get_num_threads() == 24
+
+    def test_fixed_policy(self):
+        rt = GompRuntime(PUDDING, max_threads=24, policy=FixedThreadsPolicy(4))
+        rt.parallel("r", 1e-3)
+        assert rt.omp_get_num_threads() == 4
+
+    def test_average_team(self):
+        rt = GompRuntime(PUDDING, max_threads=8, policy=FixedThreadsPolicy(8))
+        for _ in range(5):
+            rt.parallel("r", 1e-3)
+        assert rt.average_team == 8.0
+
+    def test_invalid_max_threads(self):
+        with pytest.raises(ValueError):
+            GompRuntime(PUDDING, max_threads=0)
+
+    def test_interceptor_sees_begin_end(self):
+        calls = []
+
+        class Shim:
+            def region_begin(self, rid, clock):
+                calls.append(("begin", rid, clock))
+                return None
+
+            def region_end(self, rid, clock):
+                calls.append(("end", rid, clock))
+
+            def overhead(self):
+                return 0.0
+
+        rt = GompRuntime(PUDDING, max_threads=4, interceptor=Shim())
+        rt.parallel("regionX", 1e-3)
+        assert [c[0] for c in calls] == ["begin", "end"]
+        assert calls[0][1] == calls[1][1] == "regionX"
+        assert calls[1][2] > calls[0][2]  # end is after the region ran
+
+    def test_interceptor_overhead_charged(self):
+        class Shim:
+            def region_begin(self, rid, clock):
+                return None
+
+            def region_end(self, rid, clock):
+                pass
+
+            def overhead(self):
+                return 1.0  # absurdly large, to be visible
+
+        rt = GompRuntime(PUDDING, max_threads=4, interceptor=Shim())
+        rt.parallel("r", 1e-3)
+        assert rt.clock > 2.0  # two overhead charges
+
+
+class TestAdaptivePolicy:
+    @pytest.fixture
+    def policy(self):
+        return AdaptivePythiaPolicy(
+            cost_model=RegionCostModel(PUDDING), max_threads=24
+        )
+
+    def test_thresholds_sorted_and_nonempty(self, policy):
+        bounds = [b for b, _n in policy.thresholds]
+        assert bounds == sorted(bounds)
+        assert policy.thresholds
+
+    def test_short_duration_gets_one_thread(self, policy):
+        assert policy.threads_for("r", 1e-6, 24) == 1
+
+    def test_long_duration_gets_max(self, policy):
+        assert policy.threads_for("r", 0.5, 24) == 24
+
+    def test_monotone_in_duration(self, policy):
+        durations = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+        teams = [policy.threads_for("r", d, 24) for d in durations]
+        assert teams == sorted(teams)
+
+    def test_no_prediction_falls_back_to_max(self, policy):
+        assert policy.threads_for("r", None, 24) == 24
+        assert policy.decisions["fallback"] == 1
+
+    def test_requires_model_or_thresholds(self):
+        with pytest.raises(ValueError):
+            AdaptivePythiaPolicy()
+
+    def test_explicit_thresholds(self):
+        policy = AdaptivePythiaPolicy(thresholds=[(1e-4, 1), (1e-3, 8)])
+        assert policy.threads_for("r", 5e-5, 24) == 1
+        assert policy.threads_for("r", 5e-4, 24) == 8
+        assert policy.threads_for("r", 5e-3, 24) == 24
+
+    def test_adaptive_beats_vanilla_on_mixed_workload(self):
+        model = RegionCostModel(PUDDING)
+        mixed = [20e-3] * 3 + [2e-6] * 30  # a few big + many tiny regions
+
+        def run(policy):
+            rt = GompRuntime(PUDDING, max_threads=24, policy=policy)
+            for i, work in enumerate(mixed * 50):
+                # feed the adaptive policy a perfect duration estimate
+                d_est = model.region_time(work, 24)
+                n = policy.threads_for(i, d_est, 24)
+                rt.parallel(i, work) if isinstance(policy, MaxThreadsPolicy) else None
+                if not isinstance(policy, MaxThreadsPolicy):
+                    rt.pool.acquire(n)
+                    rt.clock += model.region_time(work, n)
+            return rt.clock
+
+        vanilla = run(MaxThreadsPolicy())
+        adaptive = run(AdaptivePythiaPolicy(cost_model=model, max_threads=24))
+        assert adaptive < vanilla

@@ -1,0 +1,77 @@
+"""Unit tests for the GOMP thread-pool model (park vs destroy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import PUDDING
+from repro.openmp.threadpool import ThreadPool
+
+
+class TestGrowth:
+    def test_first_growth_spawns(self):
+        pool = ThreadPool(PUDDING, "park")
+        cost = pool.acquire(8)
+        assert pool.team_size == 8
+        assert pool.stats["spawns"] == 7  # master already exists
+        assert cost == pytest.approx(7 * PUDDING.thread_spawn)
+
+    def test_capped_at_hw_threads(self):
+        pool = ThreadPool(PUDDING, "park")
+        pool.acquire(10_000)
+        assert pool.team_size == PUDDING.hw_threads
+
+    def test_invalid_team_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPool(PUDDING).acquire(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPool(PUDDING, "yolo")
+
+
+class TestParkMode:
+    """The paper's modification: spurious threads wait to be reused."""
+
+    def test_shrink_then_grow_wakes_cheaply(self):
+        pool = ThreadPool(PUDDING, "park")
+        pool.acquire(16)
+        shrink_cost = pool.acquire(2)
+        assert shrink_cost == 0.0  # parking is free
+        grow_cost = pool.acquire(16)
+        assert pool.stats["wakes"] == 14
+        assert grow_cost == pytest.approx(14 * PUDDING.thread_wake)
+        assert pool.stats["spawns"] == 15  # no new spawns on regrow
+
+    def test_oscillation_is_cheap(self):
+        pool = ThreadPool(PUDDING, "park")
+        pool.acquire(24)
+        total = sum(pool.acquire(n) for n in (1, 24, 1, 24, 1, 24))
+        # three regrows of 23 wakes each
+        assert total == pytest.approx(3 * 23 * PUDDING.thread_wake)
+
+
+class TestDestroyMode:
+    """Default GNU OpenMP: shrinking destroys threads."""
+
+    def test_shrink_pays_destroy(self):
+        pool = ThreadPool(PUDDING, "destroy")
+        pool.acquire(16)
+        cost = pool.acquire(2)
+        assert cost == pytest.approx(14 * PUDDING.thread_destroy)
+        assert pool.stats["destroys"] == 14
+
+    def test_regrow_pays_spawn_again(self):
+        pool = ThreadPool(PUDDING, "destroy")
+        pool.acquire(16)
+        pool.acquire(2)
+        cost = pool.acquire(16)
+        assert cost == pytest.approx(14 * PUDDING.thread_spawn)
+
+    def test_destroy_mode_much_pricier_than_park(self):
+        def oscillate(mode):
+            pool = ThreadPool(PUDDING, mode)
+            pool.acquire(24)
+            return sum(pool.acquire(n) for n in (1, 24) * 10)
+
+        assert oscillate("destroy") > oscillate("park") * 5

@@ -1,0 +1,125 @@
+"""Unit tests for the PYTHIA MPI runtime system (interposition shim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import Pythia
+from repro.mpi import NetworkModel, mpirun
+from repro.runtime.mpi_interpose import MPIRuntimeSystem
+
+NET = NetworkModel(latency=1e-4, ranks_per_node=2)
+
+
+def ring_app(comm, iters=30):
+    """A simple ring-exchange loop with a final allreduce."""
+    nxt = (comm.rank + 1) % comm.size
+    prv = (comm.rank - 1) % comm.size
+    for _ in range(iters):
+        rreq = comm.irecv(source=prv, tag=1)
+        sreq = comm.isend(None, dest=nxt, tag=1, size=64)
+        yield from comm.wait(rreq)
+        yield from comm.wait(sreq)
+        yield comm.compute(1e-4)
+    yield from comm.allreduce(0.0)
+
+
+def record(path, ranks=4, iters=30):
+    oracle = Pythia(path, mode="record", record_timestamps=False)
+    mpirun(ranks, ring_app, iters, network=NET,
+           interceptor_factory=lambda r, c: MPIRuntimeSystem(oracle, r, c))
+    return oracle.finish()
+
+
+class TestRecording:
+    def test_events_recorded_per_rank(self, tmp_path):
+        trace = record(str(tmp_path / "ring.pythia"))
+        assert set(trace.threads) == {0, 1, 2, 3}
+        # 30 * (irecv isend wait wait) + allreduce = 121 events per rank
+        for tid in trace.threads:
+            assert trace.thread(tid).event_count == 121
+
+    def test_payloads_distinguish_destinations(self, tmp_path):
+        trace = record(str(tmp_path / "ring.pythia"))
+        names = [str(ev) for ev in trace.registry]
+        assert any(n.startswith("MPI_Isend(") for n in names)
+
+    def test_overhead_charged_to_simulated_time(self, tmp_path):
+        vanilla = mpirun(4, ring_app, 30, network=NET)
+        oracle = Pythia(str(tmp_path / "t.pythia"), mode="record",
+                        record_timestamps=False)
+        recorded = mpirun(4, ring_app, 30, network=NET,
+                          interceptor_factory=lambda r, c: MPIRuntimeSystem(oracle, r, c))
+        oracle.finish()
+        assert recorded.time > vanilla.time
+        assert recorded.time < vanilla.time * 1.05  # but only slightly
+
+
+class TestPredicting:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "ring.pythia")
+        record(path)
+        return path
+
+    def test_distance1_accuracy_on_identical_run(self, trace_path):
+        oracle = Pythia(trace_path, mode="predict")
+        shims = []
+
+        def factory(r, c):
+            shim = MPIRuntimeSystem(oracle, r, c, distances=(1, 4))
+            shims.append(shim)
+            return shim
+
+        mpirun(4, ring_app, 30, network=NET, interceptor_factory=factory)
+        for shim in shims:
+            assert shim.scores[1].accuracy > 0.95
+            assert shim.scores[4].accuracy > 0.9
+            assert shim.scores[1].total > 10
+
+    def test_longer_replay_mispredicts_only_at_boundary(self, trace_path):
+        oracle = Pythia(trace_path, mode="predict")
+        shims = []
+
+        def factory(r, c):
+            shim = MPIRuntimeSystem(oracle, r, c, distances=(1,))
+            shims.append(shim)
+            return shim
+
+        mpirun(4, ring_app, 60, network=NET, interceptor_factory=factory)  # 2x iters
+        for shim in shims:
+            score = shim.scores[1]
+            assert score.accuracy > 0.9  # only the loop exit mispredicts
+
+    def test_sample_stride_reduces_predictions(self, trace_path):
+        oracle = Pythia(trace_path, mode="predict")
+        shims = []
+
+        def factory(r, c):
+            shim = MPIRuntimeSystem(oracle, r, c, distances=(1,), sample_stride=10)
+            shims.append(shim)
+            return shim
+
+        mpirun(4, ring_app, 30, network=NET, interceptor_factory=factory)
+        for shim in shims:
+            assert shim.scores[1].total <= shim.sync_points // 10 + 1
+
+    def test_invalid_stride(self, trace_path):
+        oracle = Pythia(trace_path, mode="predict")
+        with pytest.raises(ValueError):
+            MPIRuntimeSystem(oracle, 0, None, sample_stride=0)
+
+    def test_error_injection_counts(self, trace_path):
+        from repro.runtime.faults import ErrorInjector
+
+        oracle = Pythia(trace_path, mode="predict")
+        injector = ErrorInjector(0.5, seed=3)
+
+        def factory(r, c):
+            return MPIRuntimeSystem(oracle, r, c, distances=(1,),
+                                    error_injector=injector if r == 0 else None)
+
+        mpirun(4, ring_app, 30, network=NET, interceptor_factory=factory)
+        assert injector.injected > 10
+        # rank 0's predictor saw unknown events
+        assert oracle.stats(0)["unknown"] == injector.injected

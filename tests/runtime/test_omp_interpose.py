@@ -1,0 +1,116 @@
+"""Unit tests for the PYTHIA OpenMP runtime system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lulesh_omp import lulesh_omp_run
+from repro.core.oracle import Pythia
+from repro.machines import PUDDING
+from repro.openmp.costmodel import RegionCostModel
+from repro.openmp.policies import AdaptivePythiaPolicy, MaxThreadsPolicy
+from repro.openmp.runtime import GompRuntime
+from repro.runtime.faults import ErrorInjector
+from repro.runtime.omp_interpose import OMPRuntimeSystem
+
+SIZE = 12
+STEPS = 60
+
+
+def run_record(path):
+    oracle = Pythia(path, mode="record", record_timestamps=True)
+    shim = OMPRuntimeSystem(oracle)
+    rt = GompRuntime(PUDDING, max_threads=24, policy=MaxThreadsPolicy(), interceptor=shim)
+    t = lulesh_omp_run(rt, SIZE, timesteps=STEPS)
+    oracle.finish()
+    return t
+
+
+class TestRecord:
+    def test_trace_contains_region_pairs(self, tmp_path):
+        path = str(tmp_path / "omp.pythia")
+        run_record(path)
+        from repro.core.trace_file import load_trace
+
+        trace = load_trace(path)
+        assert trace.event_count == STEPS * 30 * 2
+        assert trace.timing is not None
+
+    def test_region_durations_recoverable(self, tmp_path):
+        path = str(tmp_path / "omp.pythia")
+        run_record(path)
+        oracle = Pythia(path, mode="predict")
+        shim = OMPRuntimeSystem(oracle)
+        model = RegionCostModel(PUDDING)
+        policy = AdaptivePythiaPolicy(cost_model=model, max_threads=24)
+        rt = GompRuntime(PUDDING, max_threads=24, policy=policy, interceptor=shim)
+        lulesh_omp_run(rt, SIZE, timesteps=STEPS)
+        # almost every region after warm-up got a usable D_est
+        assert shim.stats["predictions"] > 0.9 * shim.stats["regions"] - 35
+
+
+class TestPredictDrivesPolicy:
+    def test_adaptive_run_is_faster(self, tmp_path):
+        path = str(tmp_path / "omp.pythia")
+        vanilla_rt = GompRuntime(PUDDING, max_threads=24, policy=MaxThreadsPolicy())
+        vanilla = lulesh_omp_run(vanilla_rt, SIZE, timesteps=STEPS)
+        run_record(path)
+        oracle = Pythia(path, mode="predict")
+        shim = OMPRuntimeSystem(oracle)
+        policy = AdaptivePythiaPolicy(cost_model=RegionCostModel(PUDDING), max_threads=24)
+        rt = GompRuntime(PUDDING, max_threads=24, policy=policy, interceptor=shim)
+        adaptive = lulesh_omp_run(rt, SIZE, timesteps=STEPS)
+        assert adaptive < vanilla
+        assert rt.average_team < vanilla_rt.average_team
+
+    def test_error_injection_degrades_but_never_catastrophic(self, tmp_path):
+        path = str(tmp_path / "omp.pythia")
+        run_record(path)
+
+        def adaptive_time(rate):
+            oracle = Pythia(path, mode="predict")
+            shim = OMPRuntimeSystem(
+                oracle, error_injector=ErrorInjector(rate, seed=1) if rate else None
+            )
+            policy = AdaptivePythiaPolicy(
+                cost_model=RegionCostModel(PUDDING), max_threads=24
+            )
+            rt = GompRuntime(PUDDING, max_threads=24, policy=policy, interceptor=shim)
+            return lulesh_omp_run(rt, SIZE, timesteps=STEPS)
+
+        clean = adaptive_time(0.0)
+        noisy = adaptive_time(0.4)
+        vanilla = lulesh_omp_run(
+            GompRuntime(PUDDING, max_threads=24, policy=MaxThreadsPolicy()),
+            SIZE, timesteps=STEPS,
+        )
+        assert clean < noisy
+        assert noisy <= vanilla * 1.15
+
+
+class TestErrorInjector:
+    def test_rate_zero_never_injects(self):
+        injector = ErrorInjector(0.0)
+        called = []
+        for _ in range(100):
+            injector.maybe_inject(lambda n, p: called.append((n, p)))
+        assert not called
+
+    def test_rate_one_always_injects(self):
+        injector = ErrorInjector(1.0)
+        called = []
+        for _ in range(10):
+            injector.maybe_inject(lambda n, p: called.append((n, p)))
+        assert len(called) == 10
+        # every injected payload is fresh (never matches the grammar)
+        assert len({p for _n, p in called}) == 10
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ErrorInjector(1.5)
+
+    def test_rate_statistics(self):
+        injector = ErrorInjector(0.3, seed=5)
+        n = 10_000
+        hits = sum(injector.maybe_inject(lambda *_: None) for _ in range(n))
+        assert 0.27 * n < hits < 0.33 * n

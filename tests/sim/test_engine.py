@@ -1,0 +1,241 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import AllOf, DeadlockError, Simulator
+
+
+class TestClockAndTimeouts:
+    def test_time_advances_by_yielded_delays(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 1.5
+            log.append(sim.now)
+            yield 2.5
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [0.0, 1.5, 4.0]
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10.0
+
+        sim.spawn(proc())
+        assert sim.run(until=3.0) == 3.0
+        assert sim.now == 3.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_fifo_tie_break_is_deterministic(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield 1.0
+            order.append(tag)
+
+        for i in range(5):
+            sim.spawn(proc(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestEvents:
+    def test_event_wakes_waiter_with_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        def firer():
+            yield 2.0
+            ev.trigger("hello")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert got == ["hello"]
+        assert sim.now == 2.0
+
+    def test_already_triggered_event_resumes_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger(42)
+
+        def waiter():
+            return (yield ev)
+
+        p = sim.spawn(waiter())
+        sim.run()
+        assert p.value == 42
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(RuntimeError):
+            ev.trigger()
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        ev = sim.event()
+        woke = []
+
+        def waiter(i):
+            yield ev
+            woke.append(i)
+
+        for i in range(4):
+            sim.spawn(waiter(i))
+
+        def firer():
+            yield 1.0
+            ev.trigger()
+
+        sim.spawn(firer())
+        sim.run()
+        assert sorted(woke) == [0, 1, 2, 3]
+
+
+class TestJoinAndAllOf:
+    def test_join_returns_child_value(self):
+        sim = Simulator()
+
+        def child():
+            yield 3.0
+            return "result"
+
+        def parent():
+            value = yield sim.spawn(child())
+            return (value, sim.now)
+
+        p = sim.spawn(parent())
+        sim.run()
+        assert p.value == ("result", 3.0)
+
+    def test_join_finished_process(self):
+        sim = Simulator()
+
+        def child():
+            return 7
+            yield  # pragma: no cover
+
+        def parent():
+            c = sim.spawn(child())
+            yield 5.0
+            return (yield c)
+
+        p = sim.spawn(parent())
+        sim.run()
+        assert p.value == 7
+
+    def test_allof_waits_for_slowest(self):
+        sim = Simulator()
+
+        def main():
+            evs = [sim.timeout(d, value=d) for d in (1.0, 4.0, 2.0)]
+            values = yield AllOf(evs)
+            return (values, sim.now)
+
+        p = sim.spawn(main())
+        sim.run()
+        assert p.value == ([1.0, 4.0, 2.0], 4.0)
+
+    def test_allof_with_all_triggered(self):
+        sim = Simulator()
+
+        def main():
+            evs = [sim.event() for _ in range(2)]
+            for i, ev in enumerate(evs):
+                ev.trigger(i)
+            return (yield AllOf(evs))
+
+        p = sim.spawn(main())
+        sim.run()
+        assert p.value == [0, 1]
+
+
+class TestErrors:
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event()  # nobody will ever trigger this
+
+        sim.spawn(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+
+        sim.spawn(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_exception_propagates(self):
+        sim = Simulator()
+
+        def boom():
+            yield 1.0
+            raise ValueError("inside process")
+
+        sim.spawn(boom())
+        with pytest.raises(ValueError, match="inside process"):
+            sim.run()
+
+    def test_value_of_running_process_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = sim.spawn(proc())
+        with pytest.raises(RuntimeError):
+            _ = p.value
+
+
+class TestCallLater:
+    def test_call_later_fires_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.call_later(2.0, log.append, "b")
+        sim.call_later(1.0, log.append, "a")
+        sim.call_later(2.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_call_later_negative_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_later(-0.1, print)

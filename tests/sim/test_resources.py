@@ -1,0 +1,180 @@
+"""Unit tests for mailboxes, barriers and latches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Barrier, Latch, Mailbox
+
+
+class TestMailbox:
+    def test_deliver_then_receive(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        box.deliver("env1", "payload1")
+
+        def recv():
+            env, payload = yield box.receive(lambda e: True)
+            return (env, payload)
+
+        p = sim.spawn(recv())
+        sim.run()
+        assert p.value == ("env1", "payload1")
+
+    def test_receive_then_deliver(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+
+        def recv():
+            return (yield box.receive(lambda e: e == "x"))
+
+        def send():
+            yield 1.0
+            box.deliver("x", 42)
+
+        p = sim.spawn(recv())
+        sim.spawn(send())
+        sim.run()
+        assert p.value == ("x", 42)
+        assert sim.now == 1.0
+
+    def test_predicate_matching_skips_nonmatching(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        box.deliver("a", 1)
+        box.deliver("b", 2)
+
+        def recv():
+            return (yield box.receive(lambda e: e == "b"))
+
+        p = sim.spawn(recv())
+        sim.run()
+        assert p.value == ("b", 2)
+        assert box.unexpected_count == 1  # "a" still queued
+
+    def test_fifo_within_matching(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        box.deliver("x", "first")
+        box.deliver("x", "second")
+        results = []
+
+        def recv():
+            for _ in range(2):
+                _e, p = yield box.receive(lambda e: e == "x")
+                results.append(p)
+
+        sim.spawn(recv())
+        sim.run()
+        assert results == ["first", "second"]
+
+    def test_posted_receives_fifo(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        results = []
+
+        def recv(i):
+            _e, p = yield box.receive(lambda e: True)
+            results.append((i, p))
+
+        sim.spawn(recv(0))
+        sim.spawn(recv(1))
+
+        def send():
+            yield 1.0
+            box.deliver("m", "one")
+            box.deliver("m", "two")
+
+        sim.spawn(send())
+        sim.run()
+        assert results == [(0, "one"), (1, "two")]
+
+    def test_probe(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        assert not box.probe(lambda e: True)
+        box.deliver("e", 0)
+        assert box.probe(lambda e: True)
+        assert not box.probe(lambda e: e == "other")
+
+
+class TestBarrier:
+    def test_barrier_releases_all_at_last_arrival(self):
+        sim = Simulator()
+        bar = Barrier(sim, 3)
+        times = []
+
+        def worker(delay):
+            yield delay
+            yield bar.arrive()
+            times.append(sim.now)
+
+        for d in (1.0, 2.0, 5.0):
+            sim.spawn(worker(d))
+        sim.run()
+        assert times == [5.0, 5.0, 5.0]
+
+    def test_barrier_is_reusable(self):
+        sim = Simulator()
+        bar = Barrier(sim, 2)
+        log = []
+
+        def worker(i):
+            for round_no in range(3):
+                yield (i + 1) * 1.0
+                yield bar.arrive()
+                log.append((round_no, i, sim.now))
+
+        sim.spawn(worker(0))
+        sim.spawn(worker(1))
+        sim.run()
+        rounds = {r for r, _i, _t in log}
+        assert rounds == {0, 1, 2}
+        # both workers leave each round at the same time
+        for r in rounds:
+            ts = {t for rr, _i, t in log if rr == r}
+            assert len(ts) == 1
+
+    def test_size_one_barrier_is_noop(self):
+        sim = Simulator()
+        bar = Barrier(sim, 1)
+
+        def worker():
+            yield bar.arrive()
+            return sim.now
+
+        p = sim.spawn(worker())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Barrier(Simulator(), 0)
+
+
+class TestLatch:
+    def test_latch_counts_down(self):
+        sim = Simulator()
+        latch = Latch(sim, 3)
+
+        def waiter():
+            return (yield latch.event)
+
+        p = sim.spawn(waiter())
+        latch.hit()
+        latch.hit()
+        latch.hit("done")
+        sim.run()
+        assert p.value == "done"
+
+    def test_extra_hit_rejected(self):
+        sim = Simulator()
+        latch = Latch(sim, 1)
+        latch.hit()
+        with pytest.raises(RuntimeError):
+            latch.hit()
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            Latch(Simulator(), 0)
