@@ -1,0 +1,95 @@
+"""Oracle-service throughput: predictions/second vs concurrent sessions.
+
+Not a paper figure — this measures the new daemon subsystem alongside
+the figure benchmarks: one `OracleServer` on a Unix socket, N client
+threads each running an observe/predict loop over the same recorded BT
+trace.  Asserted shapes: the daemon survives 16 concurrent sessions
+without a single error, aggregate throughput does not collapse as
+sessions are added, and every session shares the single cached trace
+load (the point of the shared store).
+
+Run with ``pytest benchmarks/bench_server_throughput.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.oracle import Pythia
+from repro.server import OracleServer, PythiaClient, TraceStore
+
+SESSIONS = (1, 4, 16)
+STEPS = 150  # observe/predict pairs per session
+
+
+@pytest.fixture(scope="module")
+def service(recorded_traces, tmp_path_factory):
+    """One daemon over one recorded BT trace, shared by all rounds."""
+    trace_path, _ = recorded_traces("bt", "small", True)
+    sock = str(tmp_path_factory.mktemp("srv") / "oracle.sock")
+    with OracleServer(sock, store=TraceStore(capacity=4)) as server:
+        trace = Pythia(trace_path, mode="predict").reference
+        registry = trace.registry
+        events = [
+            (registry.event(t).name, registry.event(t).payload)
+            for t in trace.threads[0].grammar.unfold()[:STEPS]
+        ]
+        yield server, trace_path, events
+
+
+def run_sessions(n: int, trace_path: str, sock: str, events) -> float:
+    """N concurrent observe/predict loops; returns predictions/second."""
+    errors: list[Exception] = []
+    barrier = threading.Barrier(n + 1)
+
+    def session():
+        try:
+            client = PythiaClient(trace_path, socket=sock)
+            barrier.wait()  # start all sessions together
+            for name, payload in events:
+                client.event(name, payload)
+                client.predict(4)
+            client.finish()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=session) for _ in range(n)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    assert not errors, errors[:3]
+    return n * len(events) / elapsed
+
+
+@pytest.mark.parametrize("sessions", SESSIONS)
+def test_throughput_by_session_count(benchmark, service, sessions):
+    server, trace_path, events = service
+
+    rate = benchmark.pedantic(
+        run_sessions,
+        args=(sessions, trace_path, server.socket_path, events),
+        rounds=3,
+        iterations=1,
+    )
+    print(f"\n{sessions:2d} session(s): {rate:,.0f} predictions/s")
+
+
+def test_concurrency_does_not_collapse_throughput(service):
+    """16 sessions must beat 1 session's aggregate rate (shared daemon,
+    not a serialized bottleneck) — with generous slack for CI noise."""
+    server, trace_path, events = service
+    r1 = max(run_sessions(1, trace_path, server.socket_path, events) for _ in range(2))
+    r16 = max(run_sessions(16, trace_path, server.socket_path, events) for _ in range(2))
+    print(f"\naggregate: 1 session {r1:,.0f}/s vs 16 sessions {r16:,.0f}/s")
+    assert r16 > r1 * 0.8  # adding sessions must not serialize to < 1x
+
+    stats = server.store.snapshot()
+    assert stats["misses"] == 1  # every session shared one trace load
+    assert server.counters["connections_dropped"] == 0

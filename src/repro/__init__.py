@@ -11,7 +11,9 @@ Public entry points:
   substrates the evaluation runs on;
 - :mod:`repro.apps` — the 13 evaluated application skeletons;
 - :mod:`repro.experiments` — regenerates every table and figure of the
-  paper's evaluation section.
+  paper's evaluation section;
+- :mod:`repro.server` — the oracle service (a multi-client prediction
+  daemon with a shared trace store) and its :class:`PythiaClient`.
 """
 
 from repro.core import (
@@ -26,6 +28,7 @@ from repro.core import (
     PythiaRecord,
     TimingTable,
     Trace,
+    TraceFormatError,
     load_trace,
     save_trace,
 )
@@ -44,6 +47,7 @@ __all__ = [
     "PythiaRecord",
     "TimingTable",
     "Trace",
+    "TraceFormatError",
     "load_trace",
     "save_trace",
     "__version__",

@@ -9,6 +9,9 @@ Subcommands
 ``predict APP TRACE``
     Re-run an application against a reference trace and report per-
     distance prediction accuracy.
+``serve``
+    Run the oracle daemon: many applications share one long-lived
+    prediction service over a Unix socket (or TCP).
 ``apps``
     List the available application skeletons.
 """
@@ -84,6 +87,34 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import OracleServer, TraceStore
+
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        server = OracleServer(
+            tcp_address=(host or "127.0.0.1", int(port)),
+            store=TraceStore(capacity=args.cache_size),
+        )
+    else:
+        server = OracleServer(
+            args.socket, store=TraceStore(capacity=args.cache_size)
+        )
+    server.start()
+    addr = server.address
+    where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
+    print(f"pythia oracle service listening on {where} "
+          f"(trace cache: {args.cache_size} entries); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    finally:
+        stats = server.counters
+        print(f"served {stats['predictions_served']:,} predictions over "
+              f"{stats['sessions_opened']:,} sessions "
+              f"({stats['events_observed']:,} events observed)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="pythia-trace", description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -113,9 +144,18 @@ def main(argv: list[str] | None = None) -> int:
     pred.add_argument("--distances", default="1,4,16,64")
     pred.add_argument("--stride", type=int, default=1)
 
+    srv = sub.add_parser("serve", help="run the shared oracle daemon")
+    srv.add_argument("--socket", default="/tmp/pythia-oracle.sock",
+                     help="unix socket to listen on")
+    srv.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                     help="listen on TCP instead of the unix socket")
+    srv.add_argument("--cache-size", type=int, default=8,
+                     help="trace store capacity (loaded trace bundles)")
+
     args = parser.parse_args(argv)
     return {"apps": _cmd_apps, "record": _cmd_record,
-            "dump": _cmd_dump, "predict": _cmd_predict}[args.cmd](args)
+            "dump": _cmd_dump, "predict": _cmd_predict,
+            "serve": _cmd_serve}[args.cmd](args)
 
 
 if __name__ == "__main__":

@@ -24,12 +24,20 @@ from repro.core.record import PythiaRecord
 from repro.core.frozen import FrozenGrammar
 from repro.core.predict import Prediction, PythiaPredict
 from repro.core.timing import TimingTable
-from repro.core.trace_file import Trace, load_trace, save_trace
+from repro.core.trace_file import (
+    FORMAT_VERSION,
+    Trace,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
 from repro.core.oracle import Pythia
 
 __all__ = [
     "Divergence",
     "Event",
+    "FORMAT_VERSION",
+    "TraceFormatError",
     "EventRegistry",
     "GrammarStats",
     "ReplayReport",

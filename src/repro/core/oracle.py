@@ -55,23 +55,34 @@ class Pythia:
         if mode not in ("auto", "record", "predict"):
             raise ValueError(f"unknown mode {mode!r}")
         self.trace_path = os.fspath(trace_path)
-        if mode == "auto":
-            mode = "predict" if os.path.exists(self.trace_path) else "record"
-        self.mode = mode
         self.record_timestamps = record_timestamps
         self.meta = dict(meta or {})
         self._max_candidates = max_candidates
         self._finished = False
-        if self.mode == "record":
-            self.registry = EventRegistry()
-            self._recorders: dict[int, PythiaRecord] = {}
-            self._predictors: dict[int, PythiaPredict] = {}
-            self.reference: Trace | None = None
-        else:
+        # Resolve the mode exactly once, by *opening* the file rather than
+        # testing existence first: two processes starting simultaneously
+        # would otherwise race between os.path.exists and the later open.
+        # Whoever loses the race simply records; concurrent recorders are
+        # last-writer-wins on finish() (save_trace writes atomically via
+        # rename), which is safe — both wrote a valid reference trace of
+        # the same application.  A long-lived oracle daemon
+        # (:mod:`repro.server`) sidesteps the race entirely.
+        self.reference: Trace | None = None
+        if mode == "predict":
             self.reference = load_trace(self.trace_path)
+        elif mode == "auto":
+            try:
+                self.reference = load_trace(self.trace_path)
+                mode = "predict"
+            except FileNotFoundError:
+                mode = "record"
+        self.mode = mode
+        self._recorders: dict[int, PythiaRecord] = {}
+        self._predictors: dict[int, PythiaPredict] = {}
+        if self.reference is not None:
             self.registry = self.reference.registry
-            self._recorders = {}
-            self._predictors = {}
+        else:
+            self.registry = EventRegistry()
 
     # ------------------------------------------------------------------
 

@@ -30,7 +30,19 @@ from repro.core.timing import TimingTable
 
 FORMAT_VERSION = 1
 
-__all__ = ["Trace", "load_trace", "save_trace", "FORMAT_VERSION"]
+__all__ = ["Trace", "TraceFormatError", "load_trace", "save_trace", "FORMAT_VERSION"]
+
+
+class TraceFormatError(ValueError):
+    """The file is not a readable pythia trace.
+
+    Raised for truncated or corrupt files (bad gzip stream, invalid
+    JSON), for files that are valid JSON but not a pythia trace, and for
+    trace versions this build does not know how to read.  Subclasses
+    :class:`ValueError` so existing ``except ValueError`` callers keep
+    working.  A missing file stays a :class:`FileNotFoundError` — the
+    facade's auto mode depends on that distinction.
+    """
 
 
 @dataclass(slots=True)
@@ -97,9 +109,15 @@ class Trace:
     def from_obj(cls, obj: dict) -> "Trace":
         """Inverse of :meth:`to_obj`."""
         if obj.get("format") != "pythia-trace":
-            raise ValueError("not a pythia trace file")
-        if obj.get("version") != FORMAT_VERSION:
-            raise ValueError(f"unsupported trace version {obj.get('version')!r}")
+            raise TraceFormatError("not a pythia trace file")
+        version = obj.get("version")
+        if version != FORMAT_VERSION:
+            if isinstance(version, int) and version > FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"trace version {version} is newer than this build "
+                    f"(reads version {FORMAT_VERSION}); upgrade to load it"
+                )
+            raise TraceFormatError(f"unsupported trace version {version!r}")
         threads: dict[int, ThreadTrace] = {}
         for tid, tobj in obj["threads"].items():
             timing = tobj.get("timing")
@@ -140,6 +158,24 @@ def save_trace(trace: Trace, path: str | os.PathLike) -> None:
 
 
 def load_trace(path: str | os.PathLike) -> Trace:
-    """Load a trace file produced by :func:`save_trace`."""
-    with _open(path, "r", gz=str(path).endswith(".gz")) as fh:
-        return Trace.from_obj(json.load(fh))
+    """Load a trace file produced by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` when the file exists but cannot be
+    decoded (truncated gzip, invalid JSON, wrong or future format
+    version); :class:`FileNotFoundError` propagates unchanged.
+    """
+    try:
+        with _open(path, "r", gz=str(path).endswith(".gz")) as fh:
+            obj = json.load(fh)
+    except FileNotFoundError:
+        raise
+    except (EOFError, OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"cannot read trace file {os.fspath(path)!r}: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise TraceFormatError(f"not a pythia trace file: {os.fspath(path)!r}")
+    try:
+        return Trace.from_obj(obj)
+    except TraceFormatError as exc:
+        raise TraceFormatError(f"{os.fspath(path)!r}: {exc}") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed trace file {os.fspath(path)!r}: {exc}") from exc

@@ -39,7 +39,25 @@ __all__ = [
     "omp_predict_run",
     "omp_record_run",
     "omp_vanilla_run",
+    "predict_oracle",
 ]
+
+
+def predict_oracle(trace_path: str, oracle_socket=None):
+    """A predict-mode oracle: in-process, or remote via the daemon.
+
+    With ``oracle_socket`` (a Unix socket path or ``(host, port)``
+    tuple) the returned oracle is a
+    :class:`~repro.server.client.PythiaClient` talking to a running
+    ``pythia-trace serve`` daemon; otherwise the ordinary in-process
+    :class:`Pythia`.  Both expose the same facade, so every predict
+    runner below accepts the same one argument.
+    """
+    if oracle_socket is None:
+        return Pythia(trace_path, mode="predict")
+    from repro.server.client import PythiaClient
+
+    return PythiaClient(trace_path, socket=oracle_socket)
 
 
 def default_network(app: AppSpec, ranks: int) -> NetworkModel:
@@ -134,11 +152,16 @@ def mpi_predict_run(
     distances: Sequence[int] = (1,),
     sample_stride: int = 1,
     error_rate: float = 0.0,
+    oracle_socket=None,
 ) -> MPIExperimentResult:
-    """Run against a reference trace with predictions at sync points."""
+    """Run against a reference trace with predictions at sync points.
+
+    ``oracle_socket`` switches the whole run to a shared oracle daemon
+    (see :func:`predict_oracle`).
+    """
     app = get_app(app_name)
     ranks = ranks or app.default_ranks
-    oracle = Pythia(trace_path, mode="predict")
+    oracle = predict_oracle(trace_path, oracle_socket)
     run = _run(
         app, ws, ranks, seed,
         lambda rank, comm: MPIRuntimeSystem(
@@ -226,10 +249,15 @@ def omp_predict_run(
     max_threads: int | None = None,
     error_rate: float = 0.0,
     seed: int = 0,
+    oracle_socket=None,
 ) -> OMPExperimentResult:
-    """PYTHIA-PREDICT driving the adaptive thread-count policy."""
+    """PYTHIA-PREDICT driving the adaptive thread-count policy.
+
+    ``oracle_socket`` switches the run to a shared oracle daemon (see
+    :func:`predict_oracle`).
+    """
     max_threads = max_threads or machine.cores
-    oracle = Pythia(trace_path, mode="predict")
+    oracle = predict_oracle(trace_path, oracle_socket)
     injector = ErrorInjector(error_rate, seed=seed) if error_rate else None
     shim = OMPRuntimeSystem(oracle, error_injector=injector)
     policy = AdaptivePythiaPolicy(

@@ -1,0 +1,48 @@
+"""Oracle service: a multi-client PYTHIA-PREDICT daemon.
+
+The paper links the oracle into each runtime process, so every execution
+re-loads and re-indexes the grammar and concurrent applications cannot
+share anything.  This subsystem splits record from serve:
+
+- :mod:`repro.server.store` — :class:`TraceStore`, an LRU-bounded,
+  concurrency-safe cache of loaded trace bundles (one load per trace
+  file, shared by every session);
+- :mod:`repro.server.daemon` — :class:`OracleServer`, a threaded daemon
+  speaking a length-prefixed JSON protocol over a Unix socket (TCP
+  optional), one tracker per session, per-connection error isolation;
+- :mod:`repro.server.client` — :class:`PythiaClient`, a drop-in
+  predict-mode replacement for the :class:`~repro.core.oracle.Pythia`
+  facade;
+- :mod:`repro.server.protocol` — the framing and value encodings.
+
+Start a daemon with ``pythia-trace serve --socket /tmp/pythia.sock`` (or
+:class:`OracleServer` in-process) and point any number of applications
+at it with ``PythiaClient(trace_path, socket="/tmp/pythia.sock")``.
+"""
+
+from repro.server.client import OracleServiceError, PythiaClient
+from repro.server.daemon import OracleServer, RequestError
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ConnectionClosed,
+    FrameTooLarge,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.server.store import TraceBundle, TraceStore
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "ConnectionClosed",
+    "FrameTooLarge",
+    "OracleServer",
+    "OracleServiceError",
+    "ProtocolError",
+    "PythiaClient",
+    "RequestError",
+    "TraceBundle",
+    "TraceStore",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,257 @@
+"""Client-side mirror of the :class:`~repro.core.oracle.Pythia` facade.
+
+A runtime system that links against :class:`Pythia` can switch to a
+shared daemon by swapping one constructor::
+
+    oracle = Pythia(trace_path, mode="predict")          # in-process
+    oracle = PythiaClient(trace_path, socket=sock_path)  # remote daemon
+
+Everything the interposers touch behaves identically: ``event`` returns
+the matched flag, ``predict`` returns the same :class:`Prediction`
+(terminal, probability, eta and distribution are byte-identical — the
+daemon runs the same tracker over the same grammar), ``registry`` is
+fetched once from the daemon, per-``thread`` addressing opens one
+daemon session per thread lazily, and an unknown thread raises
+:class:`KeyError` just like the facade.
+
+The client only *predicts*: recording stays local (record anywhere,
+predict from one long-lived daemon).  It is safe to share between
+threads — requests are serialized over one connection.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Hashable
+
+from repro.core.events import EventRegistry
+from repro.core.predict import Prediction
+from repro.core.trace_file import TraceFormatError
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+    decode_prediction,
+    encode_payload,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["OracleServiceError", "PythiaClient"]
+
+
+class OracleServiceError(RuntimeError):
+    """The daemon answered with an error the facade has no analog for."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class PythiaClient:
+    """Remote PYTHIA-PREDICT oracle over an oracle-service daemon.
+
+    Parameters
+    ----------
+    trace_path:
+        Reference trace the daemon should serve (a path valid *on the
+        daemon's host*; with a Unix socket that is this machine).
+    socket:
+        Unix socket path, or a ``(host, port)`` tuple for TCP.
+    max_candidates:
+        Tracker bound, forwarded to the daemon per session.
+    timeout:
+        Socket timeout in seconds for connect and each request.
+    """
+
+    mode = "predict"
+
+    def __init__(
+        self,
+        trace_path: str | os.PathLike,
+        *,
+        socket: str | os.PathLike | tuple[str, int],
+        max_candidates: int = 64,
+        timeout: float | None = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.trace_path = os.fspath(trace_path)
+        self.address = socket
+        self.max_frame = max_frame
+        self._max_candidates = max_candidates
+        self._lock = threading.Lock()
+        self._sessions: dict[int, str] = {}
+        self._registry: EventRegistry | None = None
+        self._finished = False
+        self._sock = self._connect(socket, timeout)
+
+    @staticmethod
+    def _connect(address, timeout) -> socket.socket:
+        if isinstance(address, tuple):
+            sock = socket.create_connection(address, timeout=timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(os.fspath(address))
+        return sock
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+
+    def _request(self, op: str, **fields) -> dict:
+        request = {"op": op, **fields}
+        with self._lock:
+            write_frame(self._sock, request, max_frame=self.max_frame)
+            response = read_frame(self._sock, max_frame=self.max_frame)
+        if response is None:
+            raise ProtocolError("daemon closed the connection")
+        if response.get("ok"):
+            return response
+        code = response.get("code", "error")
+        message = response.get("error", "unknown error")
+        # map daemon error codes back onto the facade's exceptions
+        if code == "no_such_thread":
+            raise KeyError(message)
+        if code == "trace_not_found":
+            raise FileNotFoundError(message)
+        if code == "trace_format":
+            raise TraceFormatError(message)
+        raise OracleServiceError(code, message)
+
+    def _session(self, thread: int) -> str:
+        sid = self._sessions.get(thread)
+        if sid is None:
+            response = self._request(
+                "open_session",
+                trace=self.trace_path,
+                thread=thread,
+                max_candidates=self._max_candidates,
+                with_registry=self._registry is None,
+            )
+            sid = response["session"]
+            self._sessions[thread] = sid
+            if self._registry is None and "registry" in response:
+                self._registry = EventRegistry.from_obj(response["registry"])
+        return sid
+
+    # ------------------------------------------------------------------
+    # the Pythia facade surface
+    # ------------------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        """Always False: the client never records (record stays local)."""
+        return False
+
+    @property
+    def predicting(self) -> bool:
+        """Always True: a client is a predict-mode oracle."""
+        return True
+
+    @property
+    def registry(self) -> EventRegistry:
+        """The daemon's event registry for this trace (fetched once)."""
+        if self._registry is None:
+            response = self._request("registry", trace=self.trace_path)
+            self._registry = EventRegistry.from_obj(response["registry"])
+        return self._registry
+
+    def event(
+        self,
+        name: str,
+        payload: Hashable = None,
+        *,
+        timestamp: float | None = None,
+        thread: int = 0,
+    ) -> bool:
+        """Submit one event; True when it matched the oracle's expectation."""
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        del timestamp  # predict mode never records timestamps
+        return self._request(
+            "observe",
+            session=self._session(thread),
+            name=name,
+            payload=encode_payload(payload),
+        )["matched"]
+
+    def event_batch(
+        self, events: list[tuple[str, Hashable]], *, thread: int = 0
+    ) -> list[bool]:
+        """Submit many events in one round-trip (amortizes the socket)."""
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        return self._request(
+            "observe_batch",
+            session=self._session(thread),
+            events=[[name, encode_payload(payload)] for name, payload in events],
+        )["matched"]
+
+    def predict(
+        self, distance: int = 1, *, thread: int = 0, with_time: bool = False
+    ) -> Prediction | None:
+        """Predict the event ``distance`` steps ahead."""
+        response = self._request(
+            "predict",
+            session=self._session(thread),
+            distance=distance,
+            with_time=with_time,
+        )
+        return decode_prediction(response["prediction"])
+
+    def predict_duration(self, distance: int = 1, *, thread: int = 0) -> float | None:
+        """Predict the delay until the event ``distance`` steps ahead."""
+        return self._request(
+            "predict_duration", session=self._session(thread), distance=distance
+        )["eta"]
+
+    def describe(self, prediction: Prediction | None) -> str:
+        """Human-readable form of a prediction (mirrors the facade)."""
+        if prediction is None:
+            return "<no prediction: oracle is lost>"
+        if prediction.terminal is None:
+            return f"<end of execution, p={prediction.probability:.2f}>"
+        name = self.registry.name(prediction.terminal)
+        eta = f", eta={prediction.eta:.6f}" if prediction.eta is not None else ""
+        return f"<{name}, p={prediction.probability:.2f}{eta}>"
+
+    def stats(self, thread: int = 0) -> dict[str, int]:
+        """Tracking counters of one thread's session."""
+        return self._request("stats", session=self._session(thread))["session_stats"]
+
+    def server_stats(self) -> dict:
+        """Daemon-wide counters (sessions, cache, latency aggregates)."""
+        return self._request("stats")
+
+    def finish(self) -> None:
+        """Close every session and the connection; returns None.
+
+        Mirrors ``Pythia.finish`` in predict mode (which returns None);
+        safe to call once.
+        """
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        self._finished = True
+        try:
+            for sid in self._sessions.values():
+                self._request("close_session", session=sid)
+        except (OSError, ProtocolError, OracleServiceError):
+            pass  # daemon gone: sessions die with the connection anyway
+        finally:
+            self._sessions.clear()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        return None
+
+    close = finish
+
+    def __enter__(self) -> "PythiaClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._finished:
+            self.finish()

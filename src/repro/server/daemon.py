@@ -1,0 +1,491 @@
+"""The oracle daemon: many clients, one trace store, one process.
+
+:class:`OracleServer` listens on a Unix socket (TCP optionally) and
+speaks the length-prefixed JSON protocol of :mod:`repro.server.protocol`.
+Each connection is served by its own thread; each *session* owns one
+:class:`~repro.core.predict.PythiaPredict` tracker over a bundle shared
+through the :class:`~repro.server.store.TraceStore`, so concurrently
+running applications predict from one long-lived process instead of
+each reloading the grammar.
+
+Request ops
+-----------
+``open_session``   ``{trace, thread=0, max_candidates=64, with_registry=false}``
+``observe``        ``{session, name, payload=null}`` -> ``{matched}``
+``observe_batch``  ``{session, events: [[name, payload], ...]}`` -> ``{matched: [...]}``
+``predict``        ``{session, distance=1, with_time=false}`` -> ``{prediction}``
+``predict_duration`` ``{session, distance=1}`` -> ``{eta}``
+``close_session``  ``{session}``
+``stats``          ``{session?}`` — daemon counters, or one tracker's
+
+Error isolation: a bad request gets an ``{ok: false, code, error}``
+response; a broken frame closes only that connection; nothing a client
+sends can take the daemon down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.events import Event
+from repro.core.predict import PythiaPredict
+from repro.core.trace_file import TraceFormatError
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ConnectionClosed,
+    ProtocolError,
+    decode_payload,
+    encode_prediction,
+    read_frame,
+    write_frame,
+)
+from repro.server.store import TraceBundle, TraceStore
+
+__all__ = ["OracleServer", "RequestError"]
+
+
+class RequestError(Exception):
+    """A request the daemon refuses; becomes an error response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(slots=True)
+class _Session:
+    """One client-visible tracking session."""
+
+    session_id: str
+    bundle: TraceBundle
+    thread: int
+    tracker: PythiaPredict
+    owner: int  # connection id, for cleanup when the connection dies
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class _LatencyAgg:
+    """Per-op latency aggregate (count / total / max), lock-protected."""
+
+    __slots__ = ("count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, dt: float) -> None:
+        self.count += 1
+        self.total_s += dt
+        if dt > self.max_s:
+            self.max_s = dt
+
+    def snapshot(self) -> dict[str, float]:
+        mean = self.total_s / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_s * 1e3, 3),
+            "mean_us": round(mean * 1e6, 3),
+            "max_us": round(self.max_s * 1e6, 3),
+        }
+
+
+class OracleServer:
+    """A multi-client PYTHIA-PREDICT daemon.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket to listen on (created on :meth:`start`, unlinked on
+        :meth:`stop`).  Mutually exclusive with ``tcp_address``.
+    tcp_address:
+        Optional ``(host, port)`` to listen on TCP instead; port 0 picks
+        a free port (read the bound one from :attr:`address`).
+    store:
+        Shared :class:`TraceStore`; a private one is created by default.
+    max_frame:
+        Per-frame byte limit enforced on reads and writes.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike | None = None,
+        *,
+        tcp_address: tuple[str, int] | None = None,
+        store: TraceStore | None = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        max_candidates_limit: int = 4096,
+    ) -> None:
+        if (socket_path is None) == (tcp_address is None):
+            raise ValueError("exactly one of socket_path / tcp_address required")
+        self.socket_path = os.fspath(socket_path) if socket_path is not None else None
+        self.tcp_address = tcp_address
+        self.store = store if store is not None else TraceStore()
+        self.max_frame = max_frame
+        self.max_candidates_limit = max_candidates_limit
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: set[threading.Thread] = set()
+        self._running = threading.Event()
+        self._lock = threading.Lock()
+        self._sessions: dict[str, _Session] = {}
+        self._session_ids = itertools.count(1)
+        self._conn_ids = itertools.count(1)
+        self.counters = {
+            "connections_accepted": 0,
+            "connections_dropped": 0,  # closed due to a protocol violation
+            "sessions_opened": 0,
+            "sessions_closed": 0,
+            "events_observed": 0,
+            "predictions_served": 0,
+            "requests_total": 0,
+            "requests_failed": 0,
+        }
+        self._latency: dict[str, _LatencyAgg] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> str | tuple[str, int]:
+        """Where clients connect (socket path, or bound (host, port))."""
+        if self.socket_path is not None:
+            return self.socket_path
+        assert self._listener is not None, "server not started"
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "OracleServer":
+        """Bind, listen and spawn the accept loop; returns self."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(self.tcp_address)
+        listener.listen(128)
+        self._listener = listener
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="pythia-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, unlink the socket."""
+        if self._listener is None:
+            return
+        self._running.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for t in list(self._conn_threads):
+            t.join(timeout=5)
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+        self._listener = None
+        self._accept_thread = None
+
+    def __enter__(self) -> "OracleServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (for the CLI)."""
+        if self._listener is None:
+            self.start()
+        try:
+            while self._running.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # accept / connection loops
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._lock:
+                self.counters["connections_accepted"] += 1
+            conn_id = next(self._conn_ids)
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, conn_id),
+                name=f"pythia-conn-{conn_id}",
+                daemon=True,
+            )
+            self._conn_threads.add(t)
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket, conn_id: int) -> None:
+        """One client, fully isolated: its errors never leave this frame."""
+        try:
+            while self._running.is_set():
+                try:
+                    request = read_frame(conn, max_frame=self.max_frame)
+                except ProtocolError as exc:
+                    # bad framing is unrecoverable on a byte stream:
+                    # answer if possible, then drop only this connection
+                    with self._lock:
+                        self.counters["connections_dropped"] += 1
+                    if not isinstance(exc, ConnectionClosed):
+                        self._try_send(
+                            conn, {"ok": False, "code": "protocol", "error": str(exc)}
+                        )
+                    return
+                if request is None:
+                    return  # clean EOF
+                response = self._dispatch(request, conn_id)
+                try:
+                    write_frame(conn, response, max_frame=self.max_frame)
+                except OSError:
+                    return
+        except Exception:
+            # last-ditch isolation: an unexpected bug serving this client
+            # must not unwind into the daemon
+            with self._lock:
+                self.counters["connections_dropped"] += 1
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._close_owned_sessions(conn_id)
+            self._conn_threads.discard(threading.current_thread())
+
+    @staticmethod
+    def _try_send(conn: socket.socket, obj: dict) -> None:
+        try:
+            write_frame(conn, obj)
+        except OSError:
+            pass
+
+    def _close_owned_sessions(self, conn_id: int) -> None:
+        with self._lock:
+            dead = [s for s in self._sessions.values() if s.owner == conn_id]
+            for s in dead:
+                del self._sessions[s.session_id]
+                self.counters["sessions_closed"] += 1
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: dict, conn_id: int) -> dict:
+        op = request.get("op")
+        handler = self._HANDLERS.get(op)
+        t0 = time.perf_counter()
+        try:
+            if handler is None:
+                raise RequestError("unknown_op", f"unknown request op {op!r}")
+            result = handler(self, request, conn_id)
+            result["ok"] = True
+            return result
+        except RequestError as exc:
+            with self._lock:
+                self.counters["requests_failed"] += 1
+            return {"ok": False, "code": exc.code, "error": str(exc)}
+        except (FileNotFoundError, TraceFormatError, KeyError, ValueError, TypeError) as exc:
+            with self._lock:
+                self.counters["requests_failed"] += 1
+            code = {
+                FileNotFoundError: "trace_not_found",
+                TraceFormatError: "trace_format",
+                KeyError: "no_such_thread",
+            }.get(type(exc), "bad_request")
+            # KeyError reprs its message; unwrap just that one
+            message = str(exc.args[0]) if isinstance(exc, KeyError) and exc.args else str(exc)
+            return {"ok": False, "code": code, "error": message}
+        except Exception as exc:  # defensive: never leak an exception
+            with self._lock:
+                self.counters["requests_failed"] += 1
+            return {"ok": False, "code": "internal", "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            dt = time.perf_counter() - t0
+            # bucket unknown ops together: op names are client-controlled
+            # and must not grow the latency table without bound
+            key = op if isinstance(op, str) and op in self._HANDLERS else "<unknown>"
+            with self._lock:
+                self.counters["requests_total"] += 1
+                agg = self._latency.get(key)
+                if agg is None:
+                    agg = self._latency[key] = _LatencyAgg()
+                agg.add(dt)
+
+    def _session(self, request: dict) -> _Session:
+        sid = request.get("session")
+        with self._lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise RequestError("no_such_session", f"unknown session {sid!r}")
+        return session
+
+    # -- handlers --------------------------------------------------------
+
+    def _op_open_session(self, request: dict, conn_id: int) -> dict:
+        trace = request.get("trace")
+        if not isinstance(trace, str):
+            raise RequestError("bad_request", "open_session needs a 'trace' path")
+        thread = request.get("thread", 0)
+        if not isinstance(thread, int):
+            raise RequestError("bad_request", "'thread' must be an integer")
+        max_candidates = request.get("max_candidates", 64)
+        if not isinstance(max_candidates, int) or not (
+            1 <= max_candidates <= self.max_candidates_limit
+        ):
+            raise RequestError(
+                "bad_request",
+                f"'max_candidates' must be in [1, {self.max_candidates_limit}]",
+            )
+        bundle = self.store.get(trace)
+        tracker = bundle.tracker(thread, max_candidates=max_candidates)
+        with self._lock:
+            sid = f"s{next(self._session_ids)}"
+            self._sessions[sid] = _Session(sid, bundle, thread, tracker, conn_id)
+            self.counters["sessions_opened"] += 1
+        out = {
+            "session": sid,
+            "trace": bundle.path,
+            "thread": thread,
+            "threads": bundle.threads(),
+            "meta": bundle.trace.meta,
+            "event_count": bundle.trace.event_count,
+        }
+        if request.get("with_registry"):
+            out["registry"] = bundle.registry.to_obj()
+        return out
+
+    def _op_close_session(self, request: dict, conn_id: int) -> dict:
+        session = self._session(request)
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+            self.counters["sessions_closed"] += 1
+        return {"session": session.session_id}
+
+    def _observe_one(self, session: _Session, name, payload) -> bool:
+        """Mirror of ``Pythia.event`` in predict mode (same semantics)."""
+        if not isinstance(name, str):
+            raise RequestError("bad_request", "'name' must be a string")
+        terminal = session.bundle.registry.lookup(Event(name, decode_payload(payload)))
+        tracker = session.tracker
+        if terminal is None:
+            tracker.observed += 1
+            tracker.unknown += 1
+            tracker.candidates = {}
+            return False
+        return tracker.observe(terminal)
+
+    def _op_observe(self, request: dict, conn_id: int) -> dict:
+        session = self._session(request)
+        with session.lock:
+            matched = self._observe_one(session, request.get("name"), request.get("payload"))
+        with self._lock:
+            self.counters["events_observed"] += 1
+        return {"matched": matched}
+
+    def _op_observe_batch(self, request: dict, conn_id: int) -> dict:
+        session = self._session(request)
+        events = request.get("events")
+        if not isinstance(events, list):
+            raise RequestError("bad_request", "'events' must be a list of [name, payload]")
+        matched: list[bool] = []
+        with session.lock:
+            for item in events:
+                if not isinstance(item, (list, tuple)) or not 1 <= len(item) <= 2:
+                    raise RequestError(
+                        "bad_request", "each event must be [name] or [name, payload]"
+                    )
+                name = item[0]
+                payload = item[1] if len(item) == 2 else None
+                matched.append(self._observe_one(session, name, payload))
+        with self._lock:
+            self.counters["events_observed"] += len(matched)
+        return {"matched": matched}
+
+    def _op_predict(self, request: dict, conn_id: int) -> dict:
+        session = self._session(request)
+        distance = request.get("distance", 1)
+        if not isinstance(distance, int) or distance < 1:
+            raise RequestError("bad_request", "'distance' must be a positive integer")
+        with_time = bool(request.get("with_time", False))
+        with session.lock:
+            pred = session.tracker.predict(distance, with_time=with_time)
+        with self._lock:
+            self.counters["predictions_served"] += 1
+        return {"prediction": encode_prediction(pred)}
+
+    def _op_predict_duration(self, request: dict, conn_id: int) -> dict:
+        session = self._session(request)
+        distance = request.get("distance", 1)
+        if not isinstance(distance, int) or distance < 1:
+            raise RequestError("bad_request", "'distance' must be a positive integer")
+        with session.lock:
+            eta = session.tracker.predict_duration(distance)
+        with self._lock:
+            self.counters["predictions_served"] += 1
+        return {"eta": eta}
+
+    def _op_registry(self, request: dict, conn_id: int) -> dict:
+        trace = request.get("trace")
+        if isinstance(trace, str):
+            bundle = self.store.get(trace)
+        else:
+            bundle = self._session(request).bundle
+        return {"registry": bundle.registry.to_obj()}
+
+    def _op_stats(self, request: dict, conn_id: int) -> dict:
+        if request.get("session") is not None:
+            session = self._session(request)
+            with session.lock:
+                return {"session_stats": session.tracker.stats()}
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "sessions_active": len(self._sessions),
+                "store": self.store.snapshot(),
+                "latency": {op: agg.snapshot() for op, agg in self._latency.items()},
+            }
+
+    def _op_ping(self, request: dict, conn_id: int) -> dict:
+        return {"pong": True}
+
+    _HANDLERS = {
+        "open_session": _op_open_session,
+        "close_session": _op_close_session,
+        "observe": _op_observe,
+        "observe_batch": _op_observe_batch,
+        "predict": _op_predict,
+        "predict_duration": _op_predict_duration,
+        "registry": _op_registry,
+        "stats": _op_stats,
+        "ping": _op_ping,
+    }

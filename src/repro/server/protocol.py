@@ -1,0 +1,157 @@
+"""Wire protocol of the oracle service.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  The format is deliberately
+dumb — traces are tiny (tens of rules), requests are tinier, and JSON
+keeps every exchange greppable with ``socat | head``.
+
+Requests are objects with an ``op`` field; responses carry ``ok`` plus
+either the result fields or ``error``/``code``.  Two payload details
+need care so that a remote prediction is *byte-identical* to a local
+one:
+
+- event payloads may be tuples (the registry interns them); they cross
+  the wire with the same ``["__tuple__", ...]`` convention the trace
+  file uses, so ``(name, payload)`` resolves to the same terminal;
+- prediction distributions are keyed by ``int | None`` — JSON objects
+  would stringify the keys, so they travel as ``[terminal, weight]``
+  pairs instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Hashable
+
+from repro.core.predict import Prediction
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "ProtocolError",
+    "FrameTooLarge",
+    "ConnectionClosed",
+    "read_frame",
+    "write_frame",
+    "encode_payload",
+    "decode_payload",
+    "encode_prediction",
+    "decode_prediction",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: refuse frames beyond this many bytes (a batch of ~100k events fits
+#: comfortably; anything larger is a bug or an attack, not a request)
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """The peer sent something that is not a valid frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame announced a length beyond the configured maximum."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (mid-frame if ``partial``)."""
+
+    def __init__(self, message: str = "connection closed", *, partial: bool = False):
+        super().__init__(message)
+        self.partial = partial
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, ``None`` on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 16))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ConnectionClosed(
+                f"connection closed mid-frame ({got}/{n} bytes)", partial=True
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket, *, max_frame: int = DEFAULT_MAX_FRAME) -> dict | None:
+    """Read one frame; ``None`` on clean EOF before a header.
+
+    Raises :class:`FrameTooLarge` for oversized announcements and
+    :class:`ProtocolError` for bodies that are not a JSON object.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(f"frame of {length} bytes exceeds limit {max_frame}")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ConnectionClosed("connection closed mid-frame", partial=True)
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def write_frame(sock: socket.socket, obj: dict, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    """Serialize ``obj`` and send it as one frame."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds limit {max_frame}")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+# ----------------------------------------------------------------------
+# value encodings
+# ----------------------------------------------------------------------
+
+
+def encode_payload(payload: Hashable):
+    """Event payload -> JSON value (tuples use the trace-file convention)."""
+    if isinstance(payload, tuple):
+        return ["__tuple__", *payload]
+    return payload
+
+
+def decode_payload(obj) -> Hashable:
+    """Inverse of :func:`encode_payload` (mirrors EventRegistry.from_obj)."""
+    if isinstance(obj, list):
+        if obj and obj[0] == "__tuple__":
+            return tuple(obj[1:])
+        return tuple(obj)
+    return obj
+
+
+def encode_prediction(pred: Prediction | None) -> dict | None:
+    """Prediction -> JSON object (``None`` stays ``None``: oracle lost)."""
+    if pred is None:
+        return None
+    return {
+        "terminal": pred.terminal,
+        "probability": pred.probability,
+        "eta": pred.eta,
+        "distribution": [[t, w] for t, w in pred.distribution.items()],
+    }
+
+
+def decode_prediction(obj: dict | None) -> Prediction | None:
+    """Inverse of :func:`encode_prediction`."""
+    if obj is None:
+        return None
+    return Prediction(
+        terminal=obj["terminal"],
+        probability=obj["probability"],
+        eta=obj.get("eta"),
+        distribution={t: w for t, w in obj.get("distribution", [])},
+    )

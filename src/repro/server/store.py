@@ -1,0 +1,186 @@
+"""Shared trace store: load every trace file once, serve many sessions.
+
+The in-process :class:`~repro.core.oracle.Pythia` reloads and re-indexes
+its trace on every process start; the daemon instead keeps an LRU-bounded
+cache of loaded bundles keyed by the file's identity (path + mtime +
+size), so N concurrent sessions over the same reference execution share
+one :class:`~repro.core.trace_file.Trace` (and therefore one
+:class:`~repro.core.frozen.FrozenGrammar` and
+:class:`~repro.core.timing.TimingTable` per thread).  Bundles are
+immutable once loaded — each session gets its own
+:class:`~repro.core.predict.PythiaPredict` tracker on top.
+
+Concurrency: lookups and LRU bookkeeping happen under one lock; the
+actual file load happens outside it behind a per-entry event, so two
+sessions opening the same cold trace trigger a single load and a slow
+load of one trace never blocks hits on another.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.events import EventRegistry
+from repro.core.predict import PythiaPredict
+from repro.core.trace_file import Trace, TraceFormatError, load_trace
+
+__all__ = ["TraceBundle", "TraceStore"]
+
+#: (mtime_ns, size) — identifies one version of a trace file
+_Sig = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceBundle:
+    """One loaded trace, shared read-only between sessions."""
+
+    path: str
+    signature: _Sig
+    trace: Trace
+
+    @property
+    def registry(self) -> EventRegistry:
+        return self.trace.registry
+
+    def threads(self) -> list[int]:
+        return sorted(self.trace.threads)
+
+    def tracker(self, thread: int, *, max_candidates: int = 64) -> PythiaPredict:
+        """A fresh per-session tracker over this bundle's grammar.
+
+        Raises :class:`KeyError` when the reference trace has no such
+        thread (mirrors the facade).
+        """
+        tt = self.trace.threads.get(thread)
+        if tt is None:
+            raise KeyError(f"reference trace has no thread {thread}")
+        return PythiaPredict(tt.grammar, tt.timing, max_candidates=max_candidates)
+
+
+class _Entry:
+    __slots__ = ("signature", "bundle", "error", "ready")
+
+    def __init__(self, signature: _Sig) -> None:
+        self.signature = signature
+        self.bundle: TraceBundle | None = None
+        self.error: Exception | None = None
+        self.ready = threading.Event()
+
+
+class TraceStore:
+    """LRU-bounded, thread-safe cache of :class:`TraceBundle`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached bundles; least-recently-used bundles
+        beyond it are evicted (their sessions keep a reference and stay
+        valid — eviction only forgets the cache slot).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        # observability counters (read via snapshot())
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _signature(path: str) -> _Sig:
+        st = os.stat(path)
+        return (st.st_mtime_ns, st.st_size)
+
+    def get(self, path: str | os.PathLike) -> TraceBundle:
+        """Return the bundle for ``path``, loading it at most once.
+
+        A changed file (different mtime/size) invalidates the cached
+        bundle and reloads.  Raises whatever :func:`load_trace` raises
+        (:class:`FileNotFoundError`, :class:`TraceFormatError`).
+        """
+        path = os.path.abspath(os.fspath(path))
+        sig = self._signature(path)  # raises FileNotFoundError for absent files
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is not None and entry.signature == sig and entry.error is None:
+                self._entries.move_to_end(path)
+                if entry.ready.is_set():
+                    self.hits += 1
+                    assert entry.bundle is not None
+                    return entry.bundle
+                loader = False
+            else:
+                if entry is not None:
+                    self.invalidations += 1
+                    del self._entries[path]
+                entry = _Entry(sig)
+                self._entries[path] = entry
+                self.misses += 1
+                loader = True
+                while len(self._entries) > self.capacity:
+                    victim, _ = self._entries.popitem(last=False)
+                    if victim != path:
+                        self.evictions += 1
+        if loader:
+            try:
+                bundle = TraceBundle(path, sig, load_trace(path))
+                entry.bundle = bundle
+            except Exception as exc:
+                entry.error = exc
+                with self._lock:
+                    # forget failed loads so a repaired file retries
+                    if self._entries.get(path) is entry:
+                        del self._entries[path]
+                raise
+            finally:
+                entry.ready.set()
+            return bundle
+        entry.ready.wait()
+        if entry.error is not None:
+            raise entry.error
+        with self._lock:
+            self.hits += 1
+        assert entry.bundle is not None
+        return entry.bundle
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def invalidate(self, path: str | os.PathLike) -> bool:
+        """Drop one cached bundle; True if it was cached."""
+        path = os.path.abspath(os.fspath(path))
+        with self._lock:
+            if path in self._entries:
+                del self._entries[path]
+                self.invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        """Drop every cached bundle."""
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters for the ``stats`` endpoint."""
+        with self._lock:
+            return {
+                "cached": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

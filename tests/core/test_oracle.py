@@ -47,6 +47,41 @@ class TestModes:
         with pytest.raises(FileNotFoundError):
             Pythia(tmp_trace_path, mode="predict")
 
+    def test_auto_resolves_by_opening_not_by_exists_check(self, tmp_trace_path):
+        # the mode decision and the load are one operation, so a file
+        # appearing *after* the decision cannot produce a half-predict
+        # oracle: whoever loaded records/predicts coherently
+        first = Pythia(tmp_trace_path)
+        run_app(first)
+        first.finish()
+        oracle = Pythia(tmp_trace_path)
+        assert oracle.predicting
+        assert oracle.reference is not None  # loaded by the same open
+
+    def test_auto_on_corrupt_file_raises_not_records(self, tmp_trace_path):
+        from repro.core.trace_file import TraceFormatError
+
+        with open(tmp_trace_path, "w") as fh:
+            fh.write("{ definitely not a trace")
+        # a corrupt file must surface loudly, not be silently clobbered
+        # by a fresh recording
+        with pytest.raises(TraceFormatError):
+            Pythia(tmp_trace_path)
+
+    def test_concurrent_recorders_last_writer_wins(self, tmp_trace_path):
+        # two processes losing the auto race both record; finish() is an
+        # atomic rename, so the survivor is one complete valid trace
+        first = Pythia(tmp_trace_path)
+        second = Pythia(tmp_trace_path)
+        assert first.recording and second.recording
+        run_app(first)
+        run_app(second, events=APP_EVENTS[:20])
+        first.finish()
+        second.finish()  # last writer
+        reader = Pythia(tmp_trace_path)
+        assert reader.predicting
+        assert reader.reference.event_count == 20
+
 
 class TestRecordRun:
     def test_finish_writes_trace(self, tmp_trace_path):

@@ -61,6 +61,93 @@ class TestPaperTrackingExample:
         assert not p.lost
 
 
+class TestWeightedCandidateNarrowing:
+    """§II-B deep-dive: the *weights* of the candidate set during a
+    mid-stream attach and after unexpected-event recovery (the paper's
+    example: four occurrences of ``b``, reduced after a ``c``)."""
+
+    def test_attach_weight_split_over_grammar_positions(self, fig1_frozen):
+        # abbcbcab reduces to S -> R1 R2 R2 R1 with R1=ab, R2=bc; the
+        # two grammar positions of b carry two trace occurrences each,
+        # so the attach weights are an even 0.5/0.5
+        p = PythiaPredict(fig1_frozen)
+        p.observe(B)
+        assert sorted(p.candidates.values()) == pytest.approx([0.5, 0.5])
+
+    def test_attach_distribution_mixes_both_continuations(self, fig1_frozen):
+        # from R2's b the next event is c (weight 0.5); from R1's b the
+        # execution continues with b (first use) or ends (last use)
+        p = PythiaPredict(fig1_frozen)
+        p.observe(B)
+        pred = p.predict(1)
+        assert pred.distribution[C] == pytest.approx(0.5)
+        assert pred.distribution[B] == pytest.approx(0.25)
+        assert pred.distribution[None] == pytest.approx(0.25)
+        assert sum(pred.distribution.values()) == pytest.approx(1.0)
+        assert pred.terminal == C and pred.probability == pytest.approx(0.5)
+
+    def test_narrowing_keeps_weights_normalized(self, fig1_frozen):
+        p = PythiaPredict(fig1_frozen)
+        p.observe(B)
+        p.observe(C)  # only the bc occurrences survive
+        assert len(p.candidates) == 1
+        assert sum(p.candidates.values()) == pytest.approx(1.0)
+
+    def test_narrowed_position_still_ambiguous_on_iteration(self, fig1_frozen):
+        # after b c the tracker knows it sits in R2 but not *which* use:
+        # the next event is b (first use) or a (second use), evenly
+        p = PythiaPredict(fig1_frozen)
+        p.observe(B)
+        p.observe(C)
+        pred = p.predict(1)
+        assert pred.distribution == {B: pytest.approx(0.5), A: pytest.approx(0.5)}
+
+    def test_unexpected_event_restarts_with_weighted_candidates(self, fig1_frozen):
+        # follow a b exactly, then feed c where b was expected: the
+        # tracker restarts from the c occurrences instead of crashing
+        p = PythiaPredict(fig1_frozen)
+        p.observe(A)
+        assert p.observe(B) is True
+        assert p.observe(C) is False  # unexpected
+        assert p.stats()["unexpected"] == 1
+        assert not p.lost
+        assert sum(p.candidates.values()) == pytest.approx(1.0)
+
+    def test_recovery_after_unexpected_narrows_to_certainty(self, fig1_frozen):
+        p = PythiaPredict(fig1_frozen)
+        p.observe(A)
+        p.observe(B)
+        p.observe(C)  # unexpected, restarts on c
+        assert p.observe(B) is True  # c -> b only happens mid-trace
+        pred = p.predict(1)
+        assert pred.terminal == C
+        assert pred.probability == pytest.approx(1.0)
+
+    def test_midstream_attach_converges_to_exact_tracking(self):
+        # a longer loop: attach in the middle, and after one full period
+        # the tracker predicts the loop exactly
+        seq = [A, B, C, D] * 20
+        p = PythiaPredict(freeze(seq))
+        for ev in [C, D, A, B, C, D]:  # attach at an offset
+            p.observe(ev)
+        for expect in [A, B, C, D] * 3:
+            pred = p.predict(1)
+            assert pred is not None and pred.terminal == expect
+            assert p.observe(expect) is True
+
+    def test_lost_then_reattach_counts_every_phase(self, fig1_frozen):
+        p = PythiaPredict(fig1_frozen)
+        p.observe(B)
+        p.observe(99)  # unknown: lost
+        assert p.lost and p.predict(4) is None
+        p.observe(C)  # known again: weighted re-attach
+        assert not p.lost
+        stats = p.stats()
+        assert stats["observed"] == 3
+        assert stats["unknown"] == 1
+        assert stats["candidates"] == len(p.candidates) > 0
+
+
 class TestDeterministicPrediction:
     def test_perfect_prediction_on_loop(self):
         seq = [A, B, C] * 30

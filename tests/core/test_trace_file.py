@@ -8,7 +8,13 @@ import pytest
 
 from repro.core.events import Event, EventRegistry
 from repro.core.record import PythiaRecord
-from repro.core.trace_file import FORMAT_VERSION, Trace, load_trace, save_trace
+from repro.core.trace_file import (
+    FORMAT_VERSION,
+    Trace,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
 from tests.conftest import A, B, C
 
 
@@ -83,6 +89,61 @@ class TestValidation:
         path.write_text(json.dumps(obj))
         with pytest.raises(ValueError):
             load_trace(path)
+
+    def test_truncated_gzip_raises_trace_format_error(self, tmp_path):
+        path = tmp_path / "trunc.pythia.gz"
+        make_trace().save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # cut the stream short
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert str(path) in str(exc.value)
+
+    def test_not_gzip_at_all_raises_trace_format_error(self, tmp_path):
+        path = tmp_path / "fake.pythia.gz"
+        path.write_text("plain text, no gzip magic")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_invalid_json_raises_trace_format_error(self, tmp_path):
+        path = tmp_path / "bad.pythia"
+        path.write_text('{"format": "pythia-trace", "version": 1, ')
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert str(path) in str(exc.value)
+
+    def test_non_object_json_raises_trace_format_error(self, tmp_path):
+        path = tmp_path / "list.pythia"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_future_version_rejected_explicitly(self, tmp_path):
+        obj = make_trace().to_obj()
+        obj["version"] = FORMAT_VERSION + 7
+        path = tmp_path / "future.pythia"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert "newer" in str(exc.value)
+        assert str(FORMAT_VERSION + 7) in str(exc.value)
+
+    def test_malformed_threads_section_raises_trace_format_error(self, tmp_path):
+        obj = make_trace().to_obj()
+        obj["threads"] = {"0": {"grammar": "nonsense"}}
+        path = tmp_path / "mangled.pythia"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_trace_format_error_is_a_value_error(self):
+        # existing `except ValueError` callers keep working
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        # auto mode distinguishes absent (record) from corrupt (raise)
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "absent.pythia")
 
     def test_single_thread_accessors_require_single_thread(self):
         trace = make_trace(threads=2)

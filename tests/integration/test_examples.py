@@ -8,7 +8,13 @@ import sys
 
 import pytest
 
-EXAMPLES = ["quickstart.py", "mpi_oracle.py", "adaptive_openmp.py", "trace_anatomy.py"]
+EXAMPLES = [
+    "quickstart.py",
+    "mpi_oracle.py",
+    "adaptive_openmp.py",
+    "trace_anatomy.py",
+    "oracle_service.py",
+]
 ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 
@@ -38,6 +44,13 @@ def test_adaptive_openmp_reports_gain():
     out = run_example("adaptive_openmp.py", "20")
     assert "improvement over vanilla" in out
     assert "PYTHIA-PREDICT" in out
+
+
+def test_oracle_service_shares_one_load():
+    out = run_example("oracle_service.py")
+    assert "2 sessions" in out
+    assert "1 load(s)" in out  # both apps shared one cached trace bundle
+    assert "predictions served" in out
 
 
 def test_trace_anatomy_shows_paper_figures():

@@ -1,0 +1,136 @@
+"""Round-trip and malformed-input tests for the wire protocol."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.predict import Prediction
+from repro.server.protocol import (
+    ConnectionClosed,
+    FrameTooLarge,
+    ProtocolError,
+    decode_payload,
+    decode_prediction,
+    encode_payload,
+    encode_prediction,
+    read_frame,
+    write_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFrames:
+    def test_round_trip(self, pair):
+        a, b = pair
+        write_frame(a, {"op": "ping", "n": 42, "text": "héllo"})
+        assert read_frame(b) == {"op": "ping", "n": 42, "text": "héllo"}
+
+    def test_many_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(10):
+            write_frame(a, {"i": i})
+        assert [read_frame(b)["i"] for _ in range(10)] == list(range(10))
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert read_frame(b) is None
+
+    def test_eof_mid_header_raises(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # half a header
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            read_frame(b)
+
+    def test_eof_mid_body_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b'{"op":')  # truncated body
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            read_frame(b)
+
+    def test_oversized_frame_rejected_on_read(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 1 << 30))
+        with pytest.raises(FrameTooLarge):
+            read_frame(b, max_frame=1024)
+
+    def test_oversized_frame_rejected_on_write(self, pair):
+        a, _b = pair
+        with pytest.raises(FrameTooLarge):
+            write_frame(a, {"blob": "x" * 2048}, max_frame=1024)
+
+    def test_non_json_body_rejected(self, pair):
+        a, b = pair
+        body = b"not json at all"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_non_object_body_rejected(self, pair):
+        a, b = pair
+        body = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_empty_object_round_trip(self, pair):
+        a, b = pair
+        write_frame(a, {})
+        assert read_frame(b) == {}
+
+
+class TestPayloadEncoding:
+    @pytest.mark.parametrize(
+        "payload", [None, 0, 7, -3, "dest", 1.5, True, (1, 2), ("a", 3), ()]
+    )
+    def test_round_trip(self, payload):
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_tuple_convention_matches_registry(self):
+        # the wire uses the exact on-disk convention, so interning agrees
+        from repro.core.events import Event, EventRegistry
+
+        reg = EventRegistry()
+        tid = reg.intern(Event("MPI_Reduce", (0, "SUM")))
+        restored = EventRegistry.from_obj(reg.to_obj())
+        wire = decode_payload(encode_payload((0, "SUM")))
+        assert restored.lookup(Event("MPI_Reduce", wire)) == tid
+
+
+class TestPredictionEncoding:
+    def test_none_round_trip(self):
+        assert encode_prediction(None) is None
+        assert decode_prediction(None) is None
+
+    def test_full_round_trip(self):
+        pred = Prediction(
+            terminal=3,
+            probability=0.625,
+            eta=0.0123456,
+            distribution={3: 0.625, 1: 0.25, None: 0.125},
+        )
+        assert decode_prediction(encode_prediction(pred)) == pred
+
+    def test_end_of_execution_round_trip(self):
+        pred = Prediction(terminal=None, probability=1.0, distribution={None: 1.0})
+        assert decode_prediction(encode_prediction(pred)) == pred
+
+    def test_floats_survive_json_exactly(self):
+        import json
+
+        pred = Prediction(terminal=1, probability=1 / 3, eta=1e-7 + 0.1,
+                          distribution={1: 1 / 3, 2: 2 / 3})
+        wire = json.loads(json.dumps(encode_prediction(pred)))
+        assert decode_prediction(wire) == pred

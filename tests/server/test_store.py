@@ -1,0 +1,150 @@
+"""TraceStore: caching, invalidation, LRU bounds, concurrency."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.core.oracle import Pythia
+from repro.core.trace_file import TraceFormatError
+from repro.server.store import TraceStore
+
+EVENTS = [("a", None), ("b", 1), ("a", None), ("b", 1), ("c", None)] * 8
+
+
+def record(path: str, events=EVENTS) -> None:
+    oracle = Pythia(path, mode="record", record_timestamps=False)
+    for name, payload in events:
+        oracle.event(name, payload)
+    oracle.finish()
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = str(tmp_path / "ref.pythia")
+    record(path)
+    return path
+
+
+class TestCaching:
+    def test_second_get_is_a_hit_and_shares_the_bundle(self, trace_path):
+        store = TraceStore()
+        first = store.get(trace_path)
+        second = store.get(trace_path)
+        assert first is second
+        assert store.snapshot()["hits"] == 1
+        assert store.snapshot()["misses"] == 1
+
+    def test_relative_and_absolute_paths_share_one_entry(self, trace_path, monkeypatch):
+        store = TraceStore()
+        monkeypatch.chdir(os.path.dirname(trace_path))
+        assert store.get(os.path.basename(trace_path)) is store.get(trace_path)
+
+    def test_rewritten_file_invalidates(self, trace_path):
+        store = TraceStore()
+        store.get(trace_path)
+        record(trace_path, [("x", None)] * 4)
+        os.utime(trace_path, ns=(1, 1))  # force a distinct mtime
+        bundle = store.get(trace_path)
+        assert store.snapshot()["invalidations"] == 1
+        assert len(bundle.registry) == 1  # the new trace, not the cached one
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceStore().get(str(tmp_path / "absent.pythia"))
+
+    def test_corrupt_file_raises_format_error_and_is_not_cached(self, tmp_path):
+        path = str(tmp_path / "bad.pythia")
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        store = TraceStore()
+        for _ in range(2):
+            with pytest.raises(TraceFormatError):
+                store.get(path)
+        assert len(store) == 0  # failed loads are forgotten, ready to retry
+
+    def test_tracker_for_unknown_thread_raises_keyerror(self, trace_path):
+        bundle = TraceStore().get(trace_path)
+        with pytest.raises(KeyError):
+            bundle.tracker(99)
+
+
+class TestLRU:
+    def test_capacity_bounds_the_cache(self, tmp_path):
+        store = TraceStore(capacity=2)
+        paths = []
+        for i in range(4):
+            path = str(tmp_path / f"t{i}.pythia")
+            record(path)
+            paths.append(path)
+            store.get(path)
+        assert len(store) == 2
+        assert store.snapshot()["evictions"] == 2
+
+    def test_recently_used_survives_eviction(self, tmp_path):
+        store = TraceStore(capacity=2)
+        paths = []
+        for i in range(3):
+            path = str(tmp_path / f"t{i}.pythia")
+            record(path)
+            paths.append(path)
+        store.get(paths[0])
+        store.get(paths[1])
+        store.get(paths[0])  # refresh 0 -> 1 becomes the LRU victim
+        store.get(paths[2])
+        before = store.snapshot()["misses"]
+        store.get(paths[0])
+        assert store.snapshot()["misses"] == before  # still cached
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestConcurrency:
+    def test_many_threads_one_load(self, trace_path):
+        store = TraceStore()
+        bundles, errors = [], []
+        barrier = threading.Barrier(16)
+
+        def worker():
+            try:
+                barrier.wait()
+                bundles.append(store.get(trace_path))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.snapshot()["misses"] == 1  # exactly one real load
+        assert all(b is bundles[0] for b in bundles)
+
+    def test_concurrent_distinct_traces(self, tmp_path):
+        store = TraceStore(capacity=16)
+        paths = []
+        for i in range(8):
+            path = str(tmp_path / f"t{i}.pythia")
+            record(path)
+            paths.append(path)
+        errors = []
+
+        def worker(idx: int):
+            try:
+                for _ in range(20):
+                    store.get(paths[idx % len(paths)])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.snapshot()["misses"] == 8
