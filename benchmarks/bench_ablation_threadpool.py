@@ -46,7 +46,7 @@ def adaptive_time(trace_path: str, pool_mode: str) -> tuple[float, dict]:
 def test_ablation_park_vs_destroy(benchmark):
     path = temp_trace_path("ablation")
     try:
-        record = omp_record_run(PUDDING, SIZE, path)
+        omp_record_run(PUDDING, SIZE, path)
         park_t, park_stats = benchmark.pedantic(
             lambda: adaptive_time(path, "park"), rounds=1, iterations=1
         )

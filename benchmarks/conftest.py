@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.experiments.harness import mpi_record_run, temp_trace_path
+from repro.experiments.harness import mpi_record_run
 
 BENCH_RANKS = 4
 

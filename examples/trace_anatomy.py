@@ -14,8 +14,6 @@ from repro import Grammar, FrozenGrammar, PythiaPredict, PythiaRecord
 from repro.core.progress import (
     advance_exact,
     initial_chain,
-    start_chains,
-    successors,
     terminal_of,
 )
 

@@ -21,7 +21,6 @@ the paper's range (~8.4 s at s=30 with 24 threads).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
 
 from repro.openmp.runtime import GompRuntime
 

@@ -12,8 +12,17 @@ Subcommands
 ``serve``
     Run the oracle daemon: many applications share one long-lived
     prediction service over a Unix socket (or TCP).
+``metrics``
+    Scrape a running daemon's metrics in Prometheus text format.
+``spans``
+    Record + replay an application with span recording on and write a
+    Chrome-trace JSON (chrome://tracing / Perfetto).
 ``apps``
     List the available application skeletons.
+
+A global ``--log-level`` (or ``PYTHIA_LOG``) turns on structured
+logging, e.g. ``pythia-trace --log-level debug record ...`` or
+``--log-level json:info`` for JSON lines.
 """
 
 from __future__ import annotations
@@ -87,6 +96,58 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import socket as socketlib
+
+    from repro.server.protocol import read_frame, write_frame
+
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        sock = socketlib.create_connection(
+            (host or "127.0.0.1", int(port)), timeout=args.timeout
+        )
+    else:
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(args.timeout)
+        sock.connect(args.socket)
+    try:
+        write_frame(sock, {"op": "metrics"})
+        response = read_frame(sock)
+    finally:
+        sock.close()
+    if response is None or not response.get("ok"):
+        error = (response or {}).get("error", "daemon closed the connection")
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    sys.stdout.write(response["text"])
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    from repro.experiments.harness import temp_trace_path
+    from repro.obs.spans import span_recording
+
+    trace = args.trace or temp_trace_path(args.app)
+    with span_recording() as recorder:
+        mpi_record_run(
+            args.app, args.ws, trace,
+            ranks=args.ranks, seed=args.seed, timestamps=True,
+        )
+        mpi_predict_run(args.app, args.ws, trace, ranks=args.ranks, seed=args.seed + 1)
+    recorder.dump(args.output)
+    totals = recorder.totals()
+    print(f"{len(recorder)} spans from {args.app}.{args.ws} -> {args.output}")
+    for name in sorted(totals, key=lambda n: -totals[n]["total_s"]):
+        agg = totals[name]
+        print(f"  {name:28s} x{agg['count']:<5d} total {1e3 * agg['total_s']:8.2f} ms "
+              f"(max {1e3 * agg['max_s']:.2f} ms)")
+    if args.trace is None:
+        import os
+
+        os.unlink(trace)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.server import OracleServer, TraceStore
 
@@ -117,6 +178,11 @@ def _cmd_serve(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="pythia-trace", description=__doc__)
+    parser.add_argument(
+        "--log-level", default=None, metavar="[json:]LEVEL",
+        help="enable structured logging (debug/info/warning/error; "
+             "prefix 'json:' for JSON lines)",
+    )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
     sub.add_parser("apps", help="list application skeletons")
@@ -152,10 +218,33 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--cache-size", type=int, default=8,
                      help="trace store capacity (loaded trace bundles)")
 
+    met = sub.add_parser("metrics", help="scrape a running daemon (Prometheus text)")
+    met.add_argument("--socket", default="/tmp/pythia-oracle.sock",
+                     help="unix socket the daemon listens on")
+    met.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                     help="connect over TCP instead of the unix socket")
+    met.add_argument("--timeout", type=float, default=10.0)
+
+    spn = sub.add_parser("spans", help="record+replay with span recording on")
+    spn.add_argument("app")
+    spn.add_argument("-o", "--output", default="pythia-spans.json",
+                     help="Chrome-trace JSON output path")
+    spn.add_argument("--trace", default=None,
+                     help="trace file to (re)use; default: a temp file")
+    spn.add_argument("--ws", default="small", choices=("small", "medium", "large"))
+    spn.add_argument("--ranks", type=int, default=None)
+    spn.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
+    if args.log_level:
+        from repro.obs.log import configure, parse_spec
+
+        level, fmt = parse_spec(args.log_level)
+        configure(level=level, fmt=fmt)
     return {"apps": _cmd_apps, "record": _cmd_record,
             "dump": _cmd_dump, "predict": _cmd_predict,
-            "serve": _cmd_serve}[args.cmd](args)
+            "serve": _cmd_serve, "metrics": _cmd_metrics,
+            "spans": _cmd_spans}[args.cmd](args)
 
 
 if __name__ == "__main__":

@@ -53,6 +53,10 @@ class Grammar:
 
     def __init__(self) -> None:
         self._next_rid = 0
+        #: observability counters (monotone; rules_created counts the root
+        #: and is never decremented when a rule is later inlined away)
+        self.rules_created = 0
+        self.exponent_merges = 0
         self.root = self._new_rule()
         #: ordered couple of symbols -> left node of its unique occurrence
         self._digrams: dict[DigramKey, SymbolUse] = {}
@@ -84,8 +88,9 @@ class Grammar:
         last = root.last
         if last is not None and last.symbol == terminal:
             last.exp += 1
+            self.exponent_merges += 1
             return
-        node = self._link_after(root.guard.prev, terminal, 1, root)
+        self._link_after(root.guard.prev, terminal, 1, root)
         if last is not None:
             self._check_digram(last)
         self._drain_useless()
@@ -210,6 +215,7 @@ class Grammar:
     def _new_rule(self) -> Rule:
         rule = Rule(self._next_rid)
         self._next_rid += 1
+        self.rules_created += 1
         if hasattr(self, "rules"):
             self.rules[rule.rid] = rule
         return rule
@@ -269,6 +275,7 @@ class Grammar:
             return
         if left.symbol == right.symbol:
             # invariant 3: merge exponents (a^n a^m -> a^{n+m})
+            self.exponent_merges += 1
             self._forget(left)
             self._forget(right)
             self._add_usage(left.symbol, right.exp)  # exponent moves onto `left`...
@@ -345,7 +352,6 @@ class Grammar:
         rule = left.owner
         assert rule is not None and right is not None
         prev = left.prev
-        nxt = right.next
         self._forget(prev)
         self._forget(left)
         self._forget(right)

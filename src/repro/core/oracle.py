@@ -22,8 +22,13 @@ from repro.core.events import Event, EventRegistry
 from repro.core.predict import Prediction, PythiaPredict
 from repro.core.record import PythiaRecord
 from repro.core.trace_file import Trace, load_trace
+from repro.obs import span
+from repro.obs.accuracy import aggregate_stats
+from repro.obs.log import get_logger
 
 __all__ = ["Pythia"]
+
+_log = get_logger("oracle")
 
 
 class Pythia:
@@ -68,15 +73,17 @@ class Pythia:
         # the same application.  A long-lived oracle daemon
         # (:mod:`repro.server`) sidesteps the race entirely.
         self.reference: Trace | None = None
-        if mode == "predict":
-            self.reference = load_trace(self.trace_path)
-        elif mode == "auto":
-            try:
+        with span("oracle.open", mode=mode):
+            if mode == "predict":
                 self.reference = load_trace(self.trace_path)
-                mode = "predict"
-            except FileNotFoundError:
-                mode = "record"
+            elif mode == "auto":
+                try:
+                    self.reference = load_trace(self.trace_path)
+                    mode = "predict"
+                except FileNotFoundError:
+                    mode = "record"
         self.mode = mode
+        _log.debug("oracle_opened", trace=self.trace_path, mode=mode)
         self._recorders: dict[int, PythiaRecord] = {}
         self._predictors: dict[int, PythiaPredict] = {}
         if self.reference is not None:
@@ -147,11 +154,8 @@ class Pythia:
         if terminal is None:
             # never seen in the reference run: the oracle has no
             # information; the runtime must rely on its heuristics
-            pred.observed += 1
-            pred.unknown += 1
-            pred.candidates = {}
-            return False
-        return pred.observe(terminal)
+            return pred.observe_unknown(now=timestamp)
+        return pred.observe(terminal, now=timestamp)
 
     def predict(
         self, distance: int = 1, *, thread: int = 0, with_time: bool = False
@@ -187,17 +191,37 @@ class Pythia:
             raise RuntimeError("oracle already finished")
         self._finished = True
         if not self.recording:
+            for pred in self._predictors.values():
+                pred.flush_metrics()
             return None
         trace = Trace(registry=self.registry, meta=self.meta)
         for tid, rec in sorted(self._recorders.items()):
             trace.threads[tid] = rec.finish()
-        trace.save(self.trace_path)
+        with span("oracle.save_trace", path=self.trace_path):
+            trace.save(self.trace_path)
+        _log.info(
+            "trace_recorded",
+            trace=self.trace_path,
+            events=trace.event_count,
+            threads=len(trace.threads),
+        )
         return trace
 
     # ------------------------------------------------------------------
 
-    def stats(self, thread: int = 0) -> dict[str, int]:
-        """Tracking counters of one thread's predictor (predict mode)."""
+    def stats(self, thread: int | None = None) -> dict:
+        """Tracking counters and accuracy report (predict mode).
+
+        With ``thread=None`` (the default) the counters of **every**
+        thread followed so far are aggregated; pass a thread id for one
+        thread's view (the pre-observability behaviour).  Both shapes
+        match the daemon's per-session ``stats`` op.
+        """
         if not self.predicting:
             return {}
-        return self._predictor(thread).stats()
+        if thread is not None:
+            return self._predictor(thread).stats()
+        reports = [pred.stats() for _tid, pred in sorted(self._predictors.items())]
+        if not reports:
+            return self._predictor(0).stats() if 0 in self.reference.threads else {}
+        return aggregate_stats(reports)

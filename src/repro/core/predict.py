@@ -20,8 +20,14 @@ from dataclasses import dataclass, field
 from repro.core.frozen import FrozenGrammar
 from repro.core.progress import END, Chain, start_chains, successors, terminal_of
 from repro.core.timing import TimingTable
+from repro.obs import metrics as obs_metrics
+from repro.obs.accuracy import AccuracyTracker
 
 __all__ = ["Prediction", "PythiaPredict"]
+
+#: registry flushes happen every this many observations (the hot path
+#: only bumps plain ints; scrapers call :meth:`PythiaPredict.flush_metrics`)
+METRICS_FLUSH_EVERY = 1024
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +80,14 @@ class PythiaPredict:
         self.observed = 0
         self.unexpected = 0
         self.unknown = 0
+        self.matched = 0
+        self.predictions = 0
+        #: candidates dropped by weight/cap pruning
+        self.pruned = 0
+        #: online hit/miss/lost/time-error scoring of every prediction
+        self.accuracy = AccuracyTracker()
+        self._since_flush = 0
+        self._flushed: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # following the execution (§II-B)
@@ -84,16 +98,20 @@ class PythiaPredict:
         """True when the tracker has no candidate position (no knowledge)."""
         return not self.candidates
 
-    def observe(self, terminal: int) -> bool:
+    def observe(self, terminal: int, *, now: float | None = None) -> bool:
         """Submit one event; returns True if it matched an expected event.
 
         On mismatch the tracker restarts from every occurrence of the
         event (tolerance to unexpected events, §II-B2); if the event never
         occurred in the reference execution the tracker becomes *lost*
         and the runtime must fall back to its heuristics until a known
-        event shows up.
+        event shows up.  ``now`` (any monotone clock, e.g. the recorded
+        timestamps' unit) feeds the online time-error scoring.
         """
         self.observed += 1
+        self._since_flush += 1
+        if self._since_flush >= METRICS_FLUSH_EVERY:
+            self.flush_metrics()
         if self.candidates:
             matched: dict[Chain, float] = {}
             for chain, weight in self.candidates.items():
@@ -104,17 +122,35 @@ class PythiaPredict:
                         matched[succ] = matched.get(succ, 0.0) + w
             if matched:
                 self.candidates = self._prune(matched)
+                self.matched += 1
+                self.accuracy.note_observation(terminal, matched=True, lost=False, now=now)
                 return True
             self.unexpected += 1
         restart = start_chains(self.grammar, terminal)
         if not restart:
             self.unknown += 1
             self.candidates = {}
+            self.accuracy.note_observation(terminal, matched=False, lost=True, now=now)
             return False
         agg: dict[Chain, float] = {}
         for chain, w in restart:
             agg[chain] = agg.get(chain, 0.0) + w
         self.candidates = self._prune(agg)
+        self.accuracy.note_observation(terminal, matched=False, lost=False, now=now)
+        return False
+
+    def observe_unknown(self, *, now: float | None = None) -> bool:
+        """Submit an event absent from the reference registry.
+
+        The oracle has no information at all: the tracker becomes lost
+        and the runtime must rely on its heuristics (§II-B2).  Shared by
+        the in-process facade and the daemon so both report identical
+        statistics.  Always returns False.
+        """
+        self.observed += 1
+        self.unknown += 1
+        self.candidates = {}
+        self.accuracy.note_observation(None, matched=False, lost=True, now=now)
         return False
 
     def _prune(self, cands: dict[Chain, float]) -> dict[Chain, float]:
@@ -124,6 +160,7 @@ class PythiaPredict:
         items = [(c, w / total) for c, w in cands.items() if w / total >= self.min_weight]
         items.sort(key=lambda cw: cw[1], reverse=True)
         items = items[: self.max_candidates]
+        self.pruned += len(cands) - len(items)
         norm = sum(w for _c, w in items)
         return {c: w / norm for c, w in items}
 
@@ -141,7 +178,9 @@ class PythiaPredict:
         preds = self.predict_sequence(distance, with_time=with_time)
         if preds is None:
             return None
-        return preds[-1]
+        pred = preds[-1]
+        self.accuracy.note_prediction(pred.terminal, distance=distance, eta=pred.eta)
+        return pred
 
     def predict_sequence(
         self, distance: int = 1, *, with_time: bool = False
@@ -151,6 +190,7 @@ class PythiaPredict:
             raise ValueError("distance must be >= 1")
         if not self.candidates:
             return None
+        self.predictions += 1
         cands = dict(self.candidates)
         out: list[Prediction] = []
         elapsed = 0.0
@@ -210,11 +250,59 @@ class PythiaPredict:
 
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Counters useful for Table-style reports."""
-        return {
+    def stats(self) -> dict:
+        """Tracking counters plus the online accuracy report.
+
+        The four original keys (``observed`` / ``unexpected`` /
+        ``unknown`` / ``candidates``) are preserved; the rest comes from
+        the embedded :class:`~repro.obs.accuracy.AccuracyTracker`.  The
+        oracle daemon's per-session ``stats`` op returns exactly this
+        dict, so in-process and remote reporting share one shape.
+        """
+        self.flush_metrics()
+        out = {
             "observed": self.observed,
             "unexpected": self.unexpected,
             "unknown": self.unknown,
             "candidates": len(self.candidates),
+            "matched": self.matched,
+            "predictions": self.predictions,
+            "pruned": self.pruned,
         }
+        out.update(self.accuracy.report())
+        return out
+
+    def flush_metrics(self) -> None:
+        """Publish counter deltas to the process metrics registry.
+
+        Called automatically every :data:`METRICS_FLUSH_EVERY`
+        observations and from :meth:`stats`; the daemon also calls it at
+        scrape time so `pythia-trace metrics` sees live values.
+        """
+        self._since_flush = 0
+        reg = obs_metrics.get_registry()
+        if not reg.enabled:
+            return
+        acc = self.accuracy
+        current = {
+            "pythia_predict_observe_total": self.observed,
+            "pythia_predict_matched_total": self.matched,
+            "pythia_predict_unexpected_total": self.unexpected,
+            "pythia_predict_unknown_total": self.unknown,
+            "pythia_predict_predictions_total": self.predictions,
+            "pythia_predict_pruned_total": self.pruned,
+            "pythia_predict_hits_total": acc.hits,
+            "pythia_predict_misses_total": acc.misses,
+            "pythia_predict_lost_total": acc.lost_events,
+            "pythia_predict_resyncs_total": acc.resyncs,
+        }
+        flushed = self._flushed
+        for name, value in current.items():
+            delta = value - flushed.get(name, 0)
+            if delta:
+                reg.counter(name).inc(delta)
+                flushed[name] = value
+        reg.histogram(
+            "pythia_predict_candidates",
+            help="Candidate-chain set size at flush points",
+        ).observe(len(self.candidates))

@@ -16,6 +16,12 @@ from repro.core.events import Event, EventRegistry
 from repro.core.frozen import FrozenGrammar
 from repro.core.grammar import Grammar
 from repro.core.timing import TimingTable
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
+
+#: registry flushes happen every this many recorded events (the hot path
+#: only bumps a local int; see the README's overhead benchmark)
+METRICS_FLUSH_EVERY = 4096
 
 
 @dataclass(slots=True)
@@ -50,6 +56,20 @@ class PythiaRecord:
         self.grammar = Grammar()
         self._timestamps: list[float] = []
         self._finished = False
+        reg = obs_metrics.get_registry()
+        self._m_events = reg.counter(
+            "pythia_record_events_total", help="Events ingested by PYTHIA-RECORD"
+        )
+        self._m_rules = reg.counter(
+            "pythia_record_rules_created_total", help="Grammar rules created while recording"
+        )
+        self._m_merges = reg.counter(
+            "pythia_record_exponent_merges_total",
+            help="Consecutive-repetition exponent merges while recording",
+        )
+        self._unflushed_events = 0
+        self._flushed_rules = 0
+        self._flushed_merges = 0
 
     @property
     def event_count(self) -> int:
@@ -66,6 +86,9 @@ class PythiaRecord:
         if self._finished:
             raise RuntimeError("recorder already finished")
         self.grammar.append(terminal)
+        self._unflushed_events += 1
+        if self._unflushed_events >= METRICS_FLUSH_EVERY:
+            self.flush_metrics()
         if self.record_timestamps:
             if timestamp is None:
                 raise ValueError("record_timestamps=True requires a timestamp per event")
@@ -81,11 +104,28 @@ class PythiaRecord:
         self.record(terminal, timestamp)
         return terminal
 
+    def flush_metrics(self) -> None:
+        """Publish batched deltas to the process metrics registry."""
+        if self._unflushed_events:
+            self._m_events.inc(self._unflushed_events)
+            self._unflushed_events = 0
+        rules = self.grammar.rules_created
+        if rules != self._flushed_rules:
+            self._m_rules.inc(rules - self._flushed_rules)
+            self._flushed_rules = rules
+        merges = self.grammar.exponent_merges
+        if merges != self._flushed_merges:
+            self._m_merges.inc(merges - self._flushed_merges)
+            self._flushed_merges = merges
+
     def finish(self) -> ThreadTrace:
         """Freeze the grammar (and build the timing table if recording times)."""
         self._finished = True
-        frozen = FrozenGrammar.from_grammar(self.grammar)
+        self.flush_metrics()
+        with span("record.freeze"):
+            frozen = FrozenGrammar.from_grammar(self.grammar)
         timing: TimingTable | None = None
         if self.record_timestamps and self._timestamps:
-            timing = TimingTable.from_replay(frozen, self._timestamps)
+            with span("record.timing_table", events=len(self._timestamps)):
+                timing = TimingTable.from_replay(frozen, self._timestamps)
         return ThreadTrace(grammar=frozen, timing=timing, event_count=len(self.grammar))

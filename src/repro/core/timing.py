@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.frozen import FrozenGrammar
-from repro.core.progress import Chain, advance_exact, initial_chain, suffix_key, terminal_of
+from repro.core.progress import Chain, advance_exact, initial_chain, suffix_key
 
 SuffixKey = tuple[tuple[int, int], ...]
 

@@ -19,6 +19,8 @@ from repro.apps.base import AppSpec, get_app
 from repro.apps.lulesh_omp import lulesh_omp_run
 from repro.core.oracle import Pythia
 from repro.core.trace_file import Trace
+from repro.obs import span
+from repro.obs.log import get_logger
 from repro.machines import MachineSpec, PARAVANCE
 from repro.mpi.launcher import MPIRun, mpirun
 from repro.mpi.network import NetworkModel
@@ -41,6 +43,8 @@ __all__ = [
     "omp_vanilla_run",
     "predict_oracle",
 ]
+
+_log = get_logger("experiments")
 
 
 def predict_oracle(trace_path: str, oracle_socket=None):
@@ -83,6 +87,7 @@ class MPIExperimentResult:
     scores: dict[int, PredictionScore] = field(default_factory=dict)
     run: MPIRun | None = None
     trace: Trace | None = None
+    accuracy_report: dict = field(default_factory=dict)
 
     def accuracy(self, distance: int) -> float:
         """Aggregate prediction accuracy at one distance."""
@@ -130,12 +135,17 @@ def mpi_record_run(
         record_timestamps=timestamps,
         meta={"app": app.name, "ws": ws, "ranks": ranks},
     )
-    run = _run(
-        app, ws, ranks, seed,
-        lambda rank, comm: MPIRuntimeSystem(oracle, rank, comm),
-    )
-    trace = oracle.finish()
+    with span("experiment.mpi_record", app=app.name, ws=ws, ranks=ranks):
+        run = _run(
+            app, ws, ranks, seed,
+            lambda rank, comm: MPIRuntimeSystem(oracle, rank, comm),
+        )
+        trace = oracle.finish()
     rules = sum(t.grammar.rule_count for t in trace.threads.values()) / len(trace.threads)
+    _log.info(
+        "mpi_record_done", app=app.name, ws=ws, ranks=ranks,
+        events=trace.event_count, simulated_s=run.time,
+    )
     return MPIExperimentResult(
         app.name, ws, "record", run.time,
         events=trace.event_count, rules_per_rank=rules, run=run, trace=trace,
@@ -162,22 +172,32 @@ def mpi_predict_run(
     app = get_app(app_name)
     ranks = ranks or app.default_ranks
     oracle = predict_oracle(trace_path, oracle_socket)
-    run = _run(
-        app, ws, ranks, seed,
-        lambda rank, comm: MPIRuntimeSystem(
-            oracle, rank, comm,
-            distances=distances,
-            sample_stride=sample_stride,
-            error_injector=ErrorInjector(error_rate, seed=seed + rank) if error_rate else None,
-        ),
-    )
+    with span("experiment.mpi_predict", app=app.name, ws=ws, ranks=ranks):
+        run = _run(
+            app, ws, ranks, seed,
+            lambda rank, comm: MPIRuntimeSystem(
+                oracle, rank, comm,
+                distances=distances,
+                sample_stride=sample_stride,
+                error_injector=ErrorInjector(error_rate, seed=seed + rank) if error_rate else None,
+            ),
+        )
     scores: dict[int, PredictionScore] = {d: PredictionScore(d) for d in distances}
     for shim in run.interceptors:
         for d, s in shim.summary().items():
             scores[d].correct += s.correct
             scores[d].incorrect += s.incorrect
             scores[d].missing += s.missing
-    return MPIExperimentResult(app.name, ws, "predict", run.time, scores=scores, run=run)
+    report = oracle.stats()
+    _log.info(
+        "mpi_predict_done", app=app.name, ws=ws, ranks=ranks,
+        hit_rate=report.get("hit_rate"),
+        simulated_s=run.time,
+    )
+    return MPIExperimentResult(
+        app.name, ws, "predict", run.time,
+        scores=scores, run=run, accuracy_report=report,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +216,7 @@ class OMPExperimentResult:
     time: float
     average_team: float = 0.0
     stats: dict = field(default_factory=dict)
+    accuracy_report: dict = field(default_factory=dict)
 
 
 def _gomp(machine: MachineSpec, max_threads: int, policy, interceptor) -> GompRuntime:
@@ -264,11 +285,18 @@ def omp_predict_run(
         cost_model=RegionCostModel(machine), max_threads=max_threads
     )
     rt = _gomp(machine, max_threads, policy, shim)
-    time = lulesh_omp_run(rt, size)
+    with span("experiment.omp_predict", machine=machine.name, size=size):
+        time = lulesh_omp_run(rt, size)
     stats = dict(shim.stats)
     stats.update(policy.decisions)
+    report = oracle.stats()
+    _log.info(
+        "omp_predict_done", machine=machine.name, size=size,
+        hit_rate=report.get("hit_rate"), simulated_s=time,
+    )
     return OMPExperimentResult(machine.name, size, "predict", max_threads, time,
-                               average_team=rt.average_team, stats=stats)
+                               average_team=rt.average_team, stats=stats,
+                               accuracy_report=report)
 
 
 def temp_trace_path(tag: str) -> str:

@@ -23,8 +23,19 @@ from typing import Any, Generator, Protocol, Sequence
 
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Envelope, ReduceOp, Status, SUM
 from repro.mpi.network import NetworkModel
+from repro.obs import metrics as obs_metrics
 from repro.sim.engine import AllOf, SimEvent, Simulator
 from repro.sim.resources import Mailbox
+
+
+def _observe_blocking(fn: str, dt: float) -> None:
+    """Record one blocking call's simulated duration (per-function)."""
+    obs_metrics.get_registry().histogram(
+        "pythia_mpi_blocking_seconds",
+        {"fn": fn},
+        buckets=obs_metrics.LATENCY_BUCKETS_S,
+        help="Simulated time spent inside blocking MPI calls",
+    ).observe(dt)
 
 __all__ = ["Interceptor", "Request", "SimComm", "SimMPIWorld"]
 
@@ -219,16 +230,20 @@ class SimComm:
         """Complete one request; returns the received payload (or None)."""
         self._note("MPI_Wait")
         self._sync("MPI_Wait")
+        t0 = self.now
         yield from self._charge()
         value = yield request.event
+        _observe_blocking("MPI_Wait", self.now - t0)
         return self._finish(request, value)
 
     def waitall(self, requests: Sequence[Request]) -> Generator:
         """Complete several requests; returns their payloads in order."""
         self._note("MPI_Waitall")
         self._sync("MPI_Waitall")
+        t0 = self.now
         yield from self._charge()
         values = yield AllOf([r.event for r in requests])
+        _observe_blocking("MPI_Waitall", self.now - t0)
         return [self._finish(r, v) for r, v in zip(requests, values)]
 
     @staticmethod
@@ -253,9 +268,11 @@ class SimComm:
     ) -> Generator:
         self._note(fn, payload)
         self._sync(fn)
+        t0 = self.now
         yield from self._charge()
         ev = self.world._collective_arrive(self.rank, fn, value, cost_fn, combine)
         result = yield ev
+        _observe_blocking(fn, self.now - t0)
         return result
 
     def barrier(self) -> Generator:

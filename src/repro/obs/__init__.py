@@ -1,0 +1,69 @@
+"""repro.obs — the observability layer (metrics, logs, spans, accuracy).
+
+Four independent, dependency-free pieces:
+
+- :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and fixed-bucket histograms, with Prometheus text exposition and a
+  no-op null registry (``PYTHIA_METRICS=0``);
+- :mod:`repro.obs.log` — structured key=value / JSON logging with
+  per-subsystem loggers (``PYTHIA_LOG=debug``, ``PYTHIA_LOG=json:info``,
+  or the CLI's ``--log-level``);
+- :mod:`repro.obs.spans` — a ``with span("stage")`` API recording wall
+  time per stage, exportable as Chrome trace JSON (``PYTHIA_SPANS=1``,
+  ``pythia-trace spans``);
+- :mod:`repro.obs.accuracy` — online scoring of every prediction the
+  oracle makes against what the execution then actually does.
+
+The metric name catalogue lives in the README's "Observability" section.
+"""
+
+from repro.obs import log
+from repro.obs.accuracy import AccuracyTracker, merge_reports
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    metrics_enabled,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    disable_spans,
+    enable_spans,
+    get_recorder,
+    span,
+    span_recording,
+    spans_enabled,
+)
+
+__all__ = [
+    "AccuracyTracker",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "SpanRecorder",
+    "disable_spans",
+    "enable_spans",
+    "get_recorder",
+    "get_registry",
+    "log",
+    "merge_reports",
+    "metrics_enabled",
+    "render_prometheus",
+    "set_registry",
+    "span",
+    "span_recording",
+    "spans_enabled",
+]

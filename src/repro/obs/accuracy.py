@@ -1,0 +1,261 @@
+"""Online scoring of oracle predictions against the real event stream.
+
+Table 1 and Figs. 7–10 of the paper are all accuracy claims; this module
+turns them into numbers any run can print while it happens.  An
+:class:`AccuracyTracker` lives inside every
+:class:`~repro.core.predict.PythiaPredict`: each :meth:`note_prediction`
+registers what the oracle just claimed (the terminal ``distance`` events
+ahead, optionally with an ETA), and each :meth:`note_observation` scores
+every registered claim whose target event has now happened —
+
+- **hit / miss** — did the predicted terminal occur at the target index;
+- **time error** — ``|actual elapsed − predicted ETA|`` whenever both
+  ends carry timestamps (the paper's §II-C duration estimates);
+- **lost / resync** — transitions of the tracker's knowledge state
+  (§II-B2): an observation that leaves the tracker without candidates
+  counts as *lost*, the first one that re-acquires a position counts as
+  a *resync*.
+
+A bounded window yields a rolling hit-rate next to the lifetime one, so
+long runs can see accuracy drift.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+__all__ = ["AccuracyTracker", "aggregate_stats", "merge_reports"]
+
+#: pending predictions kept at most (a runtime asking for predictions it
+#: never lets resolve must not grow memory without bound)
+MAX_PENDING = 4096
+
+
+class AccuracyTracker:
+    """Scores every observation against previously made predictions."""
+
+    __slots__ = (
+        "window_size",
+        "hits",
+        "misses",
+        "lost_events",
+        "resyncs",
+        "unexpected_restarts",
+        "time_scored",
+        "time_err_sum",
+        "time_err_max",
+        "_window",
+        "_window_hits",
+        "_pending",
+        "_index",
+        "_last_now",
+        "_was_lost",
+    )
+
+    def __init__(self, *, window_size: int = 256) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_size = window_size
+        self.hits = 0
+        self.misses = 0
+        self.lost_events = 0
+        self.resyncs = 0
+        self.unexpected_restarts = 0
+        self.time_scored = 0
+        self.time_err_sum = 0.0
+        self.time_err_max = 0.0
+        self._window: deque[bool] = deque(maxlen=window_size)
+        self._window_hits = 0
+        #: (target_index, predicted_terminal, eta, base_time)
+        self._pending: deque[tuple[int, int | None, float | None, float | None]] = (
+            deque()
+        )
+        self._index = 0
+        self._last_now: float | None = None
+        self._was_lost = False
+
+    # ------------------------------------------------------------------
+
+    def note_prediction(
+        self,
+        terminal: int | None,
+        *,
+        distance: int = 1,
+        eta: float | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Register one oracle claim, to be scored ``distance`` events later.
+
+        ``now`` anchors the ETA; when omitted, the timestamp of the last
+        observation is used (the common observe-then-predict pattern).
+        """
+        if len(self._pending) >= MAX_PENDING:
+            self._pending.popleft()
+        base = now if now is not None else self._last_now
+        self._pending.append((self._index + distance, terminal, eta, base))
+
+    def note_observation(
+        self,
+        terminal: int | None,
+        *,
+        matched: bool,
+        lost: bool,
+        now: float | None = None,
+    ) -> None:
+        """Score one observed event against every due prediction.
+
+        ``terminal`` is the observed event id (``None`` when the event
+        was never seen in the reference run); ``matched`` / ``lost`` are
+        the tracker's outcome for this observation.
+        """
+        self._index += 1
+        index = self._index
+        pending = self._pending
+        while pending and pending[0][0] <= index:
+            target, predicted, eta, base = pending.popleft()
+            if target < index:
+                continue  # should not happen: indices are monotone
+            hit = (
+                predicted is not None and terminal is not None and predicted == terminal
+            )
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+            if len(self._window) == self.window_size and self._window[0]:
+                self._window_hits -= 1
+            self._window.append(hit)
+            if hit:
+                self._window_hits += 1
+            if hit and eta is not None and base is not None and now is not None:
+                err = abs((now - base) - eta)
+                self.time_scored += 1
+                self.time_err_sum += err
+                if err > self.time_err_max:
+                    self.time_err_max = err
+        if now is not None:
+            self._last_now = now
+        if lost:
+            if not self._was_lost:
+                self.lost_events += 1
+            # no candidate position: queued claims can never resolve
+            pending.clear()
+            self._was_lost = True
+        else:
+            if self._was_lost:
+                self.resyncs += 1
+            if not matched:
+                self.unexpected_restarts += 1
+            self._was_lost = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def scored(self) -> int:
+        """Predictions scored so far (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of scored predictions that hit."""
+        scored = self.scored
+        return self.hits / scored if scored else 0.0
+
+    @property
+    def rolling_hit_rate(self) -> float:
+        """Hit fraction over the last ``window_size`` scored predictions."""
+        n = len(self._window)
+        return self._window_hits / n if n else 0.0
+
+    @property
+    def mean_abs_time_error(self) -> float:
+        """Mean ``|actual − predicted|`` delay over time-scored hits."""
+        return self.time_err_sum / self.time_scored if self.time_scored else 0.0
+
+    def report(self) -> dict:
+        """Everything above as one plain dict (JSON-safe)."""
+        return {
+            "predictions_scored": self.scored,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "rolling_hit_rate": self.rolling_hit_rate,
+            "lost_events": self.lost_events,
+            "resyncs": self.resyncs,
+            "unexpected_restarts": self.unexpected_restarts,
+            "time_scored": self.time_scored,
+            "mean_abs_time_error": self.mean_abs_time_error,
+            "max_abs_time_error": self.time_err_max,
+        }
+
+
+def merge_reports(reports: Iterable[dict]) -> dict:
+    """Aggregate per-thread :meth:`AccuracyTracker.report` dicts.
+
+    Counters add; rates are recomputed from the merged counters; the
+    rolling rate becomes the scored-weighted mean of the inputs (the
+    windows themselves cannot be merged).
+    """
+    out = {
+        "predictions_scored": 0,
+        "hits": 0,
+        "misses": 0,
+        "hit_rate": 0.0,
+        "rolling_hit_rate": 0.0,
+        "lost_events": 0,
+        "resyncs": 0,
+        "unexpected_restarts": 0,
+        "time_scored": 0,
+        "mean_abs_time_error": 0.0,
+        "max_abs_time_error": 0.0,
+    }
+    err_sum = 0.0
+    rolling_weighted = 0.0
+    for rep in reports:
+        for key in (
+            "predictions_scored",
+            "hits",
+            "misses",
+            "lost_events",
+            "resyncs",
+            "unexpected_restarts",
+            "time_scored",
+        ):
+            out[key] += rep.get(key, 0)
+        err_sum += rep.get("mean_abs_time_error", 0.0) * rep.get("time_scored", 0)
+        rolling_weighted += rep.get("rolling_hit_rate", 0.0) * rep.get(
+            "predictions_scored", 0
+        )
+        if rep.get("max_abs_time_error", 0.0) > out["max_abs_time_error"]:
+            out["max_abs_time_error"] = rep["max_abs_time_error"]
+    if out["predictions_scored"]:
+        out["hit_rate"] = out["hits"] / out["predictions_scored"]
+        out["rolling_hit_rate"] = rolling_weighted / out["predictions_scored"]
+    if out["time_scored"]:
+        out["mean_abs_time_error"] = err_sum / out["time_scored"]
+    return out
+
+
+def aggregate_stats(reports: list[dict]) -> dict:
+    """Aggregate full per-thread ``PythiaPredict.stats()`` dicts.
+
+    Extends :func:`merge_reports` with the tracker's base counters
+    (observed / unexpected / unknown / candidates / matched /
+    predictions / pruned).  A single report is returned as-is, so a
+    one-thread aggregate is bit-identical to that thread's view.
+    """
+    if len(reports) == 1:
+        return dict(reports[0])
+    out = merge_reports(reports)
+    for key in (
+        "observed",
+        "unexpected",
+        "unknown",
+        "candidates",
+        "matched",
+        "predictions",
+        "pruned",
+    ):
+        out[key] = sum(rep.get(key, 0) for rep in reports)
+    return out

@@ -1,0 +1,235 @@
+"""Runtime spans: wall-time per named stage, exportable as Chrome traces.
+
+Usage::
+
+    from repro.obs import span, span_recording
+    with span_recording() as rec:          # or enable_spans() globally
+        with span("record.compress", app="bt"):
+            ...work...
+    rec.to_chrome_trace()                  # load in chrome://tracing / Perfetto
+
+Spans nest naturally (the context manager tracks per-thread depth) and
+cost nothing when recording is disabled — :func:`span` returns a shared
+no-op context manager, so leaving ``with span(...)`` on a hot stage is
+free until someone turns recording on (``PYTHIA_SPANS=1``, the CLI's
+``pythia-trace spans``, or :func:`enable_spans`).
+
+The export is the Chrome trace-event format: complete events (``ph:
+"X"``) with microsecond timestamps, one row per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "enable_spans",
+    "disable_spans",
+    "get_recorder",
+    "span",
+    "span_recording",
+    "spans_enabled",
+]
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished span (times from :func:`time.perf_counter`)."""
+
+    name: str
+    start: float
+    duration: float
+    thread_id: int
+    thread_name: str
+    depth: int
+    attrs: dict = field(default_factory=dict)
+
+
+class SpanRecorder:
+    """Thread-safe collector of finished spans."""
+
+    def __init__(self, *, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._dropped = 0
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- recording ------------------------------------------------------
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def record(self, name: str, **attrs):
+        """Time one stage; records a :class:`Span` on exit (even on error)."""
+        depth = self._depth()
+        self._local.depth = depth + 1
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            duration = time.perf_counter() - t0
+            self._local.depth = depth
+            thread = threading.current_thread()
+            sp = Span(
+                name=name,
+                start=t0 - self._epoch,
+                duration=duration,
+                thread_id=thread.ident or 0,
+                thread_name=thread.name,
+                depth=depth,
+                attrs=attrs,
+            )
+            with self._lock:
+                if len(self._spans) < self.max_spans:
+                    self._spans.append(sp)
+                else:
+                    self._dropped += 1
+
+    # -- reading --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after hitting ``max_spans``."""
+        with self._lock:
+            return self._dropped
+
+    def spans(self) -> list[Span]:
+        """Copy of the recorded spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Forget every recorded span."""
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def totals(self) -> dict[str, dict]:
+        """Per-name aggregate: count, total and max seconds."""
+        out: dict[str, dict] = {}
+        for sp in self.spans():
+            agg = out.setdefault(sp.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += sp.duration
+            if sp.duration > agg["max_s"]:
+                agg["max_s"] = sp.duration
+        return out
+
+    # -- export ---------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON object (``chrome://tracing`` / Perfetto)."""
+        events = []
+        for sp in self.spans():
+            events.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "ts": round(sp.start * 1e6, 3),
+                    "dur": round(sp.duration * 1e6, 3),
+                    "pid": os.getpid(),
+                    "tid": sp.thread_id,
+                    "args": dict(sp.attrs, depth=sp.depth),
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def dump(self, path: str | os.PathLike) -> None:
+        """Write :meth:`to_chrome_trace` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+
+# ----------------------------------------------------------------------
+# the process-wide recorder
+# ----------------------------------------------------------------------
+
+_lock = threading.Lock()
+_recorder: SpanRecorder | None = None
+if os.environ.get("PYTHIA_SPANS", "").lower() in ("1", "on", "true", "yes"):
+    _recorder = SpanRecorder()
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out while recording is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def spans_enabled() -> bool:
+    """True while a process-wide recorder is installed."""
+    return _recorder is not None
+
+
+def get_recorder() -> SpanRecorder | None:
+    """The process-wide recorder, or ``None`` when disabled."""
+    return _recorder
+
+
+def enable_spans(recorder: SpanRecorder | None = None) -> SpanRecorder:
+    """Install (and return) a process-wide span recorder."""
+    global _recorder
+    with _lock:
+        if recorder is not None:
+            _recorder = recorder
+        elif _recorder is None:
+            _recorder = SpanRecorder()
+        return _recorder
+
+
+def disable_spans() -> None:
+    """Remove the process-wide recorder; :func:`span` becomes free again."""
+    global _recorder
+    with _lock:
+        _recorder = None
+
+
+def span(name: str, **attrs):
+    """Context manager timing one stage into the process recorder.
+
+    A no-op (one attribute load, one identity check) while recording is
+    disabled — safe to leave on hot paths.
+    """
+    rec = _recorder
+    if rec is None:
+        return _NULL_SPAN
+    return rec.record(name, **attrs)
+
+
+@contextmanager
+def span_recording(recorder: SpanRecorder | None = None):
+    """Enable span recording for one block; restores the prior state."""
+    global _recorder
+    with _lock:
+        prev = _recorder
+        rec = recorder if recorder is not None else SpanRecorder()
+        _recorder = rec
+    try:
+        yield rec
+    finally:
+        with _lock:
+            _recorder = prev

@@ -14,11 +14,15 @@ from __future__ import annotations
 from typing import Any, Protocol
 
 from repro.machines import MachineSpec
+from repro.obs import metrics as obs_metrics
 from repro.openmp.costmodel import RegionCostModel
 from repro.openmp.policies import MaxThreadsPolicy, ThreadCountPolicy
 from repro.openmp.threadpool import ThreadPool
 
 __all__ = ["GompRuntime", "OmpInterceptor"]
+
+#: simulated-seconds buckets for region durations (regions span ~µs..s)
+_REGION_BUCKETS = obs_metrics.LATENCY_BUCKETS_S
 
 
 class OmpInterceptor(Protocol):
@@ -60,6 +64,20 @@ class GompRuntime:
         self.clock = 0.0
         self.stats = {"regions": 0, "threads_used": 0}
         self._team = 1
+        reg = obs_metrics.get_registry()
+        self._m_regions = reg.counter(
+            "pythia_omp_regions_total", help="Parallel regions executed"
+        )
+        self._m_region_s = reg.histogram(
+            "pythia_omp_region_seconds",
+            buckets=_REGION_BUCKETS,
+            help="Simulated wall time per parallel region",
+        )
+        self._m_pred_err_s = reg.histogram(
+            "pythia_omp_prediction_abs_error_seconds",
+            buckets=_REGION_BUCKETS,
+            help="Absolute error of the oracle's region-duration estimate",
+        )
 
     # ------------------------------------------------------------------
 
@@ -82,6 +100,10 @@ class GompRuntime:
         self._team = n
         self.stats["regions"] += 1
         self.stats["threads_used"] += n
+        self._m_regions.inc()
+        self._m_region_s.observe(duration)
+        if predicted is not None:
+            self._m_pred_err_s.observe(abs(duration - predicted))
         if self.interceptor is not None:
             self.interceptor.region_end(region_id, self.clock)
             self.clock += self.interceptor.overhead()

@@ -18,7 +18,7 @@ machinery regenerates Fig 8).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.core.events import Event

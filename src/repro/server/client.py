@@ -29,6 +29,7 @@ from typing import Hashable
 from repro.core.events import EventRegistry
 from repro.core.predict import Prediction
 from repro.core.trace_file import TraceFormatError
+from repro.obs.accuracy import aggregate_stats
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
     ProtocolError,
@@ -217,9 +218,20 @@ class PythiaClient:
         eta = f", eta={prediction.eta:.6f}" if prediction.eta is not None else ""
         return f"<{name}, p={prediction.probability:.2f}{eta}>"
 
-    def stats(self, thread: int = 0) -> dict[str, int]:
-        """Tracking counters of one thread's session."""
-        return self._request("stats", session=self._session(thread))["session_stats"]
+    def stats(self, thread: int | None = None) -> dict:
+        """Tracking counters and accuracy report, mirroring the facade.
+
+        ``thread=None`` aggregates every session this client opened;
+        a thread id returns that session's view.
+        """
+        if thread is not None:
+            return self._request("stats", session=self._session(thread))["session_stats"]
+        threads = sorted(self._sessions) or [0]
+        reports = [
+            self._request("stats", session=self._session(t))["session_stats"]
+            for t in threads
+        ]
+        return aggregate_stats(reports)
 
     def server_stats(self) -> dict:
         """Daemon-wide counters (sessions, cache, latency aggregates)."""

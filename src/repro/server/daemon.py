@@ -17,6 +17,8 @@ Request ops
 ``predict_duration`` ``{session, distance=1}`` -> ``{eta}``
 ``close_session``  ``{session}``
 ``stats``          ``{session?}`` — daemon counters, or one tracker's
+``metrics``        Prometheus text exposition of the process registry
+                   (``pythia-trace metrics`` prints it)
 
 Error isolation: a bad request gets an ``{ok: false, code, error}``
 response; a broken frame closes only that connection; nothing a client
@@ -35,6 +37,9 @@ from dataclasses import dataclass, field
 from repro.core.events import Event
 from repro.core.predict import PythiaPredict
 from repro.core.trace_file import TraceFormatError
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, render_prometheus
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
     ConnectionClosed,
@@ -47,6 +52,27 @@ from repro.server.protocol import (
 from repro.server.store import TraceBundle, TraceStore
 
 __all__ = ["OracleServer", "RequestError"]
+
+_log = get_logger("server")
+
+#: metric families pre-registered at daemon start so `pythia-trace
+#: metrics` exposes them (at zero) before any instrumented code ran
+_METRIC_CATALOGUE: tuple[tuple[str, str], ...] = (
+    ("pythia_record_events_total", "Events ingested by PYTHIA-RECORD"),
+    ("pythia_record_rules_created_total", "Grammar rules created while recording"),
+    ("pythia_record_exponent_merges_total",
+     "Consecutive-repetition exponent merges while recording"),
+    ("pythia_predict_observe_total", "Events observed by PYTHIA-PREDICT trackers"),
+    ("pythia_predict_matched_total", "Observed events that matched an expectation"),
+    ("pythia_predict_unexpected_total", "Observed events that mismatched (restart)"),
+    ("pythia_predict_unknown_total", "Observed events absent from the reference run"),
+    ("pythia_predict_predictions_total", "Future-event predictions served"),
+    ("pythia_predict_pruned_total", "Candidate chains dropped by pruning"),
+    ("pythia_predict_hits_total", "Predictions whose target event matched"),
+    ("pythia_predict_misses_total", "Predictions whose target event mismatched"),
+    ("pythia_predict_lost_total", "Tracker transitions into the lost state"),
+    ("pythia_predict_resyncs_total", "Tracker re-acquisitions after being lost"),
+)
 
 
 class RequestError(Exception):
@@ -69,30 +95,24 @@ class _Session:
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
-class _LatencyAgg:
-    """Per-op latency aggregate (count / total / max), lock-protected."""
+def _latency_view(hist: Histogram) -> dict[str, float]:
+    """One op's latency for the ``stats`` op.
 
-    __slots__ = ("count", "total_s", "max_s")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total_s = 0.0
-        self.max_s = 0.0
-
-    def add(self, dt: float) -> None:
-        self.count += 1
-        self.total_s += dt
-        if dt > self.max_s:
-            self.max_s = dt
-
-    def snapshot(self) -> dict[str, float]:
-        mean = self.total_s / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "total_ms": round(self.total_s * 1e3, 3),
-            "mean_us": round(mean * 1e6, 3),
-            "max_us": round(self.max_s * 1e6, 3),
-        }
+    ``count`` / ``total_ms`` / ``mean_us`` / ``max_us`` reproduce the
+    pre-observability ``_LatencyAgg`` shape and are kept as a deprecated
+    alias for one release; the percentile keys are the replacement.
+    """
+    snap = hist.snapshot()
+    mean = snap["sum"] / snap["count"] if snap["count"] else 0.0
+    return {
+        "count": snap["count"],
+        "total_ms": round(snap["sum"] * 1e3, 3),
+        "mean_us": round(mean * 1e6, 3),
+        "max_us": round(snap["max"] * 1e6, 3),
+        "p50_us": round(snap["p50"] * 1e6, 3),
+        "p95_us": round(snap["p95"] * 1e6, 3),
+        "p99_us": round(snap["p99"] * 1e6, 3),
+    }
 
 
 class OracleServer:
@@ -146,7 +166,8 @@ class OracleServer:
             "requests_total": 0,
             "requests_failed": 0,
         }
-        self._latency: dict[str, _LatencyAgg] = {}
+        #: per-op request latency, shared with the metrics registry
+        self._latency: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -178,10 +199,15 @@ class OracleServer:
         listener.listen(128)
         self._listener = listener
         self._running.set()
+        registry = obs_metrics.get_registry()
+        for name, help_text in _METRIC_CATALOGUE:
+            registry.counter(name, help=help_text)
+        registry.register_collector(self._collect_metrics)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="pythia-accept", daemon=True
         )
         self._accept_thread.start()
+        _log.info("server_started", address=str(self.address))
         return self
 
     def stop(self) -> None:
@@ -202,8 +228,10 @@ class OracleServer:
                 os.unlink(self.socket_path)
             except FileNotFoundError:
                 pass
+        obs_metrics.get_registry().unregister_collector(self._collect_metrics)
         self._listener = None
         self._accept_thread = None
+        _log.info("server_stopped", requests=self.counters["requests_total"])
 
     def __enter__(self) -> "OracleServer":
         return self.start()
@@ -336,10 +364,17 @@ class OracleServer:
             key = op if isinstance(op, str) and op in self._HANDLERS else "<unknown>"
             with self._lock:
                 self.counters["requests_total"] += 1
-                agg = self._latency.get(key)
-                if agg is None:
-                    agg = self._latency[key] = _LatencyAgg()
-                agg.add(dt)
+                hist = self._latency.get(key)
+            if hist is None:
+                hist = obs_metrics.get_registry().histogram(
+                    "pythia_server_request_seconds",
+                    {"op": key},
+                    buckets=LATENCY_BUCKETS_S,
+                    help="Request handling latency per op",
+                )
+                with self._lock:
+                    self._latency.setdefault(key, hist)
+            hist.observe(dt)
 
     def _session(self, request: dict) -> _Session:
         sid = request.get("session")
@@ -372,6 +407,7 @@ class OracleServer:
             sid = f"s{next(self._session_ids)}"
             self._sessions[sid] = _Session(sid, bundle, thread, tracker, conn_id)
             self.counters["sessions_opened"] += 1
+        _log.debug("session_opened", session=sid, trace=bundle.path, thread=thread)
         out = {
             "session": sid,
             "trace": bundle.path,
@@ -398,10 +434,7 @@ class OracleServer:
         terminal = session.bundle.registry.lookup(Event(name, decode_payload(payload)))
         tracker = session.tracker
         if terminal is None:
-            tracker.observed += 1
-            tracker.unknown += 1
-            tracker.candidates = {}
-            return False
+            return tracker.observe_unknown()
         return tracker.observe(terminal)
 
     def _op_observe(self, request: dict, conn_id: int) -> dict:
@@ -472,8 +505,34 @@ class OracleServer:
                 "counters": dict(self.counters),
                 "sessions_active": len(self._sessions),
                 "store": self.store.snapshot(),
-                "latency": {op: agg.snapshot() for op, agg in self._latency.items()},
+                "latency": {op: _latency_view(h) for op, h in self._latency.items()},
             }
+
+    def _op_metrics(self, request: dict, conn_id: int) -> dict:
+        return {"text": render_prometheus(obs_metrics.get_registry())}
+
+    def _collect_metrics(self, registry: obs_metrics.MetricsRegistry) -> None:
+        """Scrape-time collector: daemon counters, store and live trackers."""
+        with self._lock:
+            counters = dict(self.counters)
+            sessions = list(self._sessions.values())
+            store = self.store.snapshot()
+        for name, value in counters.items():
+            registry.counter(
+                f"pythia_server_{name}", help="Daemon lifetime counter"
+            )._set_total(value)
+        registry.gauge(
+            "pythia_server_sessions_active", help="Currently open sessions"
+        ).set(len(sessions))
+        for key in ("hits", "misses"):
+            if key in store:
+                registry.counter(
+                    f"pythia_server_trace_store_{key}_total",
+                    help="Trace store lookup outcome",
+                )._set_total(store[key])
+        for session in sessions:
+            with session.lock:
+                session.tracker.flush_metrics()
 
     def _op_ping(self, request: dict, conn_id: int) -> dict:
         return {"pong": True}
@@ -487,5 +546,6 @@ class OracleServer:
         "predict_duration": _op_predict_duration,
         "registry": _op_registry,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "ping": _op_ping,
     }

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
-
-from repro.core.analysis import GrammarStats, analyze, loop_structure, terminal_histogram
+from repro.core.analysis import analyze, loop_structure, terminal_histogram
 from tests.conftest import A, B, C, D, freeze
-
 
 class TestAnalyze:
     def test_empty(self):

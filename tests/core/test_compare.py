@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.compare import Divergence, follow, similarity
 from tests.conftest import A, B, C, D, freeze
-
 
 class TestIdenticalRuns:
     def test_self_replay_matches_fully(self):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.frozen import ROOT, FrozenGrammar, decode_rule, encode_rule, is_rule_sym
 from repro.core.grammar import GrammarError
-from tests.conftest import A, B, C, D, build_grammar, freeze
+from tests.conftest import A, B, C, D, freeze
 
 
 class TestEncoding:

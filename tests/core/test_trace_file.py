@@ -13,7 +13,6 @@ from repro.core.trace_file import (
     Trace,
     TraceFormatError,
     load_trace,
-    save_trace,
 )
 from tests.conftest import A, B, C
 

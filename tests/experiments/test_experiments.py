@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.fig7 import fig7_bt_grammar
 from repro.experiments.fig8 import fig8_accuracy, render_fig8
 from repro.experiments.fig9 import fig9_prediction_cost, render_fig9
@@ -19,12 +17,11 @@ from repro.experiments.report import format_pct, format_time, render_series, ren
 from repro.experiments.table1 import render_table1, table1_record_overhead
 from repro.machines import PUDDING
 
-
 class TestReport:
     def test_render_table_alignment(self):
         text = render_table(["a", "long header"], [[1, 2], ["xx", "yy"]])
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1  # all lines same width
+        assert len({len(line) for line in lines}) == 1  # all lines same width
 
     def test_render_series(self):
         text = render_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})

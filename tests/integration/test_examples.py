@@ -14,6 +14,7 @@ EXAMPLES = [
     "adaptive_openmp.py",
     "trace_anatomy.py",
     "oracle_service.py",
+    "observability.py",
 ]
 ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -57,3 +58,11 @@ def test_trace_anatomy_shows_paper_figures():
     out = run_example("trace_anatomy.py")
     assert "Fig 1" in out and "abbcbcab" in out
     assert "distinct estimates" in out
+
+
+def test_observability_reports_accuracy():
+    out = run_example("observability.py")
+    assert "hit rate" in out
+    assert "mean |time error|" in out
+    assert "1 lost, 1 resyncs" in out
+    assert "pythia_predict_hits_total" in out

@@ -1,0 +1,41 @@
+"""A full record->predict cycle with metrics on, snapshotted to disk.
+
+CI points ``PYTHIA_METRICS_DUMP`` at a workspace path and uploads the
+resulting JSON as a build artifact, so every run leaves a browsable
+metrics baseline (event counts, candidate-set histograms, hit rates).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.harness import mpi_predict_run, mpi_record_run
+from repro.obs import metrics as obs_metrics
+
+
+def test_record_predict_cycle_dumps_metrics_snapshot(tmp_path):
+    prev = obs_metrics.get_registry()
+    registry = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+    try:
+        trace = str(tmp_path / "bt.pythia")
+        record = mpi_record_run("bt", "small", trace, ranks=4, timestamps=True)
+        assert record.events > 0
+        predict = mpi_predict_run("bt", "small", trace, ranks=4)
+        assert predict.accuracy_report["hit_rate"] > 0.9
+        assert predict.accuracy_report["predictions_scored"] > 0
+
+        snapshot = registry.snapshot()
+        assert snapshot["pythia_record_events_total"] == record.events
+        assert snapshot["pythia_predict_observe_total"] > 0
+        assert snapshot["pythia_predict_hits_total"] > 0
+        assert snapshot["pythia_mpi_blocking_seconds{fn=MPI_Waitall}"]["count"] > 0
+
+        dump_path = os.environ.get(
+            "PYTHIA_METRICS_DUMP", str(tmp_path / "metrics-snapshot.json")
+        )
+        with open(dump_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=1, default=str, sort_keys=True)
+        assert os.path.getsize(dump_path) > 0
+    finally:
+        obs_metrics.set_registry(prev)

@@ -1,0 +1,197 @@
+"""Unit tests for online prediction-accuracy scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predict import PythiaPredict
+from repro.obs.accuracy import AccuracyTracker, aggregate_stats, merge_reports
+from tests.conftest import A, B, C, freeze
+
+
+class TestHitMiss:
+    def test_hit_when_predicted_terminal_occurs(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=1)
+        t.note_observation(5, matched=True, lost=False)
+        assert (t.hits, t.misses) == (1, 0)
+        assert t.hit_rate == 1.0
+
+    def test_miss_when_a_different_terminal_occurs(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=1)
+        t.note_observation(7, matched=False, lost=False)
+        assert (t.hits, t.misses) == (0, 1)
+
+    def test_distance_defers_scoring(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=2)
+        t.note_observation(9, matched=True, lost=False)
+        assert t.scored == 0  # target is two events away
+        t.note_observation(5, matched=True, lost=False)
+        assert (t.hits, t.misses) == (1, 0)
+
+    def test_end_prediction_never_hits(self):
+        t = AccuracyTracker()
+        t.note_prediction(None, distance=1)  # "execution ends here"
+        t.note_observation(3, matched=True, lost=False)
+        assert (t.hits, t.misses) == (0, 1)
+
+    def test_rolling_window(self):
+        t = AccuracyTracker(window_size=4)
+        for i in range(8):
+            t.note_prediction(1, distance=1)
+            t.note_observation(1 if i >= 4 else 0, matched=True, lost=False)
+        assert t.hit_rate == 0.5  # lifetime: 4 of 8
+        assert t.rolling_hit_rate == 1.0  # last four all hit
+
+
+class TestTimeError:
+    def test_absolute_error_on_hits(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=1, eta=2.0, now=10.0)
+        t.note_observation(5, matched=True, lost=False, now=12.5)
+        assert t.time_scored == 1
+        assert t.mean_abs_time_error == pytest.approx(0.5)
+        assert t.time_err_max == pytest.approx(0.5)
+
+    def test_eta_anchored_to_last_observation(self):
+        """The observe-then-predict pattern: no explicit ``now`` on the
+        prediction, so the last observation's timestamp is the anchor."""
+        t = AccuracyTracker()
+        t.note_observation(1, matched=True, lost=False, now=1.0)
+        t.note_prediction(5, distance=1, eta=1.0)
+        t.note_observation(5, matched=True, lost=False, now=2.5)
+        assert t.mean_abs_time_error == pytest.approx(0.5)
+
+    def test_misses_not_time_scored(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=1, eta=2.0, now=0.0)
+        t.note_observation(7, matched=False, lost=False, now=3.0)
+        assert t.time_scored == 0
+
+    def test_untimed_predictions_not_time_scored(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=1)
+        t.note_observation(5, matched=True, lost=False, now=3.0)
+        assert t.hits == 1 and t.time_scored == 0
+
+
+class TestLostResync:
+    def test_lost_counts_once_per_episode(self):
+        t = AccuracyTracker()
+        t.note_observation(None, matched=False, lost=True)
+        t.note_observation(None, matched=False, lost=True)
+        assert t.lost_events == 1
+        t.note_observation(1, matched=False, lost=False)
+        assert t.resyncs == 1
+        t.note_observation(None, matched=False, lost=True)
+        assert t.lost_events == 2
+
+    def test_losing_position_clears_pending_claims(self):
+        t = AccuracyTracker()
+        t.note_prediction(5, distance=2)
+        t.note_observation(None, matched=False, lost=True)
+        t.note_observation(5, matched=False, lost=False)
+        assert t.scored == 0  # the claim died with the position
+
+    def test_unexpected_restart_counted(self):
+        t = AccuracyTracker()
+        t.note_observation(1, matched=True, lost=False)
+        t.note_observation(2, matched=False, lost=False)
+        assert t.unexpected_restarts == 1
+
+    def test_report_keys(self):
+        rep = AccuracyTracker().report()
+        assert set(rep) == {
+            "predictions_scored", "hits", "misses", "hit_rate",
+            "rolling_hit_rate", "lost_events", "resyncs",
+            "unexpected_restarts", "time_scored", "mean_abs_time_error",
+            "max_abs_time_error",
+        }
+
+
+class TestInsidePredictor:
+    """The tracker wired into PythiaPredict, on a synthetic grammar."""
+
+    def test_deterministic_loop_scores_hits(self):
+        seq = [A, B, C] * 8
+        p = PythiaPredict(freeze(seq))
+        for ev in seq[:-1]:
+            p.observe(ev)
+            p.predict(1)
+        stats = p.stats()
+        assert stats["predictions_scored"] > 15
+        assert stats["hit_rate"] > 0.8
+        assert stats["lost_events"] == 0
+
+    def test_unknown_event_drives_lost_then_resync(self):
+        seq = [A, B, C] * 4
+        p = PythiaPredict(freeze(seq))
+        p.observe(A)
+        p.observe(99)  # never in the reference: tracker is lost
+        assert p.lost
+        stats = p.stats()
+        assert stats["lost_events"] == 1 and stats["resyncs"] == 0
+        p.observe(A)  # re-acquires a position
+        assert not p.lost
+        assert p.stats()["resyncs"] == 1
+
+    def test_observe_unknown_matches_observe_of_unknown_terminal(self):
+        """The daemon path (observe_unknown) and the facade path must
+        report identical statistics."""
+        seq = [A, B, C] * 4
+        via_terminal = PythiaPredict(freeze(seq))
+        via_unknown = PythiaPredict(freeze(seq))
+        for p in (via_terminal, via_unknown):
+            p.observe(A)
+        via_terminal.observe(99)
+        via_unknown.observe_unknown()
+        s1, s2 = via_terminal.stats(), via_unknown.stats()
+        for key in ("observed", "unknown", "candidates", "lost_events"):
+            assert s1[key] == s2[key], key
+
+
+class TestAggregation:
+    def test_single_report_returned_as_copy(self):
+        p = PythiaPredict(freeze([A, B, C] * 4))
+        p.observe(A)
+        rep = p.stats()
+        agg = aggregate_stats([rep])
+        assert agg == rep
+        assert agg is not rep
+
+    def test_merge_recomputes_rates(self):
+        t1, t2 = AccuracyTracker(), AccuracyTracker()
+        for _ in range(3):
+            t1.note_prediction(1, distance=1)
+            t1.note_observation(1, matched=True, lost=False)
+        t2.note_prediction(1, distance=1)
+        t2.note_observation(2, matched=False, lost=False)
+        merged = merge_reports([t1.report(), t2.report()])
+        assert merged["predictions_scored"] == 4
+        assert merged["hits"] == 3 and merged["misses"] == 1
+        assert merged["hit_rate"] == pytest.approx(0.75)
+
+    def test_merge_time_error_weighted_by_scored(self):
+        t1, t2 = AccuracyTracker(), AccuracyTracker()
+        t1.note_prediction(1, distance=1, eta=1.0, now=0.0)
+        t1.note_observation(1, matched=True, lost=False, now=2.0)  # err 1.0
+        for _ in range(3):
+            t2.note_prediction(1, distance=1, eta=1.0, now=0.0)
+            t2.note_observation(1, matched=True, lost=False, now=1.0)  # err 0
+        merged = merge_reports([t1.report(), t2.report()])
+        assert merged["time_scored"] == 4
+        assert merged["mean_abs_time_error"] == pytest.approx(0.25)
+        assert merged["max_abs_time_error"] == pytest.approx(1.0)
+
+    def test_aggregate_sums_base_counters(self):
+        reports = []
+        for _ in range(2):
+            p = PythiaPredict(freeze([A, B, C] * 4))
+            p.observe(A)
+            p.observe(B)
+            reports.append(p.stats())
+        agg = aggregate_stats(reports)
+        assert agg["observed"] == 4
+        assert agg["matched"] == 2

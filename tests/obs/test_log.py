@@ -1,0 +1,88 @@
+"""Unit tests for the structured logging layer."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import log
+
+
+def make_logger(level="debug", fmt="kv"):
+    stream = io.StringIO()
+    log.configure(level, fmt=fmt, stream=stream)
+    return log.get_logger("test"), stream
+
+
+class TestParseSpec:
+    def test_plain_level(self):
+        assert log.parse_spec("debug") == (logging.DEBUG, "kv")
+
+    def test_json_prefix(self):
+        assert log.parse_spec("json:info") == (logging.INFO, "json")
+
+    def test_level_first_also_accepted(self):
+        assert log.parse_spec("info:json") == (logging.INFO, "json")
+
+    def test_typo_falls_back_to_warning(self):
+        assert log.parse_spec("dbug") == (logging.WARNING, "kv")
+        assert log.parse_spec("") == (logging.WARNING, "kv")
+
+
+class TestKvFormat:
+    def test_event_and_fields_rendered(self):
+        logger, stream = make_logger()
+        logger.info("session_opened", session="s1", count=3)
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "pythia.test" in line
+        assert "session_opened" in line
+        assert "session=s1" in line
+        assert "count=3" in line
+
+    def test_values_with_spaces_are_quoted(self):
+        logger, stream = make_logger()
+        logger.info("e", path="a b")
+        assert 'path="a b"' in stream.getvalue()
+
+    def test_level_filtering(self):
+        logger, stream = make_logger(level="error")
+        logger.debug("hidden")
+        logger.info("hidden_too")
+        logger.error("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+
+class TestJsonFormat:
+    def test_lines_are_valid_json(self):
+        logger, stream = make_logger(fmt="json")
+        logger.warning("lost_position", thread=2, candidates=0)
+        obj = json.loads(stream.getvalue())
+        assert obj["event"] == "lost_position"
+        assert obj["level"] == "WARNING"
+        assert obj["logger"] == "pythia.test"
+        assert obj["thread"] == 2
+        assert obj["candidates"] == 0
+
+
+class TestConfigure:
+    def test_reconfigure_replaces_handlers(self):
+        _, first = make_logger()
+        logger, second = make_logger()
+        logger.info("once")
+        assert first.getvalue() == ""
+        assert "once" in second.getvalue()
+        root = logging.getLogger(log.ROOT)
+        assert len(root.handlers) == 1
+
+    def test_subsystem_loggers_share_the_tree(self):
+        stream = io.StringIO()
+        log.configure("info", stream=stream)
+        log.get_logger("server").info("from_server")
+        log.get_logger("oracle").info("from_oracle")
+        out = stream.getvalue()
+        assert "pythia.server from_server" in out
+        assert "pythia.oracle from_oracle" in out

@@ -1,0 +1,110 @@
+"""Unit tests for runtime spans and the Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import spans as sp
+
+
+class TestSpanRecorder:
+    def test_records_name_duration_and_attrs(self):
+        rec = sp.SpanRecorder()
+        with rec.record("stage", app="bt"):
+            pass
+        (span,) = rec.spans()
+        assert span.name == "stage"
+        assert span.duration >= 0.0
+        assert span.attrs == {"app": "bt"}
+        assert span.depth == 0
+
+    def test_nesting_tracks_depth(self):
+        rec = sp.SpanRecorder()
+        with rec.record("outer"):
+            with rec.record("inner"):
+                pass
+        by_name = {s.name: s for s in rec.spans()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_span_recorded_even_on_error(self):
+        rec = sp.SpanRecorder()
+        try:
+            with rec.record("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(rec) == 1
+
+    def test_max_spans_drops_and_counts(self):
+        rec = sp.SpanRecorder(max_spans=2)
+        for _ in range(5):
+            with rec.record("s"):
+                pass
+        assert len(rec) == 2
+        assert rec.dropped == 3
+
+    def test_totals_aggregate_per_name(self):
+        rec = sp.SpanRecorder()
+        for _ in range(3):
+            with rec.record("a"):
+                pass
+        with rec.record("b"):
+            pass
+        totals = rec.totals()
+        assert totals["a"]["count"] == 3
+        assert totals["b"]["count"] == 1
+        assert totals["a"]["total_s"] >= totals["a"]["max_s"]
+
+
+class TestProcessWideSpan:
+    def test_noop_when_disabled(self):
+        sp.disable_spans()
+        assert not sp.spans_enabled()
+        ctx = sp.span("anything")
+        assert ctx is sp._NULL_SPAN
+        with ctx:
+            pass  # must be a working (no-op) context manager
+
+    def test_span_recording_scopes_and_restores(self):
+        sp.disable_spans()
+        with sp.span_recording() as rec:
+            assert sp.spans_enabled()
+            with sp.span("inside", k=1):
+                pass
+        assert not sp.spans_enabled()
+        assert [s.name for s in rec.spans()] == ["inside"]
+
+    def test_enable_disable(self):
+        rec = sp.enable_spans()
+        try:
+            assert sp.get_recorder() is rec
+            with sp.span("x"):
+                pass
+            assert len(rec) == 1
+        finally:
+            sp.disable_spans()
+        assert sp.get_recorder() is None
+
+
+class TestChromeTraceExport:
+    def test_event_shape_and_units(self, tmp_path):
+        rec = sp.SpanRecorder()
+        with rec.record("outer", app="cg"):
+            with rec.record("inner"):
+                pass
+        trace = rec.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+            assert "pid" in ev and "tid" in ev
+        # sorted by start time: outer starts first
+        assert events[0]["name"] == "outer"
+        assert events[0]["args"]["app"] == "cg"
+
+        path = tmp_path / "trace.json"
+        rec.dump(path)
+        assert json.loads(path.read_text())["traceEvents"] == events

@@ -1,0 +1,112 @@
+"""The daemon's ``metrics`` op: Prometheus exposition over the wire."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.experiments.harness import mpi_record_run
+from repro.obs import metrics as obs_metrics
+from repro.server import OracleServer, PythiaClient, TraceStore
+from repro.server.protocol import read_frame, write_frame
+
+
+@pytest.fixture(scope="module")
+def npb_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("npb-metrics") / "bt.pythia")
+    mpi_record_run("bt", "small", path, ranks=2, seed=0, timestamps=True)
+    return path
+
+
+@pytest.fixture
+def fresh_registry():
+    """A private process registry so counters start from zero."""
+    prev = obs_metrics.get_registry()
+    reg = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+    yield reg
+    obs_metrics.set_registry(prev)
+
+
+@pytest.fixture
+def server(tmp_path, fresh_registry):
+    sock = str(tmp_path / "oracle.sock")
+    with OracleServer(sock, store=TraceStore(capacity=4)) as srv:
+        yield srv
+
+
+def scrape(server) -> str:
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    sock.connect(server.socket_path)
+    try:
+        write_frame(sock, {"op": "metrics"})
+        response = read_frame(sock)
+    finally:
+        sock.close()
+    assert response is not None and response["ok"]
+    return response["text"]
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        out[key] = float(value.replace("+Inf", "inf"))
+    return out
+
+
+class TestMetricsOp:
+    def test_families_present_on_idle_server(self, server):
+        """Acceptance: record-, predict- and server-family metrics appear
+        even before any traffic (the daemon pre-touches its catalogue)."""
+        parsed = parse_exposition(scrape(server))
+        for family in (
+            "pythia_record_events_total",
+            "pythia_predict_observe_total",
+            "pythia_predict_hits_total",
+            "pythia_server_requests_total",
+            "pythia_server_sessions_active",
+        ):
+            assert family in parsed, family
+
+    def test_counters_track_traffic(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as client:
+            registry = client.registry
+            names = [str(ev) for ev in registry]
+            for terminal in range(min(8, len(names))):
+                ev = registry.event(terminal)
+                client.event(ev.name, ev.payload)
+                client.predict(1)
+            parsed = parse_exposition(scrape(server))
+            assert parsed["pythia_predict_observe_total"] >= 8
+            assert parsed["pythia_server_sessions_active"] == 1
+            assert parsed["pythia_server_events_observed"] >= 8
+        parsed = parse_exposition(scrape(server))
+        assert parsed["pythia_server_sessions_active"] == 0
+
+    def test_request_latency_histogram_per_op(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as client:
+            client.event("never_recorded")  # forces a session + observe
+        parsed = parse_exposition(scrape(server))
+        assert parsed['pythia_server_request_seconds_count{op="observe"}'] == 1
+        assert parsed['pythia_server_request_seconds_count{op="open_session"}'] == 1
+        assert parsed['pythia_server_request_seconds_sum{op="observe"}'] > 0.0
+        # cumulative le buckets end at +Inf == count
+        assert (
+            parsed['pythia_server_request_seconds_bucket{op="observe",le="+Inf"}'] == 1
+        )
+
+    def test_deprecated_latency_keys_still_in_stats_op(self, npb_trace, server):
+        """Satellite: the old _LatencyAgg snapshot keys survive as aliases."""
+        with PythiaClient(npb_trace, socket=server.socket_path) as client:
+            client.event("never_recorded")
+            stats = client.server_stats()
+        latency = stats["latency"]["observe"]
+        for key in ("count", "total_ms", "mean_us", "max_us"):
+            assert key in latency, key
+        for key in ("p50_us", "p95_us", "p99_us"):
+            assert key in latency, key
+        assert latency["count"] == 1

@@ -11,12 +11,10 @@ import threading
 
 import pytest
 
-from repro.core.events import Event
 from repro.core.oracle import Pythia
 from repro.experiments.harness import mpi_record_run
 from repro.server import OracleServer, PythiaClient, TraceStore
 from repro.server.protocol import read_frame, write_frame
-
 
 @pytest.fixture(scope="module")
 def npb_trace(tmp_path_factory):
@@ -25,13 +23,11 @@ def npb_trace(tmp_path_factory):
     mpi_record_run("bt", "small", path, ranks=2, seed=0, timestamps=True)
     return path
 
-
 @pytest.fixture
 def server(tmp_path):
     sock = str(tmp_path / "oracle.sock")
     with OracleServer(sock, store=TraceStore(capacity=4)) as srv:
         yield srv
-
 
 def npb_event_stream(trace_path: str, thread: int = 0):
     """The (name, payload) sequence rank ``thread`` produced when recorded."""
@@ -41,7 +37,6 @@ def npb_event_stream(trace_path: str, thread: int = 0):
         (registry.event(t).name, registry.event(t).payload)
         for t in trace.threads[thread].grammar.unfold()
     ]
-
 
 class TestParityWithInProcessOracle:
     def test_predictions_byte_identical_on_npb(self, npb_trace, server):
