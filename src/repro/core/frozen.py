@@ -54,7 +54,7 @@ class FrozenGrammar:
         ``{terminal: ((rule id, body index), ...)}`` — every occurrence.
     """
 
-    __slots__ = ("bodies", "occ", "uses", "terminal_positions", "trace_len")
+    __slots__ = ("bodies", "occ", "uses", "terminal_positions", "trace_len", "_machine")
 
     def __init__(self, bodies: Mapping[int, tuple[tuple[int, int], ...]]) -> None:
         if ROOT not in bodies:
@@ -73,6 +73,7 @@ class FrozenGrammar:
             for s, e in body
             if not is_rule_sym(s)
         )
+        self._machine = None
 
     # ------------------------------------------------------------------
 
@@ -110,25 +111,36 @@ class FrozenGrammar:
         return {rid: tuple(v) for rid, v in uses.items()}
 
     def _build_occ(self) -> dict[int, int]:
-        occ: dict[int, int] = {}
-
-        def compute(rid: int, seen: tuple[int, ...] = ()) -> int:
-            if rid in occ:
-                return occ[rid]
-            if rid == ROOT:
-                occ[ROOT] = 1
-                return 1
-            if rid in seen:
-                raise GrammarError(f"rule cycle detected at rule {rid}")
-            total = 0
-            for host, idx in self.uses[rid]:
-                _sym, exp = self.bodies[host][idx]
-                total += compute(host, seen + (rid,)) * exp
-            occ[rid] = total
-            return total
-
-        for rid in self.bodies:
-            compute(rid)
+        # Worklist topological pass (no recursion: deep grammars used to
+        # hit Python's recursion limit here).  A rule's count is known
+        # once every one of its use sites lives in a resolved host; the
+        # root is 1 by definition, unused rules are 0, and rules left
+        # unresolved when the worklist drains sit on a cycle.
+        occ: dict[int, int] = {ROOT: 1}
+        remaining = {rid: len(self.uses[rid]) for rid in self.bodies if rid != ROOT}
+        ready = [ROOT]
+        for rid, uses_left in remaining.items():
+            if uses_left == 0:
+                occ[rid] = 0
+                ready.append(rid)
+        while ready:
+            host = ready.pop()
+            for sym, _exp in self.bodies[host]:
+                if not is_rule_sym(sym):
+                    continue
+                rid = decode_rule(sym)
+                if rid == ROOT:
+                    continue
+                remaining[rid] -= 1
+                if remaining[rid] == 0:
+                    total = 0
+                    for h, idx in self.uses[rid]:
+                        total += occ[h] * self.bodies[h][idx][1]
+                    occ[rid] = total
+                    ready.append(rid)
+        if len(occ) != len(self.bodies):
+            stuck = min(rid for rid in self.bodies if rid not in occ)
+            raise GrammarError(f"rule cycle detected at rule {stuck}")
         return occ
 
     def _build_terminal_positions(self) -> dict[int, tuple[tuple[int, int], ...]]:
@@ -147,6 +159,23 @@ class FrozenGrammar:
     def rule_count(self) -> int:
         """Number of rules, root included (Table I's "# rules")."""
         return len(self.bodies)
+
+    def machine(self):
+        """The shared compiled successor machine for this grammar.
+
+        Created lazily; every tracker over this grammar (and, in the
+        daemon, every session over the same trace bundle) shares one
+        machine so they warm one cache.  A creation race can build two
+        machines, of which the last assigned wins — both are correct,
+        one just wastes a little warm-up.
+        """
+        m = self._machine
+        if m is None:
+            from repro.core.successor import SuccessorMachine
+
+            m = SuccessorMachine(self)
+            self._machine = m
+        return m
 
     def symbol_at(self, rid: int, idx: int) -> tuple[int, int]:
         """Return ``(symbol, exponent)`` at position ``idx`` of rule ``rid``."""

@@ -157,6 +157,47 @@ class Pythia:
             return pred.observe_unknown(now=timestamp)
         return pred.observe(terminal, now=timestamp)
 
+    def event_and_predict(
+        self,
+        name: str,
+        payload: Hashable = None,
+        *,
+        distance: int = 1,
+        thread: int = 0,
+        with_time: bool = False,
+        timestamp: float | None = None,
+        require_match: bool = False,
+    ) -> tuple[bool, Prediction | None]:
+        """Submit one event and predict ``distance`` steps ahead — fused.
+
+        Equivalent to :meth:`event` followed by :meth:`predict` (same
+        counters, same accuracy scoring), but routed through the
+        tracker's fused fast path so the successor expansion computed by
+        the predict half is reused by the next observation.  In record
+        mode the event is recorded and ``(True, None)`` is returned.
+        With ``require_match`` the predict half is skipped when the event
+        did not match the oracle's expectation (§III-E: fresh-resync
+        predictions are not trustworthy).
+        """
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        if self.recording:
+            if timestamp is None and self.record_timestamps:
+                timestamp = time.perf_counter()
+            self._recorder(thread).record_event(name, payload, timestamp)
+            return True, None
+        terminal = self.registry.lookup(Event(name, payload))
+        pred = self._predictor(thread)
+        if terminal is None:
+            return pred.observe_unknown(now=timestamp), None
+        return pred.observe_and_predict(
+            terminal,
+            distance,
+            with_time=with_time,
+            now=timestamp,
+            require_match=require_match,
+        )
+
     def predict(
         self, distance: int = 1, *, thread: int = 0, with_time: bool = False
     ) -> Prediction | None:

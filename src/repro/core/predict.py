@@ -11,6 +11,17 @@ example: four occurrences of ``b``, reduced to two after a ``c``).
 candidates (§II-C): it advances ``distance`` steps without observation,
 aggregates the weight mass per terminal, and reports the most probable
 event — optionally with an estimated delay from the timing table.
+
+By default the tracker runs on the grammar's shared
+:class:`~repro.core.successor.SuccessorMachine`: successor expansions
+are memoized per chain, the in-sync observe step is a single
+deterministic-table lookup, and :meth:`PythiaPredict.observe_and_predict`
+fuses the dominant runtime-system call pattern (submit an event, then
+immediately ask about the future) so the expansion a ``predict`` leaves
+in the cache is the one the next ``observe`` consumes.  Pass
+``compiled=False`` for the uncached reference traversal — both paths
+perform identical float operations and produce byte-identical
+predictions and statistics.
 """
 
 from __future__ import annotations
@@ -28,6 +39,11 @@ __all__ = ["Prediction", "PythiaPredict"]
 #: registry flushes happen every this many observations (the hot path
 #: only bumps plain ints; scrapers call :meth:`PythiaPredict.flush_metrics`)
 METRICS_FLUSH_EVERY = 1024
+
+#: bound on the per-tracker timing-estimate memo (cleared when full)
+_ETA_CACHE_MAX = 16384
+
+_MISSING = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +76,10 @@ class PythiaPredict:
         unbounded in theory, capped here for robustness).
     min_weight:
         Candidates below this fraction of total weight are dropped.
+    compiled:
+        Use the grammar's shared successor machine (the default).
+        ``False`` selects the uncached reference traversal, which is
+        byte-identical but recomputes every expansion.
     """
 
     def __init__(
@@ -69,11 +89,13 @@ class PythiaPredict:
         *,
         max_candidates: int = 64,
         min_weight: float = 1e-6,
+        compiled: bool = True,
     ) -> None:
         self.grammar = grammar
         self.timing = timing
         self.max_candidates = max_candidates
         self.min_weight = min_weight
+        self.machine = grammar.machine() if compiled else None
         #: weighted candidate chains; empty means "lost" (no knowledge)
         self.candidates: dict[Chain, float] = {}
         #: statistics a runtime system may want to report
@@ -88,6 +110,12 @@ class PythiaPredict:
         self.accuracy = AccuracyTracker()
         self._since_flush = 0
         self._flushed: dict[str, int] = {}
+        #: memo of ``timing.estimate`` per (interned) chain — a pure
+        #: function of the immutable table, used by both traversal paths
+        self._eta_cache: dict[Chain, float | None] = {}
+        #: reusable Prediction per terminal for the deterministic walk
+        #: (predictions are value objects: callers must not mutate them)
+        self._det_pred: dict[int, Prediction] = {}
 
     # ------------------------------------------------------------------
     # following the execution (§II-B)
@@ -112,21 +140,47 @@ class PythiaPredict:
         self._since_flush += 1
         if self._since_flush >= METRICS_FLUSH_EVERY:
             self.flush_metrics()
-        if self.candidates:
+        machine = self.machine
+        cands = self.candidates
+        if cands:
+            if machine is not None and len(cands) == 1:
+                # in-sync fast path: one deterministic-table lookup.
+                # A post-prune singleton always carries weight 1.0, so
+                # {next: 1.0} is exactly what the general path computes.
+                chain = next(iter(cands))
+                det = machine.deterministic_next(chain)
+                if det is not None and det[1] == terminal:
+                    self.candidates = {det[0]: 1.0}
+                    self.matched += 1
+                    self.accuracy.note_observation(
+                        terminal, matched=True, lost=False, now=now
+                    )
+                    return True
             matched: dict[Chain, float] = {}
-            for chain, weight in self.candidates.items():
-                for succ, w in successors(self.grammar, chain, weight):
-                    if succ is END or not succ:
-                        continue
-                    if terminal_of(self.grammar, succ) == terminal:
-                        matched[succ] = matched.get(succ, 0.0) + w
+            if machine is not None:
+                for chain, weight in cands.items():
+                    for succ, rw, succ_terminal in machine.expand(chain):
+                        if succ_terminal == terminal:
+                            w = rw if weight == 1.0 else rw * weight
+                            matched[succ] = matched.get(succ, 0.0) + w
+            else:
+                for chain, weight in cands.items():
+                    for succ, w in successors(self.grammar, chain, weight):
+                        if succ is END or not succ:
+                            continue
+                        if terminal_of(self.grammar, succ) == terminal:
+                            matched[succ] = matched.get(succ, 0.0) + w
             if matched:
                 self.candidates = self._prune(matched)
                 self.matched += 1
                 self.accuracy.note_observation(terminal, matched=True, lost=False, now=now)
                 return True
             self.unexpected += 1
-        restart = start_chains(self.grammar, terminal)
+        restart = (
+            machine.start_chains(terminal)
+            if machine is not None
+            else start_chains(self.grammar, terminal)
+        )
         if not restart:
             self.unknown += 1
             self.candidates = {}
@@ -153,16 +207,34 @@ class PythiaPredict:
         self.accuracy.note_observation(None, matched=False, lost=True, now=now)
         return False
 
-    def _prune(self, cands: dict[Chain, float]) -> dict[Chain, float]:
+    def _prune_impl(self, cands: dict[Chain, float]) -> tuple[dict[Chain, float], int]:
+        """One-pass normalize / filter / cap; returns (kept, dropped)."""
         total = sum(cands.values())
         if total <= 0.0:
-            return {}
-        items = [(c, w / total) for c, w in cands.items() if w / total >= self.min_weight]
+            return {}, 0
+        min_weight = self.min_weight
+        items: list[tuple[Chain, float]] = []
+        for c, w in cands.items():
+            q = w / total
+            if q >= min_weight:
+                items.append((c, q))
         items.sort(key=lambda cw: cw[1], reverse=True)
-        items = items[: self.max_candidates]
-        self.pruned += len(cands) - len(items)
+        if len(items) > self.max_candidates:
+            del items[self.max_candidates :]
+        dropped = len(cands) - len(items)
         norm = sum(w for _c, w in items)
-        return {c: w / norm for c, w in items}
+        return {c: w / norm for c, w in items}, dropped
+
+    def _prune(self, cands: dict[Chain, float]) -> dict[Chain, float]:
+        out, dropped = self._prune_impl(cands)
+        self.pruned += dropped
+        return out
+
+    def _prune_keep_end(self, cands: dict[Chain, float]) -> dict[Chain, float]:
+        """Prune like :meth:`_prune` but on a simulation copy: END is a
+        normal candidate and drops do not count as tracker pruning."""
+        out, _dropped = self._prune_impl(cands)
+        return out
 
     # ------------------------------------------------------------------
     # predicting the future (§II-C)
@@ -173,9 +245,45 @@ class PythiaPredict:
 
         Returns ``None`` when the tracker is lost.  The prediction carries
         the full terminal distribution and, if ``with_time`` and a timing
-        table is available, the estimated delay until that event.
+        table is available, the estimated delay until that event.  Only
+        the final step's distribution is materialized — use
+        :meth:`predict_sequence` for every intermediate step.
         """
-        preds = self.predict_sequence(distance, with_time=with_time)
+        machine = self.machine
+        cands = self.candidates
+        if (
+            machine is not None
+            and len(cands) == 1
+            and distance >= 1
+            and not (with_time and self.timing is not None)
+        ):
+            # deterministic walk: an in-sync tracker predicting ahead is
+            # `distance` dict lookups.  Each step equals one general
+            # simulation step on a weight-1.0 singleton (see _simulate's
+            # fast path); any branch, END or cold entry falls back.
+            chain, weight = next(iter(cands.items()))
+            if weight == 1.0 and chain is not END and chain:
+                det_get = machine._det.get
+                term = None
+                nx = None
+                for _ in range(distance):
+                    nx = det_get(chain)
+                    if nx is None:
+                        break
+                    chain, term = nx
+                if nx is not None:
+                    machine.det_hits += distance
+                    self.predictions += 1
+                    pred = self._det_pred.get(term)
+                    if pred is None:
+                        pred = Prediction(
+                            terminal=term, probability=1.0, eta=None,
+                            distribution={term: 1.0},
+                        )
+                        self._det_pred[term] = pred
+                    self.accuracy.note_prediction(term, distance=distance, eta=None)
+                    return pred
+        preds = self._simulate(distance, with_time=with_time, collect_all=False)
         if preds is None:
             return None
         pred = preds[-1]
@@ -186,16 +294,56 @@ class PythiaPredict:
         self, distance: int = 1, *, with_time: bool = False
     ) -> list[Prediction] | None:
         """Predict every event from 1 to ``distance`` steps ahead."""
+        return self._simulate(distance, with_time=with_time, collect_all=True)
+
+    def _simulate(
+        self, distance: int, *, with_time: bool, collect_all: bool
+    ) -> list[Prediction] | None:
+        """Advance a candidate copy ``distance`` steps without observing.
+
+        With ``collect_all`` a :class:`Prediction` (with its full
+        distribution) is built per step; otherwise only for the final
+        step — the candidate evolution is identical either way.
+        """
         if distance < 1:
             raise ValueError("distance must be >= 1")
         if not self.candidates:
             return None
         self.predictions += 1
-        cands = dict(self.candidates)
+        machine = self.machine
+        # never mutated in place: every step rebinds to a fresh dict
+        cands = self.candidates
         out: list[Prediction] = []
         elapsed = 0.0
         have_time = with_time and self.timing is not None
-        for _step in range(distance):
+        last_step = distance - 1
+        for step in range(distance):
+            if machine is not None and len(cands) == 1:
+                # deterministic fast path: a singleton candidate always
+                # carries weight exactly 1.0, so when its transition is
+                # deterministic the whole step — advance, prune, weighted
+                # eta, distribution — collapses to {next: 1.0} with the
+                # same floats the general path below would produce.
+                chain, weight = next(iter(cands.items()))
+                if weight == 1.0 and chain is not END and chain:
+                    det = machine.deterministic_next(chain)
+                    if det is not None:
+                        succ, term = det
+                        cands = {succ: 1.0}
+                        if have_time:
+                            dt = self._estimate(succ)
+                            if dt is not None:
+                                elapsed += dt
+                        if collect_all or step == last_step:
+                            out.append(
+                                Prediction(
+                                    terminal=term,
+                                    probability=1.0,
+                                    eta=elapsed if have_time else None,
+                                    distribution={term: 1.0},
+                                )
+                            )
+                        continue
             nxt: dict[Chain, float] = {}
             step_dt = 0.0
             dt_weight = 0.0
@@ -203,10 +351,15 @@ class PythiaPredict:
                 if chain is END or not chain:
                     nxt[END] = nxt.get(END, 0.0) + weight
                     continue
-                for succ, w in successors(self.grammar, chain, weight):
+                succ_list = (
+                    machine.successors(chain, weight)
+                    if machine is not None
+                    else successors(self.grammar, chain, weight)
+                )
+                for succ, w in succ_list:
                     nxt[succ] = nxt.get(succ, 0.0) + w
                     if have_time and succ is not END and succ:
-                        dt = self.timing.estimate(succ)
+                        dt = self._estimate(succ)
                         if dt is not None:
                             step_dt += w * dt
                             dt_weight += w
@@ -215,31 +368,33 @@ class PythiaPredict:
                 return None
             if have_time and dt_weight > 0.0:
                 elapsed += step_dt / dt_weight
-            dist: dict[int | None, float] = {}
-            for chain, weight in cands.items():
-                t = None if (chain is END or not chain) else terminal_of(self.grammar, chain)
-                dist[t] = dist.get(t, 0.0) + weight
-            best_t, best_w = max(dist.items(), key=lambda kv: kv[1])
-            out.append(
-                Prediction(
-                    terminal=best_t,
-                    probability=best_w,
-                    eta=elapsed if have_time else None,
-                    distribution=dist,
+            if collect_all or step == last_step:
+                dist: dict[int | None, float] = {}
+                for chain, weight in cands.items():
+                    t = None if (chain is END or not chain) else terminal_of(self.grammar, chain)
+                    dist[t] = dist.get(t, 0.0) + weight
+                best_t, best_w = max(dist.items(), key=lambda kv: kv[1])
+                out.append(
+                    Prediction(
+                        terminal=best_t,
+                        probability=best_w,
+                        eta=elapsed if have_time else None,
+                        distribution=dist,
+                    )
                 )
-            )
         return out
 
-    def _prune_keep_end(self, cands: dict[Chain, float]) -> dict[Chain, float]:
-        """Prune like :meth:`_prune` but treat END as a normal candidate."""
-        total = sum(cands.values())
-        if total <= 0.0:
-            return {}
-        items = [(c, w / total) for c, w in cands.items() if w / total >= self.min_weight]
-        items.sort(key=lambda cw: cw[1], reverse=True)
-        items = items[: self.max_candidates]
-        norm = sum(w for _c, w in items)
-        return {c: w / norm for c, w in items}
+    def _estimate(self, chain: Chain) -> float | None:
+        """Memoized ``timing.estimate`` (the table is immutable)."""
+        cache = self._eta_cache
+        got = cache.get(chain, _MISSING)
+        if got is not _MISSING:
+            return got
+        value = self.timing.estimate(chain)
+        if len(cache) >= _ETA_CACHE_MAX:
+            cache.clear()
+        cache[chain] = value
+        return value
 
     def predict_duration(self, distance: int = 1) -> float | None:
         """Estimated time until the event ``distance`` steps ahead."""
@@ -247,6 +402,36 @@ class PythiaPredict:
         if pred is None:
             return None
         return pred.eta
+
+    # ------------------------------------------------------------------
+    # the fused fast path
+    # ------------------------------------------------------------------
+
+    def observe_and_predict(
+        self,
+        terminal: int,
+        distance: int = 1,
+        *,
+        with_time: bool = False,
+        now: float | None = None,
+        require_match: bool = False,
+    ) -> tuple[bool, Prediction | None]:
+        """Fused §II-B observe + §II-C predict: the runtime-system loop.
+
+        Semantically identical to :meth:`observe` followed by
+        :meth:`predict` (counters and accuracy scoring included), but on
+        the compiled machine the expansion this ``predict`` leaves in
+        the cache is exactly the one the *next* ``observe`` needs, so a
+        steady-state observe/predict loop computes each expansion once
+        instead of twice.  With ``require_match`` the predict half is
+        skipped after a mismatch (the runtime systems do not trust a
+        prediction made right after a resync, §III-E) and ``None`` is
+        returned in its place.
+        """
+        matched = self.observe(terminal, now=now)
+        if require_match and not matched:
+            return matched, None
+        return matched, self.predict(distance, with_time=with_time)
 
     # ------------------------------------------------------------------
 
@@ -258,6 +443,8 @@ class PythiaPredict:
         the embedded :class:`~repro.obs.accuracy.AccuracyTracker`.  The
         oracle daemon's per-session ``stats`` op returns exactly this
         dict, so in-process and remote reporting share one shape.
+        (Successor-cache counters are deliberately absent: compiled and
+        reference trackers must report identical statistics.)
         """
         self.flush_metrics()
         out = {
@@ -306,3 +493,5 @@ class PythiaPredict:
             "pythia_predict_candidates",
             help="Candidate-chain set size at flush points",
         ).observe(len(self.candidates))
+        if self.machine is not None:
+            self.machine.flush_metrics()

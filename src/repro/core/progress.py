@@ -24,11 +24,19 @@ each possible use site by its occurrence count (§II-C).
 :func:`successors` is the depth-first traversal of Fig. 5 generalised to
 sets: it returns every possible next position with relative weights, with
 :data:`END` marking the end of the reference trace.
+
+The traversal is split in two layers so it can be memoized: the grammar
+is immutable after freezing, so the successor set of a chain at weight
+1.0 (:func:`successors_rel`) is a pure function of the chain —
+:class:`~repro.core.successor.SuccessorMachine` caches exactly that, and
+:func:`successors` scales the relative result by the caller's weight.
+Cached and uncached paths therefore perform the *same* float
+multiplications and produce byte-identical weights.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.frozen import ROOT, FrozenGrammar, decode_rule, is_rule_sym
 
@@ -99,6 +107,40 @@ def initial_chain(fg: FrozenGrammar) -> Chain:
     return descend(fg, ROOT, 0)
 
 
+def successors_rel(
+    fg: FrozenGrammar,
+    chain: Chain,
+    *,
+    descend_fn: Callable[[int, int], Chain] | None = None,
+) -> tuple[tuple[Chain, float], ...]:
+    """:func:`successors` at weight 1.0 — the memoizable form.
+
+    A pure function of ``(fg, chain)``: the relative weights sum to 1.0
+    and callers (or a :class:`~repro.core.successor.SuccessorMachine`
+    cache) scale them by the actual candidate weight.  ``descend_fn``
+    optionally replaces the ``descend(fg, rid, idx)`` calls with a cached
+    equivalent; it must return exactly what :func:`descend` returns.
+    """
+    if chain is END or not chain:
+        return ((END, 1.0),)
+    out: list[tuple[Chain, float]] = []
+    rid, idx, it = chain[0]
+    _sym, exp = fg.bodies[rid][idx]
+    w = 1.0
+    if exp > 1:
+        if it is not None:
+            if it + 1 < exp:
+                return ((((rid, idx, it + 1),) + chain[1:], 1.0),)
+        else:
+            # unknown repetition of the terminal itself: may repeat...
+            out.append((chain, w * (exp - 1) / exp))
+            w = w / exp  # ...or move on with the rest of the weight
+    if descend_fn is None:
+        descend_fn = lambda r, j: descend(fg, r, j)  # noqa: E731
+    _advance(fg, chain, 0, w, out, descend_fn)
+    return tuple(out)
+
+
 def successors(
     fg: FrozenGrammar, chain: Chain, weight: float = 1.0
 ) -> list[tuple[Chain, float]]:
@@ -110,27 +152,19 @@ def successors(
     extended through several possible use sites (occurrence-weighted).
     :data:`END` is returned when the reference trace may end here.
     """
-    out: list[tuple[Chain, float]] = []
-    if chain is END or not chain:
-        return [(END, weight)]
-    rid, idx, it = chain[0]
-    _sym, exp = fg.bodies[rid][idx]
-    w = weight
-    if exp > 1:
-        if it is not None:
-            if it + 1 < exp:
-                out.append((((rid, idx, it + 1),) + chain[1:], w))
-                return out
-        else:
-            # unknown repetition of the terminal itself: may repeat...
-            out.append((chain, w * (exp - 1) / exp))
-            w = w / exp  # ...or move on with the rest of the weight
-    _advance(fg, chain, 0, w, out)
-    return out
+    rel = successors_rel(fg, chain)
+    if weight == 1.0:
+        return list(rel)
+    return [(c, w * weight) for c, w in rel]
 
 
 def _advance(
-    fg: FrozenGrammar, chain: Chain, level: int, w: float, out: list[tuple[Chain, float]]
+    fg: FrozenGrammar,
+    chain: Chain,
+    level: int,
+    w: float,
+    out: list[tuple[Chain, float]],
+    descend_fn: Callable[[int, int], Chain],
 ) -> None:
     """The symbol at ``chain[level]`` finished one expansion; emit successors."""
     if w <= 0.0:
@@ -142,18 +176,18 @@ def _advance(
         child = decode_rule(sym)
         if it is not None:
             if it + 1 < exp:
-                out.append((descend(fg, child, 0) + ((rid, idx, it + 1),) + chain[level + 1 :], w))
+                out.append((descend_fn(child, 0) + ((rid, idx, it + 1),) + chain[level + 1 :], w))
                 return
         else:
             out.append(
-                (descend(fg, child, 0) + ((rid, idx, None),) + chain[level + 1 :], w * (exp - 1) / exp)
+                (descend_fn(child, 0) + ((rid, idx, None),) + chain[level + 1 :], w * (exp - 1) / exp)
             )
             w = w / exp
     if idx + 1 < fg.body_len(rid):
-        out.append((descend(fg, rid, idx + 1) + chain[level + 1 :], w))
+        out.append((descend_fn(rid, idx + 1) + chain[level + 1 :], w))
         return
     if level + 1 < len(chain):
-        _advance(fg, chain, level + 1, w, out)
+        _advance(fg, chain, level + 1, w, out, descend_fn)
         return
     # the chain top finished: either the trace ends, or the chain is
     # partial and must be extended through the uses of rule `rid`
@@ -168,7 +202,7 @@ def _advance(
     total = float(sum(weights))
     for (host, hidx), uw in zip(uses, weights):
         extended = chain[: level + 1] + ((host, hidx, None),)
-        _advance(fg, extended, level + 1, w * uw / total, out)
+        _advance(fg, extended, level + 1, w * uw / total, out, descend_fn)
 
 
 def advance_exact(fg: FrozenGrammar, chain: Chain) -> Chain:

@@ -1,0 +1,260 @@
+"""The compiled successor machine: memoized traversal of a frozen grammar.
+
+A :class:`~repro.core.frozen.FrozenGrammar` never changes after
+freezing, so everything :func:`~repro.core.progress.successors` computes
+for a chain is a pure function of the chain — like the per-rule
+summaries that let "Data Race Detection on Compressed Traces" analyse
+the SLP-compressed trace directly, the grammar can be *compiled* into
+lookup structures once and the steady-state step becomes a dictionary
+hit.  One machine is shared per grammar (``FrozenGrammar.machine()``),
+so every tracker — and, in the oracle daemon, every concurrent session
+over the same trace — warms the same cache.
+
+What is cached
+--------------
+- **expand memo** — chain -> ``((successor, rel_weight, terminal), ...)``,
+  the weight-1.0 successor set of :func:`successors_rel` with each
+  successor's terminal precomputed.  Keys and successor chains are
+  *interned* so repeated queries share tuple storage.
+- **deterministic-transition table** — the common single-successor case
+  (an in-sync tracker walking a loop body) as a direct
+  chain -> ``(next chain, terminal)`` dict, so the fused observe loop is
+  one dictionary lookup instead of a recursive ``_advance`` walk.
+- **descend prefixes** — ``(rule, idx)`` -> first-terminal chain, used
+  while computing cache misses.
+- **start chains** — per-terminal §II-B2 restart sets (mid-stream attach
+  and unexpected-event resync), weighted and normalized once.
+
+Memory is bounded: the memo is capped at ``max_entries`` (default
+:data:`DEFAULT_MAX_ENTRIES`, overridable via the
+``PYTHIA_SUCCESSOR_CACHE`` environment variable) and evicts its oldest
+eighth in insertion order when full — a segmented-FIFO approximation of
+LRU that keeps eviction O(1) amortized.  Hit/miss/eviction counters are
+published to the process metrics registry (``pythia_successor_*``).
+
+Thread safety: lookups are lock-free dictionary reads (safe under the
+GIL); the miss path re-checks and inserts under a per-machine lock.
+The hit/miss counters themselves are updated without the lock, so under
+heavy cross-thread contention they are approximate — they instrument,
+they do not account.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from itertools import islice
+
+from repro.core.frozen import FrozenGrammar
+from repro.core.progress import (
+    END,
+    Chain,
+    descend,
+    start_chains,
+    successors_rel,
+    terminal_of,
+)
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["DEFAULT_MAX_ENTRIES", "SuccessorMachine"]
+
+#: default memo capacity (chains); ~a few hundred bytes per entry
+DEFAULT_MAX_ENTRIES = 65536
+
+#: Expansion = ((successor chain, relative weight, terminal | None), ...)
+Expansion = tuple[tuple[Chain, float, int | None], ...]
+
+
+def _env_max_entries() -> int:
+    raw = os.environ.get("PYTHIA_SUCCESSOR_CACHE", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_ENTRIES
+    return value if value >= 1 else DEFAULT_MAX_ENTRIES
+
+
+class SuccessorMachine:
+    """Compiled, bounded-memory successor tables over one frozen grammar.
+
+    Parameters
+    ----------
+    grammar:
+        The immutable grammar to compile against.
+    max_entries:
+        Memo capacity; ``None`` reads ``PYTHIA_SUCCESSOR_CACHE`` and
+        falls back to :data:`DEFAULT_MAX_ENTRIES`.
+    """
+
+    __slots__ = (
+        "grammar",
+        "max_entries",
+        "_memo",
+        "_det",
+        "_intern",
+        "_descend",
+        "_starts",
+        "_lock",
+        "hits",
+        "misses",
+        "evictions",
+        "det_hits",
+        "_flushed",
+    )
+
+    def __init__(self, grammar: FrozenGrammar, *, max_entries: int | None = None) -> None:
+        self.grammar = grammar
+        self.max_entries = _env_max_entries() if max_entries is None else int(max_entries)
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._memo: dict[Chain, Expansion] = {}
+        self._det: dict[Chain, tuple[Chain, int]] = {}
+        self._intern: dict[Chain, Chain] = {END: END}
+        self._descend: dict[tuple[int, int], Chain] = {}
+        self._starts: dict[int, tuple[tuple[Chain, float], ...]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.det_hits = 0
+        self._flushed: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # the compiled lookups
+    # ------------------------------------------------------------------
+
+    def expand(self, chain: Chain) -> Expansion:
+        """Successors of ``chain`` at weight 1.0, terminals included."""
+        rel = self._memo.get(chain)
+        if rel is not None:
+            self.hits += 1
+            return rel
+        fg = self.grammar
+        computed = successors_rel(fg, chain, descend_fn=self._descend_base)
+        with self._lock:
+            self.misses += 1
+            rel = self._memo.get(chain)
+            if rel is not None:
+                return rel
+            if len(self._memo) >= self.max_entries:
+                self._evict_locked()
+            intern = self._intern
+            key = intern.setdefault(chain, chain)
+            triples = []
+            for c, w in computed:
+                s = intern.setdefault(c, c)
+                triples.append((s, w, None if s is END or not s else terminal_of(fg, s)))
+            rel = tuple(triples)
+            self._memo[key] = rel
+            if len(rel) == 1 and rel[0][1] == 1.0 and rel[0][2] is not None:
+                self._det[key] = (rel[0][0], rel[0][2])
+        return rel
+
+    def successors(self, chain: Chain, weight: float = 1.0) -> list[tuple[Chain, float]]:
+        """Drop-in for :func:`repro.core.progress.successors` (memoized)."""
+        rel = self.expand(chain)
+        if weight == 1.0:
+            return [(c, w) for c, w, _t in rel]
+        return [(c, w * weight) for c, w, _t in rel]
+
+    def deterministic_next(self, chain: Chain) -> tuple[Chain, int] | None:
+        """``(next chain, its terminal)`` when the step is deterministic.
+
+        One dict lookup; ``None`` when the chain has not been expanded
+        yet or genuinely branches — callers fall back to :meth:`expand`.
+        """
+        nxt = self._det.get(chain)
+        if nxt is not None:
+            self.det_hits += 1
+        return nxt
+
+    def start_chains(self, terminal: int) -> tuple[tuple[Chain, float], ...]:
+        """Cached §II-B2 restart set for one observed terminal."""
+        got = self._starts.get(terminal)
+        if got is None:
+            got = tuple(
+                (self._intern.setdefault(c, c), w)
+                for c, w in start_chains(self.grammar, terminal)
+            )
+            self._starts[terminal] = got  # keyed by terminal: naturally bounded
+        return got
+
+    def descend(self, rid: int, idx: int, it: int | None = 0) -> Chain:
+        """Cached :func:`repro.core.progress.descend` (prefix shared)."""
+        base = self._descend_base(rid, idx)
+        if it == 0:
+            return base
+        return base[:-1] + ((rid, idx, it),)
+
+    def _descend_base(self, rid: int, idx: int) -> Chain:
+        base = self._descend.get((rid, idx))
+        if base is None:
+            # setdefault: racing threads agree on one interned tuple
+            base = self._descend.setdefault((rid, idx), descend(self.grammar, rid, idx))
+        return base
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest eighth of the memo (insertion order). Lock held."""
+        drop = max(1, self.max_entries // 8)
+        for key in list(islice(iter(self._memo), drop)):
+            del self._memo[key]
+            self._det.pop(key, None)
+        self.evictions += drop
+        # the intern table outlives memo entries (successor chains point
+        # into it); reset it when it grows well past the memo bound
+        if len(self._intern) > 4 * self.max_entries:
+            self._intern.clear()
+            self._intern[END] = END
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cache counters (for benchmarks and the metrics registry)."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._memo),
+            "max_entries": self.max_entries,
+            "interned": len(self._intern),
+            "det_entries": len(self._det),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "det_hits": self.det_hits,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def flush_metrics(self) -> None:
+        """Publish counter deltas and size gauges to the process registry.
+
+        Uses the same delta-flush pattern as
+        :meth:`~repro.core.predict.PythiaPredict.flush_metrics`; safe to
+        call from every tracker sharing this machine.
+        """
+        reg = obs_metrics.get_registry()
+        if not reg.enabled:
+            return
+        with self._lock:
+            current = {
+                "pythia_successor_cache_hits_total": self.hits,
+                "pythia_successor_cache_misses_total": self.misses,
+                "pythia_successor_cache_evictions_total": self.evictions,
+                "pythia_successor_det_hits_total": self.det_hits,
+            }
+            deltas = {}
+            for name, value in current.items():
+                delta = value - self._flushed.get(name, 0)
+                if delta > 0:
+                    deltas[name] = delta
+                    self._flushed[name] = value
+            entries = len(self._memo)
+            interned = len(self._intern)
+        for name, delta in deltas.items():
+            reg.counter(name).inc(delta)
+        reg.gauge(
+            "pythia_successor_cache_entries", help="Memoized successor expansions"
+        ).set(entries)
+        reg.gauge(
+            "pythia_successor_interned_chains", help="Interned progress-sequence chains"
+        ).set(interned)

@@ -6,7 +6,10 @@ charges pool-resize + fork + body + barrier costs, and advances the
 clock.  An :class:`OmpInterceptor` hook sees region begin/end — that is
 where the paper's modified GOMP submits events to PYTHIA-RECORD and asks
 PYTHIA-PREDICT for the probable region duration (§III-D1; "less than 100
-lines of code" in the real runtime, and about as many here).
+lines of code" in the real runtime, and about as many here).  In predict
+mode the interceptor issues a single fused ``event_and_predict`` oracle
+call per region begin, riding the compiled successor machine's
+observe/predict fast path.
 """
 
 from __future__ import annotations

@@ -57,18 +57,28 @@ class OMPRuntimeSystem:
             self.error_injector.maybe_inject(
                 lambda name, payload: self._submit(name, payload, clock)
             )
-        expected = self._submit(BEGIN, region_id, clock)
         self.stats["regions"] += 1
         if not self.oracle.predicting:
+            self._submit(BEGIN, region_id, clock)
             return None
-        self._debt += PREDICT_COST
+        # fused submit + distance-1 duration query: one oracle call (and,
+        # against a daemon, one round trip) instead of two.  require_match
+        # keeps the §III-E rule: the tracker just lost or re-acquired its
+        # position after an unexpected event -> do not trust a prediction
+        # made right now, use the vanilla heuristic this region.
+        expected, pred = self.oracle.event_and_predict(
+            BEGIN,
+            region_id,
+            distance=1,
+            thread=self.thread,
+            with_time=True,
+            timestamp=clock,
+            require_match=True,
+        )
+        self._debt += RECORD_EVENT_COST + PREDICT_COST
         if not expected:
-            # the tracker just lost or re-acquired its position (an
-            # unexpected event intervened, §III-E): do not trust a
-            # prediction made right now -> vanilla heuristic this region
             self.stats["no_prediction"] += 1
             return None
-        pred = self.oracle.predict(1, thread=self.thread, with_time=True)
         expected_end = self.oracle.registry.lookup(Event(END, region_id))
         if pred is None or pred.eta is None or pred.terminal != expected_end:
             # lost, no timing data, or the next event is not this region's

@@ -190,6 +190,60 @@ class PythiaClient:
             events=[[name, encode_payload(payload)] for name, payload in events],
         )["matched"]
 
+    def event_and_predict(
+        self,
+        name: str,
+        payload: Hashable = None,
+        *,
+        distance: int = 1,
+        thread: int = 0,
+        with_time: bool = False,
+        timestamp: float | None = None,
+        require_match: bool = False,
+    ) -> tuple[bool, Prediction | None]:
+        """Fused :meth:`event` + :meth:`predict` in one round trip.
+
+        Mirrors ``Pythia.event_and_predict``; the runtime-system loop
+        (submit an event, ask about the future) pays one socket round
+        trip instead of two.  With ``require_match`` the daemon skips
+        the predict half after a mismatch and returns ``None`` for it.
+        """
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        del timestamp  # predict mode never records timestamps
+        response = self._request(
+            "observe_predict",
+            session=self._session(thread),
+            name=name,
+            payload=encode_payload(payload),
+            distance=distance,
+            with_time=with_time,
+            require_match=require_match,
+        )
+        return response["matched"], decode_prediction(response["prediction"])
+
+    def event_batch_and_predict(
+        self,
+        events: list[tuple[str, Hashable]],
+        *,
+        distance: int = 1,
+        thread: int = 0,
+        with_time: bool = False,
+        require_match: bool = False,
+    ) -> tuple[list[bool], Prediction | None]:
+        """Submit many events and predict once, in one round trip."""
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        response = self._request(
+            "observe_predict",
+            session=self._session(thread),
+            events=[[name, encode_payload(payload)] for name, payload in events],
+            distance=distance,
+            with_time=with_time,
+            require_match=require_match,
+        )
+        return response["matched"], decode_prediction(response["prediction"])
+
     def predict(
         self, distance: int = 1, *, thread: int = 0, with_time: bool = False
     ) -> Prediction | None:

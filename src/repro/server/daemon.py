@@ -13,6 +13,9 @@ Request ops
 ``open_session``   ``{trace, thread=0, max_candidates=64, with_registry=false}``
 ``observe``        ``{session, name, payload=null}`` -> ``{matched}``
 ``observe_batch``  ``{session, events: [[name, payload], ...]}`` -> ``{matched: [...]}``
+``observe_predict`` ``{session, name, payload=null | events, distance=1,
+                   with_time=false, require_match=false}``
+                   -> ``{matched, prediction}`` — fused observe + predict
 ``predict``        ``{session, distance=1, with_time=false}`` -> ``{prediction}``
 ``predict_duration`` ``{session, distance=1}`` -> ``{eta}``
 ``close_session``  ``{session}``
@@ -72,6 +75,10 @@ _METRIC_CATALOGUE: tuple[tuple[str, str], ...] = (
     ("pythia_predict_misses_total", "Predictions whose target event mismatched"),
     ("pythia_predict_lost_total", "Tracker transitions into the lost state"),
     ("pythia_predict_resyncs_total", "Tracker re-acquisitions after being lost"),
+    ("pythia_successor_cache_hits_total", "Successor-machine memo hits"),
+    ("pythia_successor_cache_misses_total", "Successor-machine memo misses"),
+    ("pythia_successor_cache_evictions_total", "Successor-machine memo evictions"),
+    ("pythia_successor_det_hits_total", "Deterministic-transition fast-path hits"),
 )
 
 
@@ -464,6 +471,55 @@ class OracleServer:
             self.counters["events_observed"] += len(matched)
         return {"matched": matched}
 
+    def _op_observe_predict(self, request: dict, conn_id: int) -> dict:
+        """Fused observe + predict: one round trip for the runtime loop.
+
+        Observes ``name``/``payload`` (or, batched, every ``events``
+        item) and then predicts once — equivalent to an ``observe`` (or
+        ``observe_batch``) request followed by ``predict``, in one frame.
+        With ``require_match`` the predict half is skipped when the last
+        event mismatched and ``prediction`` is ``null``.
+        """
+        session = self._session(request)
+        distance = request.get("distance", 1)
+        if not isinstance(distance, int) or distance < 1:
+            raise RequestError("bad_request", "'distance' must be a positive integer")
+        with_time = bool(request.get("with_time", False))
+        require_match = bool(request.get("require_match", False))
+        events = request.get("events")
+        batched = events is not None
+        if batched:
+            if not isinstance(events, list) or not events:
+                raise RequestError(
+                    "bad_request", "'events' must be a non-empty list of [name, payload]"
+                )
+        else:
+            events = [[request.get("name"), request.get("payload")]]
+        matched: list[bool] = []
+        with session.lock:
+            for item in events:
+                if not isinstance(item, (list, tuple)) or not 1 <= len(item) <= 2:
+                    raise RequestError(
+                        "bad_request", "each event must be [name] or [name, payload]"
+                    )
+                name = item[0]
+                payload = item[1] if len(item) == 2 else None
+                matched.append(self._observe_one(session, name, payload))
+            predicted = not (require_match and not matched[-1])
+            pred = (
+                session.tracker.predict(distance, with_time=with_time)
+                if predicted
+                else None
+            )
+        with self._lock:
+            self.counters["events_observed"] += len(matched)
+            if predicted:
+                self.counters["predictions_served"] += 1
+        return {
+            "matched": matched if batched else matched[0],
+            "prediction": encode_prediction(pred),
+        }
+
     def _op_predict(self, request: dict, conn_id: int) -> dict:
         session = self._session(request)
         distance = request.get("distance", 1)
@@ -542,6 +598,7 @@ class OracleServer:
         "close_session": _op_close_session,
         "observe": _op_observe,
         "observe_batch": _op_observe_batch,
+        "observe_predict": _op_observe_predict,
         "predict": _op_predict,
         "predict_duration": _op_predict_duration,
         "registry": _op_registry,

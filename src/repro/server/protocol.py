@@ -16,6 +16,12 @@ one:
 - prediction distributions are keyed by ``int | None`` — JSON objects
   would stringify the keys, so they travel as ``[terminal, weight]``
   pairs instead.
+
+The fused ``observe_predict`` op reuses both encodings unchanged: its
+response carries the ``matched`` flag(s) next to the same
+``prediction`` object a plain ``predict`` would return (``null`` when
+the oracle is lost or ``require_match`` skipped the predict half), so a
+fused round trip decodes with the same helpers as two separate ones.
 """
 
 from __future__ import annotations

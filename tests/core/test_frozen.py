@@ -92,6 +92,20 @@ class TestValidation:
                 }
             )
 
+    def test_deep_rule_chain_freezes(self):
+        # occurrence counting is a worklist pass, not a recursion: a
+        # grammar nested far beyond the interpreter recursion limit
+        # (R -> R1 -> R2 -> ... -> a) must freeze without blowing up
+        depth = 3000
+        bodies = {ROOT: ((encode_rule(1), 1),)}
+        for rid in range(1, depth):
+            bodies[rid] = ((encode_rule(rid + 1), 2),)
+        bodies[depth] = ((A, 1),)
+        fg = FrozenGrammar(bodies)
+        assert fg.occ[1] == 1
+        assert fg.occ[depth] == 2 ** (depth - 1)
+        assert fg.rule_count == depth + 1
+
 
 class TestSerialization:
     @pytest.mark.parametrize(

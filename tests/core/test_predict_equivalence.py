@@ -1,0 +1,137 @@
+"""Compiled vs reference tracker: byte-identical, not approximately equal.
+
+The property the whole successor machine rests on: a tracker running on
+the memoized machine (``compiled=True``, the default) and one running
+the uncached traversal (``compiled=False``) perform the *same* float
+operations, so every observation result, every candidate weight, every
+prediction (probability, distribution, eta) and the final ``stats()``
+report compare equal with ``==`` — across randomized seeded traces,
+mid-stream attach, unexpected events, unknown events and resyncs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predict import PythiaPredict
+from repro.core.timing import TimingTable
+from tests.conftest import freeze, random_structured_stream
+
+SEEDS = [1, 2, 3, 5, 8, 13, 21, 42]
+
+
+def _pair(fg, timing=None, **kw):
+    return (
+        PythiaPredict(fg, timing, compiled=True, **kw),
+        PythiaPredict(fg, timing, compiled=False, **kw),
+    )
+
+
+def _assert_locked(compiled, reference):
+    assert compiled.candidates == reference.candidates
+    # chain weights exactly equal, not merely close
+    for chain, w in compiled.candidates.items():
+        assert reference.candidates[chain] == w
+
+
+def _drive(compiled, reference, stream, *, predict_every=7, distances=(1, 3, 16)):
+    for i, terminal in enumerate(stream):
+        got = compiled.observe(terminal, now=float(i))
+        want = reference.observe(terminal, now=float(i))
+        assert got == want
+        _assert_locked(compiled, reference)
+        if i % predict_every == 0:
+            for distance in distances:
+                assert compiled.predict(distance) == reference.predict(distance)
+
+
+class TestObservePredictEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_in_sync_from_start(self, seed):
+        stream = random_structured_stream(seed)
+        fg = freeze(stream)
+        compiled, reference = _pair(fg)
+        _drive(compiled, reference, stream)
+        assert compiled.stats() == reference.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("offset_frac", [0.25, 0.5, 0.9])
+    def test_mid_stream_attach(self, seed, offset_frac):
+        stream = random_structured_stream(seed)
+        fg = freeze(stream)
+        compiled, reference = _pair(fg)
+        offset = int(len(stream) * offset_frac)
+        _drive(compiled, reference, stream[offset:])
+        assert compiled.stats() == reference.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_unexpected_and_unknown_events(self, seed):
+        stream = list(random_structured_stream(seed, alphabet=4))
+        fg = freeze(stream)
+        # splice in out-of-order and never-recorded terminals
+        stream[len(stream) // 3] = stream[-1]
+        stream.insert(len(stream) // 2, 4)  # alphabet=4 -> terminal 4 unknown
+        compiled, reference = _pair(fg)
+        for i, terminal in enumerate(stream):
+            if terminal >= 4:
+                assert compiled.observe_unknown(now=float(i)) == reference.observe_unknown(
+                    now=float(i)
+                )
+            else:
+                assert compiled.observe(terminal, now=float(i)) == reference.observe(
+                    terminal, now=float(i)
+                )
+            _assert_locked(compiled, reference)
+            assert compiled.predict(1) == reference.predict(1)
+        assert compiled.stats() == reference.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_predict_sequence_and_fused(self, seed):
+        stream = random_structured_stream(seed)
+        fg = freeze(stream)
+        compiled, reference = _pair(fg)
+        for i, terminal in enumerate(stream):
+            got = compiled.observe_and_predict(terminal, 4, now=float(i))
+            want_m = reference.observe(terminal, now=float(i))
+            want_p = reference.predict(4)
+            assert got == (want_m, want_p)
+            if i % 11 == 0:
+                assert compiled.predict_sequence(8) == reference.predict_sequence(8)
+        assert compiled.stats() == reference.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_with_timing_table(self, seed):
+        stream = random_structured_stream(seed)
+        fg = freeze(stream)
+        timing = TimingTable.from_replay(fg, [float(i) * 0.5 for i in range(len(stream))])
+        compiled, reference = _pair(fg, timing)
+        for i, terminal in enumerate(stream):
+            assert compiled.observe(terminal) == reference.observe(terminal)
+            pred_c = compiled.predict(2, with_time=True)
+            pred_r = reference.predict(2, with_time=True)
+            assert pred_c == pred_r
+            if pred_c is not None:
+                assert pred_c.eta == pred_r.eta  # byte-identical floats
+        assert compiled.stats() == reference.stats()
+
+    def test_small_candidate_cap_prunes_identically(self):
+        stream = random_structured_stream(3)
+        fg = freeze(stream)
+        compiled, reference = _pair(fg, max_candidates=3)
+        offset = len(stream) // 2
+        _drive(compiled, reference, stream[offset:], distances=(1, 2))
+        assert compiled.pruned == reference.pruned
+        assert compiled.stats() == reference.stats()
+
+    def test_shared_machine_across_trackers_stays_equivalent(self):
+        """Two compiled trackers share one warm cache; both stay exact."""
+        stream = random_structured_stream(9)
+        fg = freeze(stream)
+        first, _ = _pair(fg)
+        for t in stream:
+            first.observe(t)
+        # second tracker starts on the already-warm machine
+        compiled, reference = _pair(fg)
+        assert compiled.machine is first.machine
+        _drive(compiled, reference, stream)
+        assert compiled.stats() == reference.stats()

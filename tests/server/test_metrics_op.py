@@ -99,6 +99,28 @@ class TestMetricsOp:
             parsed['pythia_server_request_seconds_bucket{op="observe",le="+Inf"}'] == 1
         )
 
+    def test_successor_cache_counters_exposed(self, npb_trace, server):
+        """The compiled machine's cache counters reach the exposition."""
+        parsed = parse_exposition(scrape(server))
+        # pre-registered at zero before any traffic (catalogue entry)
+        for family in (
+            "pythia_successor_cache_hits_total",
+            "pythia_successor_cache_misses_total",
+            "pythia_successor_cache_evictions_total",
+            "pythia_successor_det_hits_total",
+        ):
+            assert parsed[family] == 0, family
+        with PythiaClient(npb_trace, socket=server.socket_path) as client:
+            registry = client.registry
+            stream = [registry.event(t) for t in range(min(6, len(list(registry))))]
+            for _round in range(3):
+                for ev in stream:
+                    client.event_and_predict(ev.name, ev.payload)
+            parsed = parse_exposition(scrape(server))
+        assert parsed["pythia_successor_cache_misses_total"] > 0
+        assert parsed["pythia_successor_cache_hits_total"] > 0
+        assert parsed["pythia_successor_cache_entries"] > 0
+
     def test_deprecated_latency_keys_still_in_stats_op(self, npb_trace, server):
         """Satellite: the old _LatencyAgg snapshot keys survive as aliases."""
         with PythiaClient(npb_trace, socket=server.socket_path) as client:

@@ -97,6 +97,73 @@ class TestParityWithInProcessOracle:
         batched.finish()
 
 
+class TestFusedObservePredict:
+    def test_fused_equals_observe_then_predict(self, npb_trace, server):
+        """observe_predict == observe + predict, field by field, one frame."""
+        events = npb_event_stream(npb_trace)[:200]
+        local = Pythia(npb_trace, mode="predict")
+        fused = PythiaClient(npb_trace, socket=server.socket_path)
+        split = PythiaClient(npb_trace, socket=server.socket_path)
+        for name, payload in events:
+            fm, fp = fused.event_and_predict(name, payload, distance=4, with_time=True)
+            lm, lp = local.event_and_predict(name, payload, distance=4, with_time=True)
+            sm = split.event(name, payload)
+            sp = split.predict(4, with_time=True)
+            assert fm == lm == sm
+            assert fp == lp == sp
+        assert fused.stats() == split.stats() == local.stats()
+        fused.finish()
+        split.finish()
+
+    def test_fused_batch_form(self, npb_trace, server):
+        events = npb_event_stream(npb_trace)[:120]
+        fused = PythiaClient(npb_trace, socket=server.socket_path)
+        split = PythiaClient(npb_trace, socket=server.socket_path)
+        matched, pred = fused.event_batch_and_predict(events, distance=2)
+        assert matched == split.event_batch(events)
+        assert pred == split.predict(2)
+        assert fused.stats() == split.stats()
+        fused.finish()
+        split.finish()
+
+    def test_require_match_skips_prediction(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            matched, pred = remote.event_and_predict(
+                "never_recorded_event", require_match=True
+            )
+            assert matched is False
+            assert pred is None
+            # without require_match a lost oracle still answers None
+            matched, pred = remote.event_and_predict("never_recorded_event")
+            assert matched is False
+            assert pred is None
+
+    def test_fused_counters(self, npb_trace, server):
+        events = npb_event_stream(npb_trace)[:10]
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            for name, payload in events:
+                remote.event_and_predict(name, payload)
+            counters = remote.server_stats()["counters"]
+            assert counters["events_observed"] == len(events)
+            assert counters["predictions_served"] == len(events)
+
+    def test_fused_validation_errors(self, npb_trace, server):
+        from repro.server.client import OracleServiceError
+
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            sid = remote._session(0)
+            for bad in (
+                {"op": "observe_predict", "session": sid, "name": "x", "distance": 0},
+                {"op": "observe_predict", "session": sid, "name": "x", "distance": "1"},
+                {"op": "observe_predict", "session": sid, "events": []},
+                {"op": "observe_predict", "session": sid, "events": [["a", 1, 2]]},
+                {"op": "observe_predict", "session": sid, "name": 7},
+            ):
+                with pytest.raises(OracleServiceError) as exc_info:
+                    remote._request(**bad)
+                assert exc_info.value.code == "bad_request"
+
+
 class TestConcurrentSessions:
     N_CLIENTS = 16
     STEPS = 120
