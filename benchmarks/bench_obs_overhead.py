@@ -14,6 +14,7 @@ Run with ``pytest benchmarks/bench_obs_overhead.py -s``.
 
 from __future__ import annotations
 
+import statistics
 import time
 
 from repro.core.events import EventRegistry
@@ -102,3 +103,88 @@ def test_predict_overhead_under_bound():
     print(f"predict: {EVENTS / off:,.0f} ev/s off, {EVENTS / on:,.0f} ev/s on "
           f"-> overhead {100 * overhead:+.1f}%")
     assert overhead < MAX_OVERHEAD
+
+
+#: flight+drift budget from the issue: <5% (measured target ~2%)
+MAX_WATCHER_OVERHEAD = 0.05
+#: watcher benchmark: shorter runs, many pairs, several rounds
+WATCH_EVENTS = 12_000
+WATCH_ROUNDS = 3
+WATCH_PAIRS = 20
+
+
+def _watched_predict_run(grammar, terminals) -> None:
+    from repro.obs.drift import DriftMonitor
+    from repro.obs.flight import FlightRecorder
+
+    pred = PythiaPredict(grammar)
+    pred.attach_flight(FlightRecorder(session="bench", capacity=256))
+    pred.attach_drift(DriftMonitor())
+    for i, t in enumerate(terminals):
+        pred.observe(t)
+        if i % 8 == 0:
+            pred.predict(1)
+    pred.flush_metrics()
+
+
+def test_flight_and_drift_overhead_under_budget():
+    """Flight recorder + drift monitor attached to the hot observe loop
+    must stay within the 5% budget (run journaling and the drift EWMA
+    refresh are amortized over 32-event strides and stretch to every
+    4th stride while calm; measured overhead is typically ~2-3%).
+
+    Measurement: bare and watched loops run in alternating pairs (order
+    flipped each iteration, after a warmup of each); a round's figure
+    is the *median* of its per-pair overhead ratios, and the asserted
+    figure is the smallest median over several independent rounds.
+    Within a pair the machine speed is roughly constant, so each ratio
+    isolates the watcher cost; the median rejects the pairs a scheduler
+    hiccup lands in; and since CPU-frequency drift can only *inflate* a
+    whole round, the least-contaminated round estimates the true cost.
+    A single global best-of flaps by several percent either way on a
+    busy host — see the docstring history of this file.
+    """
+    events = _stream(WATCH_EVENTS)
+    registry = EventRegistry()
+    rec = PythiaRecord(registry, record_timestamps=False)
+    for name, payload in events:
+        rec.record_event(name, payload, None)
+    grammar = rec.finish().grammar
+    terminals = [registry.intern_name(name, payload) for name, payload in events]
+    prev = obs_metrics.get_registry()
+    medians = []
+    bare_best = watched_best = float("inf")
+    try:
+        # same metrics backend on both sides: isolate the watcher cost
+        obs_metrics.set_registry(obs_metrics.NullRegistry())
+        _predict_run(grammar, terminals)  # warm the successor machine
+        _watched_predict_run(grammar, terminals)
+        for _ in range(WATCH_ROUNDS):
+            ratios = []
+            for i in range(WATCH_PAIRS):
+                if i % 2:
+                    t0 = time.perf_counter()
+                    _watched_predict_run(grammar, terminals)
+                    watched = time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    _predict_run(grammar, terminals)
+                    bare = time.perf_counter() - t0
+                else:
+                    t0 = time.perf_counter()
+                    _predict_run(grammar, terminals)
+                    bare = time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    _watched_predict_run(grammar, terminals)
+                    watched = time.perf_counter() - t0
+                ratios.append(watched / bare - 1.0)
+                bare_best = min(bare_best, bare)
+                watched_best = min(watched_best, watched)
+            medians.append(statistics.median(ratios))
+    finally:
+        obs_metrics.set_registry(prev)
+    overhead = min(medians)
+    print(f"flight+drift: {WATCH_EVENTS / bare_best:,.0f} ev/s bare, "
+          f"{WATCH_EVENTS / watched_best:,.0f} ev/s watched; round medians "
+          f"{', '.join(f'{100 * m:+.1f}%' for m in medians)} "
+          f"-> overhead {100 * overhead:+.1f}%")
+    assert overhead < MAX_WATCHER_OVERHEAD

@@ -17,6 +17,13 @@ Subcommands
 ``spans``
     Record + replay an application with span recording on and write a
     Chrome-trace JSON (chrome://tracing / Perfetto).
+``explain TRACE``
+    Replay a prefix of a trace and print the provenance of the oracle's
+    next prediction: which candidate progress sequences back it, with
+    what weights.  ``--socket`` asks a running daemon instead.
+``flight TRACE``
+    Same replay, then dump the session's flight-recorder journal (and
+    drift report) as JSONL or a Chrome trace.
 ``apps``
     List the available application skeletons.
 
@@ -148,6 +155,103 @@ def _cmd_spans(args) -> int:
     return 0
 
 
+def _primed_session(args):
+    """Open an oracle for ``args.trace`` and replay the first ``--prime``
+    reference events into it.
+
+    Returns ``(oracle, name_of, close)`` — with ``--socket``/``--tcp``
+    the oracle is a :class:`~repro.server.client.PythiaClient` session on
+    the shared daemon; otherwise an in-process tracker via the
+    :class:`~repro.core.oracle.Pythia` facade.  Both answer ``explain``
+    and carry a flight recorder, so the verbs built on this helper work
+    identically against either.
+    """
+    trace = load_trace(args.trace)
+    registry = trace.registry
+    tt = trace.thread(args.thread)
+    stream = tt.grammar.unfold()
+    prime = stream[: args.prime] if args.prime else stream
+    pairs = [
+        (registry.event(t).name, registry.event(t).payload) for t in prime
+    ]
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        address: object = (host or "127.0.0.1", int(port))
+    else:
+        address = args.socket
+    if address:
+        from repro.server.client import PythiaClient
+
+        client = PythiaClient(args.trace, socket=address)
+        client.event_batch(pairs, thread=args.thread)
+        return client, registry.name, client.finish
+    from repro.core.oracle import Pythia
+
+    oracle = Pythia(args.trace, mode="predict")
+    oracle.enable_drift()
+    for name, payload in pairs:
+        oracle.event(name, payload, thread=args.thread)
+    return oracle, registry.name, lambda: None
+
+
+def _cmd_explain(args) -> int:
+    oracle, name_of, close = _primed_session(args)
+    try:
+        expl = oracle.explain(
+            args.distance, thread=args.thread, top_k=args.top_k,
+            with_time=args.with_time,
+        )
+    finally:
+        close()
+    if expl is None:
+        print("no explanation: the oracle is lost (no candidate positions)")
+        return 1
+    print(f"after {args.prime} reference events:")
+    print(expl.describe(name_of))
+    return 0
+
+
+def _cmd_flight(args) -> int:
+    import json
+
+    oracle, _name_of, close = _primed_session(args)
+    try:
+        if hasattr(oracle, "flight_dump"):  # daemon client
+            dump = oracle.flight_dump(thread=args.thread, format=args.format)
+            drift = dump.get("drift") or {}
+            if args.format == "chrome":
+                payload = json.dumps(dump.get("trace") or {}, indent=1)
+            else:
+                entries = dump.get("entries") or []
+                payload = "".join(
+                    json.dumps(e, sort_keys=True) + "\n" for e in entries
+                )
+        else:  # in-process facade
+            pred = oracle._predictor(args.thread)
+            drift = oracle.drift_report()
+            if args.format == "chrome":
+                trace_obj = (
+                    pred.flight.to_chrome_trace() if pred.flight is not None else {}
+                )
+                payload = json.dumps(trace_obj, indent=1)
+            else:
+                payload = pred.flight.to_jsonl() if pred.flight is not None else ""
+    finally:
+        close()
+    if args.output == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        lines = payload.count("\n") if args.format == "jsonl" else None
+        what = f"{lines} journal entries" if lines is not None else "chrome trace"
+        print(f"{what} -> {args.output}")
+    if drift:
+        print(f"drift state: {drift.get('state', 'ok')} "
+              f"(transitions: {len(drift.get('transitions', []))})")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.server import OracleServer, TraceStore
 
@@ -225,6 +329,28 @@ def main(argv: list[str] | None = None) -> int:
                      help="connect over TCP instead of the unix socket")
     met.add_argument("--timeout", type=float, default=10.0)
 
+    def _session_args(p) -> None:
+        p.add_argument("trace", help="reference trace file")
+        p.add_argument("--prime", type=int, default=64,
+                       help="reference events to replay before asking (default 64)")
+        p.add_argument("--thread", type=int, default=0)
+        p.add_argument("--socket", default=None,
+                       help="ask a running daemon over this unix socket")
+        p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="ask a running daemon over TCP")
+
+    exp = sub.add_parser("explain", help="provenance of the oracle's next prediction")
+    _session_args(exp)
+    exp.add_argument("--distance", type=int, default=1)
+    exp.add_argument("--top-k", type=int, default=3, dest="top_k")
+    exp.add_argument("--with-time", action="store_true", dest="with_time")
+
+    flt = sub.add_parser("flight", help="dump a session's flight-recorder journal")
+    _session_args(flt)
+    flt.add_argument("-o", "--output", default="-",
+                     help="output file ('-' = stdout, the default)")
+    flt.add_argument("--format", default="jsonl", choices=("jsonl", "chrome"))
+
     spn = sub.add_parser("spans", help="record+replay with span recording on")
     spn.add_argument("app")
     spn.add_argument("-o", "--output", default="pythia-spans.json",
@@ -244,7 +370,8 @@ def main(argv: list[str] | None = None) -> int:
     return {"apps": _cmd_apps, "record": _cmd_record,
             "dump": _cmd_dump, "predict": _cmd_predict,
             "serve": _cmd_serve, "metrics": _cmd_metrics,
-            "spans": _cmd_spans}[args.cmd](args)
+            "spans": _cmd_spans, "explain": _cmd_explain,
+            "flight": _cmd_flight}[args.cmd](args)
 
 
 if __name__ == "__main__":

@@ -19,11 +19,14 @@ import time
 from typing import Hashable
 
 from repro.core.events import Event, EventRegistry
+from repro.core.explain import Explanation
 from repro.core.predict import Prediction, PythiaPredict
 from repro.core.record import PythiaRecord
 from repro.core.trace_file import Trace, load_trace
 from repro.obs import span
 from repro.obs.accuracy import aggregate_stats
+from repro.obs.drift import DriftBaseline, DriftMonitor
+from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 
 __all__ = ["Pythia"]
@@ -86,6 +89,11 @@ class Pythia:
         _log.debug("oracle_opened", trace=self.trace_path, mode=mode)
         self._recorders: dict[int, PythiaRecord] = {}
         self._predictors: dict[int, PythiaPredict] = {}
+        #: set by enable_drift(): one monitor shared by every thread's
+        #: tracker, plus a flight recorder per tracker
+        self._drift: DriftMonitor | None = None
+        self._flight_capacity = 0
+        self._flight_dump_dir: str | None = None
         if self.reference is not None:
             self.registry = self.reference.registry
         else:
@@ -120,8 +128,25 @@ class Pythia:
             pred = PythiaPredict(
                 tt.grammar, tt.timing, max_candidates=self._max_candidates
             )
+            self._watch(thread, pred)
             self._predictors[thread] = pred
         return pred
+
+    def _watch(self, thread: int, pred: PythiaPredict) -> None:
+        """Attach the facade's drift monitor / flight recorder (if
+        enabled) to one tracker — existing and future alike."""
+        if self._drift is not None and pred.drift is None:
+            pred.attach_drift(self._drift)
+        if self._flight_capacity and pred.flight is None:
+            stem = os.path.splitext(os.path.basename(self.trace_path))[0]
+            pred.attach_flight(
+                FlightRecorder(
+                    self._flight_capacity,
+                    session=f"{stem}.t{thread}",
+                    stride=self._drift.stride if self._drift is not None else 32,
+                    dump_dir=self._flight_dump_dir,
+                )
+            )
 
     # ------------------------------------------------------------------
     # the runtime-system API
@@ -211,6 +236,76 @@ class Pythia:
         if not self.predicting:
             return None
         return self._predictor(thread).predict_duration(distance)
+
+    def explain(
+        self,
+        distance: int = 1,
+        *,
+        thread: int = 0,
+        top_k: int = 3,
+        with_time: bool = False,
+    ) -> Explanation | None:
+        """Provenance of :meth:`predict`: which candidate progress
+        sequences back the top-k predicted events, with what weights.
+
+        Read-only and side-effect free — ``events[0]`` is exactly what
+        ``predict(distance)`` would return right now; ``None`` when the
+        oracle is lost or recording.  Serialize with
+        :meth:`~repro.core.explain.Explanation.to_obj`, passing
+        ``self.registry.name`` for human-readable event names.
+        """
+        if not self.predicting:
+            return None
+        return self._predictor(thread).explain(
+            distance, top_k=top_k, with_time=with_time
+        )
+
+    # ------------------------------------------------------------------
+    # drift monitoring + flight recording
+    # ------------------------------------------------------------------
+
+    def enable_drift(
+        self,
+        baseline: DriftBaseline | None = None,
+        *,
+        flight: int = 256,
+        dump_dir: str | None = None,
+        **monitor_kwargs,
+    ) -> DriftMonitor | None:
+        """Turn on drift monitoring (and flight recording) for this oracle.
+
+        One :class:`~repro.obs.drift.DriftMonitor` is shared by every
+        thread's tracker (per-tracker deltas, one alarm state); each
+        tracker additionally gets a :class:`~repro.obs.flight.FlightRecorder`
+        of ``flight`` entries (0 disables).  Extra keyword arguments go
+        to the monitor (``stride``, ``alpha``, thresholds…).  Returns
+        the monitor — register fallback hooks with
+        :meth:`~repro.obs.drift.DriftMonitor.on_transition` — or ``None``
+        in record mode.  Idempotent: a second call returns the monitor
+        already installed.
+        """
+        if not self.predicting:
+            return None
+        if self._drift is None:
+            self._drift = DriftMonitor(baseline, **monitor_kwargs)
+            self._flight_capacity = flight
+            self._flight_dump_dir = dump_dir
+            for thread, pred in self._predictors.items():
+                self._watch(thread, pred)
+        return self._drift
+
+    def drift_report(self) -> dict:
+        """The drift monitor's report (empty dict before enable_drift)."""
+        if self._drift is None:
+            return {}
+        return self._drift.report()
+
+    def flight_journal(self, thread: int = 0) -> list[dict]:
+        """This thread's flight-recorder journal (empty when disabled)."""
+        pred = self._predictors.get(thread)
+        if pred is None or pred.flight is None:
+            return []
+        return pred.flight.entries()
 
     def describe(self, prediction: Prediction | None) -> str:
         """Human-readable form of a prediction (for logs and examples)."""

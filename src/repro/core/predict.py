@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.explain import EventExplanation, Explanation, SourceChain
 from repro.core.frozen import FrozenGrammar
 from repro.core.progress import END, Chain, start_chains, successors, terminal_of
 from repro.core.timing import TimingTable
@@ -39,6 +40,11 @@ __all__ = ["Prediction", "PythiaPredict"]
 #: registry flushes happen every this many observations (the hot path
 #: only bumps plain ints; scrapers call :meth:`PythiaPredict.flush_metrics`)
 METRICS_FLUSH_EVERY = 1024
+
+#: watcher feeds skipped after a calm OK update (flight + drift see
+#: every 4th stride boundary while nothing is wrong; any anomaly resets
+#: this, so a workload switch is classified within two stride windows)
+_WATCH_CALM_SKIP = 3
 
 #: bound on the per-tracker timing-estimate memo (cleared when full)
 _ETA_CACHE_MAX = 16384
@@ -116,6 +122,18 @@ class PythiaPredict:
         #: reusable Prediction per terminal for the deterministic walk
         #: (predictions are value objects: callers must not mutate them)
         self._det_pred: dict[int, Prediction] = {}
+        #: optional observability hooks (see attach_flight / attach_drift).
+        #: The matched fast path never touches them: both are driven from
+        #: :meth:`_tick`, whose cadence ``_flush_every`` drops from
+        #: METRICS_FLUSH_EVERY to the attached watchers' stride.
+        self.flight = None
+        self.drift = None
+        self._flush_every = METRICS_FLUSH_EVERY
+        self._metrics_every = 1
+        self._ticks = 0
+        #: remaining stride boundaries to skip feeding the watchers
+        #: (calm-stretch; cleared to 0 by the anomaly cold paths)
+        self._watch_skip = 0
 
     # ------------------------------------------------------------------
     # following the execution (§II-B)
@@ -138,8 +156,8 @@ class PythiaPredict:
         """
         self.observed += 1
         self._since_flush += 1
-        if self._since_flush >= METRICS_FLUSH_EVERY:
-            self.flush_metrics()
+        if self._since_flush >= self._flush_every:
+            self._tick()
         machine = self.machine
         cands = self.candidates
         if cands:
@@ -185,12 +203,20 @@ class PythiaPredict:
             self.unknown += 1
             self.candidates = {}
             self.accuracy.note_observation(terminal, matched=False, lost=True, now=now)
+            self._watch_skip = 0
+            flight = self.flight
+            if flight is not None:
+                flight.anomaly("unknown", terminal, self)
             return False
         agg: dict[Chain, float] = {}
         for chain, w in restart:
             agg[chain] = agg.get(chain, 0.0) + w
         self.candidates = self._prune(agg)
         self.accuracy.note_observation(terminal, matched=False, lost=False, now=now)
+        self._watch_skip = 0
+        flight = self.flight
+        if flight is not None:
+            flight.anomaly("restart", terminal, self)
         return False
 
     def observe_unknown(self, *, now: float | None = None) -> bool:
@@ -202,9 +228,16 @@ class PythiaPredict:
         statistics.  Always returns False.
         """
         self.observed += 1
+        self._since_flush += 1
         self.unknown += 1
         self.candidates = {}
         self.accuracy.note_observation(None, matched=False, lost=True, now=now)
+        self._watch_skip = 0
+        flight = self.flight
+        if flight is not None:
+            flight.anomaly("unknown", None, self)
+        if self._since_flush >= self._flush_every:
+            self._tick()
         return False
 
     def _prune_impl(self, cands: dict[Chain, float]) -> tuple[dict[Chain, float], int]:
@@ -282,12 +315,20 @@ class PythiaPredict:
                         )
                         self._det_pred[term] = pred
                     self.accuracy.note_prediction(term, distance=distance, eta=None)
+                    flight = self.flight
+                    if flight is not None:
+                        flight.last_distance = distance
+                        flight.last_pred = pred
                     return pred
         preds = self._simulate(distance, with_time=with_time, collect_all=False)
         if preds is None:
             return None
         pred = preds[-1]
         self.accuracy.note_prediction(pred.terminal, distance=distance, eta=pred.eta)
+        flight = self.flight
+        if flight is not None:
+            flight.last_distance = distance
+            flight.last_pred = pred
         return pred
 
     def predict_sequence(
@@ -296,25 +337,103 @@ class PythiaPredict:
         """Predict every event from 1 to ``distance`` steps ahead."""
         return self._simulate(distance, with_time=with_time, collect_all=True)
 
+    def explain(
+        self,
+        distance: int = 1,
+        *,
+        top_k: int = 3,
+        max_sources: int = 8,
+        with_time: bool = False,
+    ) -> Explanation | None:
+        """Provenance of :meth:`predict` for the current tracker state.
+
+        Re-runs the §II-C simulation (same floats as ``predict``, via
+        :meth:`_simulate`) but keeps the final candidate set and renders,
+        per top-k terminal, the progress sequences backing its
+        probability mass — see :mod:`repro.core.explain`.  Read-only:
+        no counter moves, no prediction is registered for scoring, so
+        an ``explain`` between two ``predict`` calls cannot change any
+        statistic.  ``events[0]`` carries exactly the terminal and
+        probability ``predict(distance)`` would return; returns ``None``
+        when the tracker is lost (as ``predict`` does).
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        candidates_before = len(self.candidates)
+        capture: dict = {}
+        preds = self._simulate(
+            distance,
+            with_time=with_time,
+            collect_all=False,
+            count=False,
+            capture=capture,
+        )
+        if preds is None:
+            return None
+        pred = preds[-1]
+        grammar = self.grammar
+        by_term: dict[int | None, list[SourceChain]] = {}
+        for chain, weight in capture["cands"].items():
+            t = None if (chain is END or not chain) else terminal_of(grammar, chain)
+            by_term.setdefault(t, []).append(
+                SourceChain(chain=tuple(chain), terminal=t, weight=weight)
+            )
+        # stable descending sort: among equal masses the first-inserted
+        # terminal wins, matching predict()'s max() tie-break exactly
+        ordered = sorted(
+            pred.distribution.items(), key=lambda kv: kv[1], reverse=True
+        )
+        events = []
+        for t, mass in ordered[:top_k]:
+            sources = sorted(by_term.get(t, ()), key=lambda s: s.weight, reverse=True)
+            events.append(
+                EventExplanation(
+                    terminal=t,
+                    probability=mass,
+                    sources=tuple(sources[:max_sources]),
+                    source_count=len(sources),
+                )
+            )
+        return Explanation(
+            distance=distance,
+            path="compiled" if self.machine is not None else "reference",
+            deterministic=capture["deterministic"],
+            candidates=candidates_before,
+            eta=pred.eta,
+            events=tuple(events),
+        )
+
     def _simulate(
-        self, distance: int, *, with_time: bool, collect_all: bool
+        self,
+        distance: int,
+        *,
+        with_time: bool,
+        collect_all: bool,
+        count: bool = True,
+        capture: dict | None = None,
     ) -> list[Prediction] | None:
         """Advance a candidate copy ``distance`` steps without observing.
 
         With ``collect_all`` a :class:`Prediction` (with its full
         distribution) is built per step; otherwise only for the final
         step — the candidate evolution is identical either way.
+        ``count=False`` leaves the ``predictions`` counter untouched
+        (:meth:`explain` re-runs the simulation without becoming a new
+        oracle query); ``capture`` receives the final candidate set and
+        whether every step stayed deterministic.
         """
         if distance < 1:
             raise ValueError("distance must be >= 1")
         if not self.candidates:
             return None
-        self.predictions += 1
+        if count:
+            self.predictions += 1
         machine = self.machine
         # never mutated in place: every step rebinds to a fresh dict
         cands = self.candidates
         out: list[Prediction] = []
         elapsed = 0.0
+        all_det = True
         have_time = with_time and self.timing is not None
         last_step = distance - 1
         for step in range(distance):
@@ -344,6 +463,7 @@ class PythiaPredict:
                                 )
                             )
                         continue
+            all_det = False
             nxt: dict[Chain, float] = {}
             step_dt = 0.0
             dt_weight = 0.0
@@ -382,6 +502,9 @@ class PythiaPredict:
                         distribution=dist,
                     )
                 )
+        if capture is not None:
+            capture["cands"] = cands
+            capture["deterministic"] = all_det
         return out
 
     def _estimate(self, chain: Chain) -> float | None:
@@ -432,6 +555,75 @@ class PythiaPredict:
         if require_match and not matched:
             return matched, None
         return matched, self.predict(distance, with_time=with_time)
+
+    # ------------------------------------------------------------------
+    # observability hooks (flight recorder / drift monitor)
+    # ------------------------------------------------------------------
+
+    def attach_flight(self, flight) -> None:
+        """Attach a :class:`~repro.obs.flight.FlightRecorder` (None detaches).
+
+        The recorder journals anomalies (restarts, unknown events) as
+        they happen and run summaries at every tick; see :meth:`_tick`
+        for the cost model.
+        """
+        self.flight = flight
+        self._retune()
+
+    def attach_drift(self, monitor) -> None:
+        """Attach a :class:`~repro.obs.drift.DriftMonitor` (None detaches).
+
+        The monitor consumes counter deltas at every tick; its
+        ``stride`` becomes the tick cadence, so the matched fast path
+        pays nothing per event beyond the existing ``_since_flush`` bump.
+        """
+        self.drift = monitor
+        self._retune()
+
+    def _retune(self) -> None:
+        strides = [w.stride for w in (self.drift, self.flight) if w is not None]
+        if strides:
+            self._flush_every = max(1, min(strides))
+            self._metrics_every = max(1, METRICS_FLUSH_EVERY // self._flush_every)
+        else:
+            self._flush_every = METRICS_FLUSH_EVERY
+            self._metrics_every = 1
+        self._ticks = 0
+        self._watch_skip = 0
+
+    def _tick(self) -> None:
+        """Strided hook off the observe hot path.
+
+        Observations only bump ``_since_flush``; every ``_flush_every``
+        of them this journals a flight run entry, feeds the drift
+        monitor and flushes metrics every METRICS_FLUSH_EVERY
+        observations — the same cadence as before watchers existed.
+
+        While the monitor reports OK and the window had no anomalies the
+        watcher feed stretches to every ``_WATCH_CALM_SKIP + 1``-th
+        boundary — the flight journal is run-length compressed anyway,
+        so a calm run entry simply covers a longer block.  The anomaly
+        cold paths zero ``_watch_skip``, so after a workload switch the
+        monitor sees a mostly-anomalous window within at most two stride
+        lengths — stride 32 keeps the classify-a-switch latency at or
+        under 63 events — and the journal snaps back to per-stride
+        granularity for the storm.  Without a drift monitor nothing is
+        ever skipped: a lone flight recorder journals every boundary.
+        """
+        self._since_flush = 0
+        if self._watch_skip > 0:
+            self._watch_skip -= 1
+        else:
+            flight = self.flight
+            if flight is not None:
+                flight.tick(self)
+            drift = self.drift
+            if drift is not None and drift.update(self) == "ok":
+                self._watch_skip = _WATCH_CALM_SKIP
+        self._ticks += 1
+        if self._ticks >= self._metrics_every:
+            self._ticks = 0
+            self.flush_metrics()
 
     # ------------------------------------------------------------------
 

@@ -88,6 +88,7 @@ class MPIExperimentResult:
     run: MPIRun | None = None
     trace: Trace | None = None
     accuracy_report: dict = field(default_factory=dict)
+    drift_report: dict = field(default_factory=dict)
 
     def accuracy(self, distance: int) -> float:
         """Aggregate prediction accuracy at one distance."""
@@ -172,6 +173,10 @@ def mpi_predict_run(
     app = get_app(app_name)
     ranks = ranks or app.default_ranks
     oracle = predict_oracle(trace_path, oracle_socket)
+    # the client has daemon-side drift/flight; only the in-process
+    # facade needs it enabled here
+    if hasattr(oracle, "enable_drift"):
+        oracle.enable_drift()
     with span("experiment.mpi_predict", app=app.name, ws=ws, ranks=ranks):
         run = _run(
             app, ws, ranks, seed,
@@ -189,14 +194,16 @@ def mpi_predict_run(
             scores[d].incorrect += s.incorrect
             scores[d].missing += s.missing
     report = oracle.stats()
+    drift = oracle.drift_report() if hasattr(oracle, "drift_report") else {}
     _log.info(
         "mpi_predict_done", app=app.name, ws=ws, ranks=ranks,
         hit_rate=report.get("hit_rate"),
+        drift_state=drift.get("state"),
         simulated_s=run.time,
     )
     return MPIExperimentResult(
         app.name, ws, "predict", run.time,
-        scores=scores, run=run, accuracy_report=report,
+        scores=scores, run=run, accuracy_report=report, drift_report=drift,
     )
 
 
@@ -217,6 +224,7 @@ class OMPExperimentResult:
     average_team: float = 0.0
     stats: dict = field(default_factory=dict)
     accuracy_report: dict = field(default_factory=dict)
+    drift_report: dict = field(default_factory=dict)
 
 
 def _gomp(machine: MachineSpec, max_threads: int, policy, interceptor) -> GompRuntime:
@@ -279,10 +287,12 @@ def omp_predict_run(
     """
     max_threads = max_threads or machine.cores
     oracle = predict_oracle(trace_path, oracle_socket)
+    monitor = oracle.enable_drift() if hasattr(oracle, "enable_drift") else None
     injector = ErrorInjector(error_rate, seed=seed) if error_rate else None
     shim = OMPRuntimeSystem(oracle, error_injector=injector)
     policy = AdaptivePythiaPolicy(
-        cost_model=RegionCostModel(machine), max_threads=max_threads
+        cost_model=RegionCostModel(machine), max_threads=max_threads,
+        drift_monitor=monitor,
     )
     rt = _gomp(machine, max_threads, policy, shim)
     with span("experiment.omp_predict", machine=machine.name, size=size):
@@ -290,13 +300,15 @@ def omp_predict_run(
     stats = dict(shim.stats)
     stats.update(policy.decisions)
     report = oracle.stats()
+    drift = oracle.drift_report() if hasattr(oracle, "drift_report") else {}
     _log.info(
         "omp_predict_done", machine=machine.name, size=size,
-        hit_rate=report.get("hit_rate"), simulated_s=time,
+        hit_rate=report.get("hit_rate"), drift_state=drift.get("state"),
+        simulated_s=time,
     )
     return OMPExperimentResult(machine.name, size, "predict", max_threads, time,
                                average_team=rt.average_team, stats=stats,
-                               accuracy_report=report)
+                               accuracy_report=report, drift_report=drift)
 
 
 def temp_trace_path(tag: str) -> str:

@@ -12,13 +12,26 @@ Four independent, dependency-free pieces:
   time per stage, exportable as Chrome trace JSON (``PYTHIA_SPANS=1``,
   ``pythia-trace spans``);
 - :mod:`repro.obs.accuracy` — online scoring of every prediction the
-  oracle makes against what the execution then actually does.
+  oracle makes against what the execution then actually does;
+- :mod:`repro.obs.drift` — an online OK → DRIFTING → DIVERGED monitor
+  comparing the tracker's drift signals against a reference baseline;
+- :mod:`repro.obs.flight` — a bounded per-session flight recorder
+  journaling recent events/predictions/outcomes (``PYTHIA_FLIGHT_DIR``).
 
 The metric name catalogue lives in the README's "Observability" section.
 """
 
 from repro.obs import log
 from repro.obs.accuracy import AccuracyTracker, merge_reports
+from repro.obs.drift import (
+    DIVERGED,
+    DRIFTING,
+    OK,
+    DriftBaseline,
+    DriftMonitor,
+    baseline_from_replay,
+)
+from repro.obs.flight import FlightRecorder, active_recorders, dump_active
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -47,14 +60,23 @@ __all__ = [
     "AccuracyTracker",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DIVERGED",
+    "DRIFTING",
+    "DriftBaseline",
+    "DriftMonitor",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
     "NullRegistry",
+    "OK",
     "Span",
     "SpanRecorder",
+    "active_recorders",
+    "baseline_from_replay",
     "disable_spans",
+    "dump_active",
     "enable_spans",
     "get_recorder",
     "get_registry",

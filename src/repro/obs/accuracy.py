@@ -22,14 +22,19 @@ long runs can see accuracy drift.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Iterable
 
-__all__ = ["AccuracyTracker", "aggregate_stats", "merge_reports"]
+__all__ = ["AccuracyTracker", "EPISODE_BUCKETS", "aggregate_stats", "merge_reports"]
 
 #: pending predictions kept at most (a runtime asking for predictions it
 #: never lets resolve must not grow memory without bound)
 MAX_PENDING = 4096
+
+#: ``le`` bounds of the lost-episode length histogram (events spent lost
+#: per episode); lengths above the last bound land in the overflow slot
+EPISODE_BUCKETS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class AccuracyTracker:
@@ -51,6 +56,11 @@ class AccuracyTracker:
         "_index",
         "_last_now",
         "_was_lost",
+        "episode_count",
+        "episode_len_sum",
+        "episode_len_max",
+        "_episode_counts",
+        "_episode_len",
     )
 
     def __init__(self, *, window_size: int = 256) -> None:
@@ -74,6 +84,13 @@ class AccuracyTracker:
         self._index = 0
         self._last_now: float | None = None
         self._was_lost = False
+        #: completed lost episodes (lost → resync), histogrammed by how
+        #: many observations the tracker spent without candidates
+        self.episode_count = 0
+        self.episode_len_sum = 0
+        self.episode_len_max = 0
+        self._episode_counts = [0] * (len(EPISODE_BUCKETS) + 1)
+        self._episode_len = 0
 
     # ------------------------------------------------------------------
 
@@ -137,14 +154,26 @@ class AccuracyTracker:
         if now is not None:
             self._last_now = now
         if lost:
+            # an episode counts once, however many lost observations or
+            # repeated mismatches it spans; its length accumulates here
             if not self._was_lost:
                 self.lost_events += 1
+            self._episode_len += 1
             # no candidate position: queued claims can never resolve
             pending.clear()
             self._was_lost = True
         else:
             if self._was_lost:
+                # exactly one resync per lost episode: the first
+                # observation that re-acquires a candidate position
                 self.resyncs += 1
+                length = self._episode_len
+                self._episode_len = 0
+                self.episode_count += 1
+                self.episode_len_sum += length
+                if length > self.episode_len_max:
+                    self.episode_len_max = length
+                self._episode_counts[bisect_left(EPISODE_BUCKETS, length)] += 1
             if not matched:
                 self.unexpected_restarts += 1
             self._was_lost = False
@@ -173,6 +202,16 @@ class AccuracyTracker:
         """Mean ``|actual − predicted|`` delay over time-scored hits."""
         return self.time_err_sum / self.time_scored if self.time_scored else 0.0
 
+    def episode_histogram(self) -> dict:
+        """Completed lost-episode lengths: count/sum/max plus bucket
+        counts aligned with :data:`EPISODE_BUCKETS` (last = overflow)."""
+        return {
+            "count": self.episode_count,
+            "sum": self.episode_len_sum,
+            "max": self.episode_len_max,
+            "bucket_counts": list(self._episode_counts),
+        }
+
     def report(self) -> dict:
         """Everything above as one plain dict (JSON-safe)."""
         return {
@@ -187,6 +226,7 @@ class AccuracyTracker:
             "time_scored": self.time_scored,
             "mean_abs_time_error": self.mean_abs_time_error,
             "max_abs_time_error": self.time_err_max,
+            "lost_episode_lengths": self.episode_histogram(),
         }
 
 
@@ -209,9 +249,16 @@ def merge_reports(reports: Iterable[dict]) -> dict:
         "time_scored": 0,
         "mean_abs_time_error": 0.0,
         "max_abs_time_error": 0.0,
+        "lost_episode_lengths": {
+            "count": 0,
+            "sum": 0,
+            "max": 0,
+            "bucket_counts": [0] * (len(EPISODE_BUCKETS) + 1),
+        },
     }
     err_sum = 0.0
     rolling_weighted = 0.0
+    episodes = out["lost_episode_lengths"]
     for rep in reports:
         for key in (
             "predictions_scored",
@@ -229,6 +276,15 @@ def merge_reports(reports: Iterable[dict]) -> dict:
         )
         if rep.get("max_abs_time_error", 0.0) > out["max_abs_time_error"]:
             out["max_abs_time_error"] = rep["max_abs_time_error"]
+        hist = rep.get("lost_episode_lengths")
+        if hist:
+            episodes["count"] += hist.get("count", 0)
+            episodes["sum"] += hist.get("sum", 0)
+            if hist.get("max", 0) > episodes["max"]:
+                episodes["max"] = hist["max"]
+            for idx, c in enumerate(hist.get("bucket_counts", ())):
+                if idx < len(episodes["bucket_counts"]):
+                    episodes["bucket_counts"][idx] += c
     if out["predictions_scored"]:
         out["hit_rate"] = out["hits"] / out["predictions_scored"]
         out["rolling_hit_rate"] = rolling_weighted / out["predictions_scored"]

@@ -477,11 +477,23 @@ def metrics_enabled() -> bool:
 # ----------------------------------------------------------------------
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote and newline (in that order — the backslash
+    pass must not re-escape the others' escapes)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline (quotes stay verbatim)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_labels(labels: LabelsKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = labels + extra
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -502,7 +514,7 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
         if inst.name not in seen_headers:
             seen_headers.add(inst.name)
             if inst.help:
-                lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
         if isinstance(inst, Histogram):
             for bound, cum in inst.bucket_counts():

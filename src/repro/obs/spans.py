@@ -50,6 +50,9 @@ class Span:
     thread_name: str
     depth: int
     attrs: dict = field(default_factory=dict)
+    #: recorded at span creation, not export time, so spans collected in
+    #: a forked worker keep their true process id
+    pid: int = 0
 
 
 class SpanRecorder:
@@ -88,6 +91,7 @@ class SpanRecorder:
                 thread_name=thread.name,
                 depth=depth,
                 attrs=attrs,
+                pid=os.getpid(),
             )
             with self._lock:
                 if len(self._spans) < self.max_spans:
@@ -132,22 +136,42 @@ class SpanRecorder:
     # -- export ---------------------------------------------------------
 
     def to_chrome_trace(self) -> dict:
-        """Chrome trace-event JSON object (``chrome://tracing`` / Perfetto)."""
+        """Chrome trace-event JSON object (``chrome://tracing`` / Perfetto).
+
+        Every span carries its recording ``pid`` and its thread's real
+        ``tid`` (plus a ``thread_name`` metadata event per thread), so a
+        multi-threaded dump renders one row per thread instead of
+        overlapping on a single track.
+        """
+        fallback_pid = os.getpid()
         events = []
+        threads: dict[tuple[int, int], str] = {}
         for sp in self.spans():
+            pid = sp.pid or fallback_pid
+            threads.setdefault((pid, sp.thread_id), sp.thread_name)
             events.append(
                 {
                     "name": sp.name,
                     "ph": "X",
                     "ts": round(sp.start * 1e6, 3),
                     "dur": round(sp.duration * 1e6, 3),
-                    "pid": os.getpid(),
+                    "pid": pid,
                     "tid": sp.thread_id,
                     "args": dict(sp.attrs, depth=sp.depth),
                 }
             )
         events.sort(key=lambda e: e["ts"])
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        meta = [
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+            for (pid, tid), name in sorted(threads.items())
+        ]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
     def dump(self, path: str | os.PathLike) -> None:
         """Write :meth:`to_chrome_trace` to ``path`` as JSON."""

@@ -58,6 +58,16 @@ class AdaptivePythiaPolicy:
     (lost, or first encounter of a region) the policy falls back to the
     vanilla heuristic — exactly the paper's fallback behaviour.
 
+    A :class:`~repro.obs.drift.DriftMonitor` can additionally gate the
+    policy: pass one as ``drift_monitor`` (or register
+    :meth:`drift_transition` yourself via
+    :meth:`~repro.obs.drift.DriftMonitor.on_transition`) and the policy
+    stops trusting predictions while the monitor reports DIVERGED —
+    every region falls back to the vanilla thread count until the
+    monitor recovers.  Oracle guidance is an optimisation; a workload
+    that no longer resembles its reference trace must degrade to
+    default behaviour, not to wrong thread counts.
+
     Default thresholds are derived from the machine's cost model: for
     each ladder count ``n`` we find the largest region duration (as
     measured at max threads during the reference run) for which ``n``
@@ -69,13 +79,17 @@ class AdaptivePythiaPolicy:
         cost_model: RegionCostModel | None = None,
         thresholds: list[tuple[float, int]] | None = None,
         max_threads: int | None = None,
+        drift_monitor=None,
     ) -> None:
         if thresholds is None:
             if cost_model is None or max_threads is None:
                 raise ValueError("need either explicit thresholds or a cost model + max_threads")
             thresholds = self.derive_thresholds(cost_model, max_threads)
         self.thresholds = sorted(thresholds)
-        self.decisions = {"adaptive": 0, "fallback": 0}
+        self.decisions = {"adaptive": 0, "fallback": 0, "drift_fallback": 0}
+        self.force_fallback = False
+        if drift_monitor is not None:
+            drift_monitor.on_transition(self.drift_transition)
 
     @staticmethod
     def derive_thresholds(
@@ -106,7 +120,21 @@ class AdaptivePythiaPolicy:
             d *= 1.12
         return thresholds or [(overhead_max, 1)]
 
+    def drift_transition(self, old: str, new: str, snapshot: dict) -> None:
+        """Drift-monitor callback: distrust the oracle while DIVERGED.
+
+        Shaped for :meth:`DriftMonitor.on_transition`; a DRIFTING
+        session keeps using predictions (they still mostly hit), only a
+        full divergence forces the vanilla thread counts.
+        """
+        from repro.obs.drift import DIVERGED
+
+        self.force_fallback = new == DIVERGED
+
     def threads_for(self, region_id, predicted_duration, max_threads: int) -> int:
+        if self.force_fallback:
+            self.decisions["drift_fallback"] += 1
+            return max_threads
         if predicted_duration is None:
             self.decisions["fallback"] += 1
             return max_threads

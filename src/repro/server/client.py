@@ -27,6 +27,7 @@ import threading
 from typing import Hashable
 
 from repro.core.events import EventRegistry
+from repro.core.explain import Explanation
 from repro.core.predict import Prediction
 from repro.core.trace_file import TraceFormatError
 from repro.obs.accuracy import aggregate_stats
@@ -261,6 +262,43 @@ class PythiaClient:
         return self._request(
             "predict_duration", session=self._session(thread), distance=distance
         )["eta"]
+
+    def explain(
+        self,
+        distance: int = 1,
+        *,
+        thread: int = 0,
+        top_k: int = 3,
+        with_time: bool = False,
+    ) -> Explanation | None:
+        """Provenance of :meth:`predict`, mirroring ``Pythia.explain``.
+
+        The daemon runs the same tracker, so the returned
+        :class:`~repro.core.explain.Explanation` agrees with an
+        in-process oracle fed the same events — terminals, probabilities
+        and source chains alike.  ``None`` when the session is lost.
+        """
+        obj = self._request(
+            "explain",
+            session=self._session(thread),
+            distance=distance,
+            top_k=top_k,
+            with_time=with_time,
+        )["explanation"]
+        return Explanation.from_obj(obj) if obj is not None else None
+
+    def flight_journal(self, thread: int = 0) -> list[dict]:
+        """This thread's daemon-side flight journal (mirrors the facade)."""
+        entries = self._request(
+            "flight_dump", session=self._session(thread), format="jsonl"
+        )["entries"]
+        return entries or []
+
+    def flight_dump(self, *, thread: int = 0, format: str = "jsonl") -> dict:
+        """The raw ``flight_dump`` response: journal + drift report."""
+        return self._request(
+            "flight_dump", session=self._session(thread), format=format
+        )
 
     def describe(self, prediction: Prediction | None) -> str:
         """Human-readable form of a prediction (mirrors the facade)."""

@@ -18,10 +18,19 @@ Request ops
                    -> ``{matched, prediction}`` — fused observe + predict
 ``predict``        ``{session, distance=1, with_time=false}`` -> ``{prediction}``
 ``predict_duration`` ``{session, distance=1}`` -> ``{eta}``
+``explain``        ``{session, distance=1, top_k=3, with_time=false,
+                   names=false}`` -> ``{explanation}`` — prediction
+                   provenance (:mod:`repro.core.explain`)
+``flight_dump``    ``{session, format="jsonl"|"chrome"}`` -> the
+                   session's flight-recorder journal + drift report
 ``close_session``  ``{session}``
 ``stats``          ``{session?}`` — daemon counters, or one tracker's
 ``metrics``        Prometheus text exposition of the process registry
                    (``pythia-trace metrics`` prints it)
+
+Every session carries a flight recorder (``flight`` entries, default
+256, 0 disables) and a drift monitor (``drift=false`` disables) so a
+misbehaving client's history is inspectable post-hoc.
 
 Error isolation: a bad request gets an ``{ok: false, code, error}``
 response; a broken frame closes only that connection; nothing a client
@@ -41,6 +50,8 @@ from repro.core.events import Event
 from repro.core.predict import PythiaPredict
 from repro.core.trace_file import TraceFormatError
 from repro.obs import metrics as obs_metrics
+from repro.obs.drift import DriftMonitor
+from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, render_prometheus
 from repro.server.protocol import (
@@ -408,12 +419,26 @@ class OracleServer:
                 "bad_request",
                 f"'max_candidates' must be in [1, {self.max_candidates_limit}]",
             )
+        flight_capacity = request.get("flight", 256)
+        if not isinstance(flight_capacity, int) or not (
+            0 <= flight_capacity <= 65536
+        ):
+            raise RequestError("bad_request", "'flight' must be in [0, 65536]")
         bundle = self.store.get(trace)
         tracker = bundle.tracker(thread, max_candidates=max_candidates)
         with self._lock:
             sid = f"s{next(self._session_ids)}"
             self._sessions[sid] = _Session(sid, bundle, thread, tracker, conn_id)
             self.counters["sessions_opened"] += 1
+        if flight_capacity:
+            tracker.attach_flight(
+                FlightRecorder(
+                    flight_capacity,
+                    session=f"{sid}.{os.path.basename(bundle.path)}.t{thread}",
+                )
+            )
+        if request.get("drift", True):
+            tracker.attach_drift(DriftMonitor())
         _log.debug("session_opened", session=sid, trace=bundle.path, thread=thread)
         out = {
             "session": sid,
@@ -543,6 +568,50 @@ class OracleServer:
             self.counters["predictions_served"] += 1
         return {"eta": eta}
 
+    def _op_explain(self, request: dict, conn_id: int) -> dict:
+        """Prediction provenance for one session (``Pythia.explain``).
+
+        ``names=true`` resolves terminal ids to event names server-side,
+        saving the client a registry fetch (the CLI uses it).
+        """
+        session = self._session(request)
+        distance = request.get("distance", 1)
+        if not isinstance(distance, int) or distance < 1:
+            raise RequestError("bad_request", "'distance' must be a positive integer")
+        top_k = request.get("top_k", 3)
+        if not isinstance(top_k, int) or not 1 <= top_k <= 64:
+            raise RequestError("bad_request", "'top_k' must be in [1, 64]")
+        with_time = bool(request.get("with_time", False))
+        with session.lock:
+            explanation = session.tracker.explain(
+                distance, top_k=top_k, with_time=with_time
+            )
+        if explanation is None:
+            return {"explanation": None}
+        name_of = session.bundle.registry.name if request.get("names") else None
+        return {"explanation": explanation.to_obj(name_of)}
+
+    def _op_flight_dump(self, request: dict, conn_id: int) -> dict:
+        """One session's flight-recorder journal (+ drift report)."""
+        session = self._session(request)
+        fmt = request.get("format", "jsonl")
+        if fmt not in ("jsonl", "chrome"):
+            raise RequestError("bad_request", "'format' must be 'jsonl' or 'chrome'")
+        with session.lock:
+            flight = session.tracker.flight
+            drift = session.tracker.drift
+            out: dict = {
+                "session": session.session_id,
+                "drift": drift.report() if drift is not None else {},
+            }
+            if flight is None:
+                out["entries" if fmt == "jsonl" else "trace"] = None
+            elif fmt == "chrome":
+                out["trace"] = flight.to_chrome_trace()
+            else:
+                out["entries"] = flight.entries()
+        return out
+
     def _op_registry(self, request: dict, conn_id: int) -> dict:
         trace = request.get("trace")
         if isinstance(trace, str):
@@ -560,6 +629,7 @@ class OracleServer:
             return {
                 "counters": dict(self.counters),
                 "sessions_active": len(self._sessions),
+                "session_ids": sorted(self._sessions),
                 "store": self.store.snapshot(),
                 "latency": {op: _latency_view(h) for op, h in self._latency.items()},
             }
@@ -601,6 +671,8 @@ class OracleServer:
         "observe_predict": _op_observe_predict,
         "predict": _op_predict,
         "predict_duration": _op_predict_duration,
+        "explain": _op_explain,
+        "flight_dump": _op_flight_dump,
         "registry": _op_registry,
         "stats": _op_stats,
         "metrics": _op_metrics,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -97,3 +98,20 @@ def fig4_sequence() -> list[int]:
 @pytest.fixture
 def tmp_trace_path(tmp_path):
     return str(tmp_path / "ref.pythia")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Post-mortem flight dump: when the run failed and
+    ``PYTHIA_FLIGHT_DIR`` names a directory, write every live flight
+    recorder's journal there (CI uploads the directory as an artifact
+    on failure, so the minute before a red test is inspectable)."""
+    if exitstatus == 0:
+        return
+    directory = os.environ.get("PYTHIA_FLIGHT_DIR")
+    if not directory:
+        return
+    from repro.obs.flight import dump_active
+
+    paths = dump_active(directory)
+    if paths:
+        print(f"\n[pythia] dumped {len(paths)} flight journal(s) to {directory}")

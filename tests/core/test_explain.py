@@ -1,0 +1,147 @@
+"""Prediction provenance: explain() agrees with predict() and serializes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.explain import Explanation
+from repro.core.predict import PythiaPredict
+from repro.core.timing import TimingTable
+from tests.conftest import A, B, C, NAMES, freeze, random_structured_stream
+
+
+class TestAgreementWithPredict:
+    def test_top_event_is_exactly_the_prediction(self):
+        stream = random_structured_stream(3)
+        p = PythiaPredict(freeze(stream))
+        for i, t in enumerate(stream):
+            p.observe(t)
+            pred = p.predict(1)
+            expl = p.explain(1)
+            if pred is None:
+                assert expl is None
+                continue
+            assert expl is not None, i
+            assert expl.terminal == pred.terminal
+            assert expl.probability == pred.probability  # same floats
+
+    def test_event_masses_are_the_full_distribution(self):
+        stream = random_structured_stream(5)
+        p = PythiaPredict(freeze(stream))
+        for t in stream[: len(stream) // 2]:
+            p.observe(t)
+        pred = p.predict(4)
+        expl = p.explain(4, top_k=64)
+        assert {e.terminal: e.probability for e in expl.events} == pred.distribution
+
+    def test_source_weights_sum_to_event_probability(self):
+        stream = random_structured_stream(8)
+        p = PythiaPredict(freeze(stream))
+        for t in stream[: len(stream) // 3]:
+            p.observe(t)
+        expl = p.explain(2, top_k=64, max_sources=10_000)
+        for ev in expl.events:
+            assert len(ev.sources) == ev.source_count
+            assert sum(s.weight for s in ev.sources) == pytest.approx(ev.probability)
+            # sources come heaviest first
+            weights = [s.weight for s in ev.sources]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_explain_is_side_effect_free(self):
+        stream = random_structured_stream(2)
+        p = PythiaPredict(freeze(stream))
+        for t in stream[:20]:
+            p.observe(t)
+        before = p.stats()
+        cands_before = dict(p.candidates)
+        p.explain(3)
+        assert p.stats() == before  # no counter moved, nothing scored
+        assert p.candidates == cands_before
+        # and the next predict is unaffected
+        assert p.predict(1) == p.predict(1)
+
+    def test_lost_tracker_explains_none(self):
+        p = PythiaPredict(freeze([A, B, C] * 4))
+        p.observe(A)
+        p.observe_unknown()
+        assert p.predict(1) is None
+        assert p.explain(1) is None
+
+    def test_eta_matches_with_time(self):
+        stream = random_structured_stream(4)
+        fg = freeze(stream)
+        timing = TimingTable.from_replay(fg, [0.5 * i for i in range(len(stream))])
+        p = PythiaPredict(fg, timing)
+        for t in stream[:30]:
+            p.observe(t)
+        pred = p.predict(2, with_time=True)
+        expl = p.explain(2, with_time=True)
+        assert expl.eta == pred.eta
+
+    def test_validation(self):
+        p = PythiaPredict(freeze([A, B, C] * 4))
+        p.observe(A)
+        with pytest.raises(ValueError):
+            p.explain(1, top_k=0)
+        with pytest.raises(ValueError):
+            p.explain(0)
+
+
+class TestShapes:
+    def test_deterministic_flag_on_singleton_loop(self):
+        seq = [A, B, C] * 8
+        p = PythiaPredict(freeze(seq))
+        for t in seq[: len(seq) - 4]:
+            p.observe(t)
+        expl = p.explain(1)
+        if len(p.candidates) == 1:
+            assert expl.candidates == 1
+            assert expl.deterministic
+
+    def test_path_field_tracks_traversal(self):
+        seq = [A, B, C] * 8
+        compiled = PythiaPredict(freeze(seq), compiled=True)
+        reference = PythiaPredict(freeze(seq), compiled=False)
+        for p in (compiled, reference):
+            p.observe(A)
+        assert compiled.explain(1).path == "compiled"
+        assert reference.explain(1).path == "reference"
+
+    def test_rule_path_is_chain_rules_bottom_first(self):
+        stream = random_structured_stream(13)
+        p = PythiaPredict(freeze(stream))
+        for t in stream[:25]:
+            p.observe(t)
+        expl = p.explain(1, top_k=64)
+        for ev in expl.events:
+            for src in ev.sources:
+                assert src.rule_path == tuple(step[0] for step in src.chain)
+                assert src.terminal == ev.terminal
+
+    def test_to_obj_round_trip_and_json(self):
+        stream = random_structured_stream(21)
+        p = PythiaPredict(freeze(stream))
+        for t in stream[:40]:
+            p.observe(t)
+        expl = p.explain(3, top_k=5)
+        obj = expl.to_obj()
+        # JSON-safe and lossless
+        assert Explanation.from_obj(json.loads(json.dumps(obj))) == expl
+        assert obj["terminal"] == expl.terminal
+        assert obj["probability"] == expl.probability
+
+    def test_to_obj_with_names(self):
+        p = PythiaPredict(freeze([A, B, C] * 8))
+        p.observe(A)
+        p.observe(B)
+        obj = p.explain(1).to_obj(lambda t: NAMES[t])
+        assert obj["events"][0]["name"] == NAMES[obj["events"][0]["terminal"]]
+
+    def test_describe_renders_every_event(self):
+        p = PythiaPredict(freeze([A, B, C] * 8))
+        p.observe(A)
+        text = p.explain(1, top_k=3).describe(lambda t: NAMES[t])
+        assert text.startswith("explain distance=1")
+        assert "p=" in text and "rules" in text

@@ -174,3 +174,68 @@ class TestPredictRun:
         oracle = Pythia(recorded)
         with pytest.raises(KeyError):
             oracle.event("MPI_Isend", 1, thread=7)
+
+
+class TestObservabilityFacade:
+    @pytest.fixture
+    def recorded(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        run_app(oracle)
+        oracle.finish()
+        return tmp_trace_path
+
+    def test_explain_agrees_with_predict(self, recorded):
+        oracle = Pythia(recorded)
+        for name, payload in APP_EVENTS[:50]:
+            oracle.event(name, payload)
+        pred = oracle.predict(3)
+        expl = oracle.explain(3)
+        assert expl.terminal == pred.terminal
+        assert expl.probability == pred.probability
+        # names resolve through the facade's registry
+        obj = expl.to_obj(oracle.registry.name)
+        assert obj["events"][0]["name"]
+
+    def test_explain_in_record_mode_is_none(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        assert oracle.explain(1) is None
+
+    def test_enable_drift_attaches_to_every_thread(self, recorded):
+        oracle = Pythia(recorded)
+        monitor = oracle.enable_drift(flight=32)
+        assert monitor is not None
+        assert oracle.enable_drift() is monitor  # idempotent
+        for name, payload in APP_EVENTS[:40]:
+            oracle.event(name, payload)
+        pred = oracle._predictor(0)
+        assert pred.drift is monitor
+        assert pred.flight is not None
+        assert pred.flight.capacity == 32
+        assert oracle.drift_report()["state"] == "ok"
+        assert any(e["kind"] == "run" for e in oracle.flight_journal())
+
+    def test_enable_drift_in_record_mode_is_none(self, tmp_trace_path):
+        oracle = Pythia(tmp_trace_path)
+        assert oracle.enable_drift() is None
+        assert oracle.drift_report() == {}
+        assert oracle.flight_journal() == []
+
+    def test_drift_divergence_visible_through_facade(self, recorded, tmp_path):
+        oracle = Pythia(recorded)
+        oracle.enable_drift(dump_dir=str(tmp_path))
+        for name, payload in APP_EVENTS:
+            oracle.event(name, payload)
+        for i in range(64):
+            oracle.event(f"hostile_{i}")
+        report = oracle.drift_report()
+        assert report["state"] == "diverged"
+        assert list(tmp_path.glob("flight-*.jsonl"))  # auto-dumped
+
+    def test_watchers_do_not_change_predictions(self, recorded):
+        bare = Pythia(recorded)
+        watched = Pythia(recorded)
+        watched.enable_drift()
+        for name, payload in APP_EVENTS[:80]:
+            assert bare.event(name, payload) == watched.event(name, payload)
+            assert bare.predict(2) == watched.predict(2)
+        assert bare.stats() == watched.stats()

@@ -135,3 +135,80 @@ class TestObservePredictEquivalence:
         assert compiled.machine is first.machine
         _drive(compiled, reference, stream)
         assert compiled.stats() == reference.stats()
+
+
+class TestExplainEquivalence:
+    """explain() must agree with predict() — and with itself — on both
+    traversal paths: same events, same probabilities, same floats."""
+
+    @staticmethod
+    def _assert_explains_prediction(tracker, distance):
+        pred = tracker.predict(distance)
+        expl = tracker.explain(distance, top_k=64)
+        if pred is None:
+            assert expl is None
+            return None
+        assert expl.terminal == pred.terminal
+        assert expl.probability == pred.probability
+        assert {e.terminal: e.probability for e in expl.events} == pred.distribution
+        return expl
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compiled_and_reference_explanations_identical(self, seed):
+        stream = random_structured_stream(seed)
+        fg = freeze(stream)
+        compiled, reference = _pair(fg)
+        for i, terminal in enumerate(stream):
+            compiled.observe(terminal)
+            reference.observe(terminal)
+            if i % 5 == 0:
+                for distance in (1, 4):
+                    ec = self._assert_explains_prediction(compiled, distance)
+                    er = self._assert_explains_prediction(reference, distance)
+                    if ec is None:
+                        assert er is None
+                        continue
+                    assert ec.path == "compiled" and er.path == "reference"
+                    # identical except the traversal-provenance fields
+                    # (path, and deterministic — the single-successor
+                    # fast path only exists on the compiled machine)
+                    oc, orf = ec.to_obj(), er.to_obj()
+                    assert oc.pop("path") == "compiled"
+                    assert orf.pop("path") == "reference"
+                    oc.pop("deterministic")
+                    orf.pop("deterministic")
+                    assert oc == orf
+        assert compiled.stats() == reference.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_explain_never_perturbs_equivalence(self, seed):
+        """Interleaving explain() calls on one side only must not change
+        a single float of the other comparisons."""
+        stream = random_structured_stream(seed)
+        fg = freeze(stream)
+        compiled, reference = _pair(fg)
+        for i, terminal in enumerate(stream):
+            assert compiled.observe(terminal) == reference.observe(terminal)
+            if i % 3 == 0:
+                compiled.explain(2, top_k=2)  # compiled side only
+            _assert_locked(compiled, reference)
+            assert compiled.predict(1) == reference.predict(1)
+        assert compiled.stats() == reference.stats()
+
+    def test_explanations_identical_through_resync(self):
+        stream = list(random_structured_stream(5, alphabet=4))
+        fg = freeze(stream)
+        stream.insert(len(stream) // 2, 4)  # unknown terminal mid-stream
+        compiled, reference = _pair(fg)
+        for terminal in stream:
+            if terminal >= 4:
+                compiled.observe_unknown()
+                reference.observe_unknown()
+            else:
+                compiled.observe(terminal)
+                reference.observe(terminal)
+            ec = self._assert_explains_prediction(compiled, 1)
+            er = self._assert_explains_prediction(reference, 1)
+            assert (ec is None) == (er is None)
+            if ec is not None:
+                assert ec.events == er.events

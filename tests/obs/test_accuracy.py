@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core.predict import PythiaPredict
-from repro.obs.accuracy import AccuracyTracker, aggregate_stats, merge_reports
+from repro.obs.accuracy import (
+    EPISODE_BUCKETS,
+    AccuracyTracker,
+    aggregate_stats,
+    merge_reports,
+)
 from tests.conftest import A, B, C, freeze
 
 
@@ -107,8 +112,54 @@ class TestLostResync:
             "predictions_scored", "hits", "misses", "hit_rate",
             "rolling_hit_rate", "lost_events", "resyncs",
             "unexpected_restarts", "time_scored", "mean_abs_time_error",
-            "max_abs_time_error",
+            "max_abs_time_error", "lost_episode_lengths",
         }
+
+    def test_one_resync_despite_repeated_mismatches_in_one_episode(self):
+        """A single lost episode with many lost observations (and
+        mismatches on the way back) must count exactly one resync."""
+        t = AccuracyTracker()
+        t.note_observation(1, matched=True, lost=False)
+        for _ in range(5):  # five consecutive lost observations
+            t.note_observation(None, matched=False, lost=True)
+        # re-acquired via an unexpected restart: still ONE resync
+        t.note_observation(2, matched=False, lost=False)
+        assert t.lost_events == 1
+        assert t.resyncs == 1
+        assert t.unexpected_restarts == 1
+        # staying in sync afterwards adds nothing
+        t.note_observation(3, matched=True, lost=False)
+        assert t.resyncs == 1
+
+    def test_episode_length_histogram(self):
+        t = AccuracyTracker()
+        for length in (1, 3, 5):
+            for _ in range(length):
+                t.note_observation(None, matched=False, lost=True)
+            t.note_observation(1, matched=True, lost=False)
+        hist = t.episode_histogram()
+        assert hist["count"] == 3
+        assert hist["sum"] == 9
+        assert hist["max"] == 5
+        # 1 -> bucket le=1, 3 -> le=4, 5 -> le=8
+        assert hist["bucket_counts"][EPISODE_BUCKETS.index(1)] == 1
+        assert hist["bucket_counts"][EPISODE_BUCKETS.index(4)] == 1
+        assert hist["bucket_counts"][EPISODE_BUCKETS.index(8)] == 1
+        assert sum(hist["bucket_counts"]) == 3
+
+    def test_open_episode_not_histogrammed_until_resync(self):
+        t = AccuracyTracker()
+        t.note_observation(None, matched=False, lost=True)
+        assert t.episode_histogram()["count"] == 0
+        t.note_observation(1, matched=True, lost=False)
+        assert t.episode_histogram()["count"] == 1
+
+    def test_overflow_bucket(self):
+        t = AccuracyTracker()
+        for _ in range(EPISODE_BUCKETS[-1] + 10):
+            t.note_observation(None, matched=False, lost=True)
+        t.note_observation(1, matched=True, lost=False)
+        assert t.episode_histogram()["bucket_counts"][-1] == 1
 
 
 class TestInsidePredictor:
@@ -184,6 +235,19 @@ class TestAggregation:
         assert merged["time_scored"] == 4
         assert merged["mean_abs_time_error"] == pytest.approx(0.25)
         assert merged["max_abs_time_error"] == pytest.approx(1.0)
+
+    def test_merge_episode_histograms(self):
+        t1, t2 = AccuracyTracker(), AccuracyTracker()
+        for t, length in ((t1, 2), (t2, 6)):
+            for _ in range(length):
+                t.note_observation(None, matched=False, lost=True)
+            t.note_observation(1, matched=True, lost=False)
+        merged = merge_reports([t1.report(), t2.report()])
+        hist = merged["lost_episode_lengths"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 8
+        assert hist["max"] == 6
+        assert sum(hist["bucket_counts"]) == 2
 
     def test_aggregate_sums_base_counters(self):
         reports = []

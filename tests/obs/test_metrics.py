@@ -214,3 +214,27 @@ class TestPrometheusExposition:
         cums = [c for _le, c in h.bucket_counts()]
         assert cums == sorted(cums)
         assert cums[-1] == 6
+
+    def test_label_values_escaped(self):
+        """Prometheus exposition: backslash, double-quote and newline in
+        a label value must be escaped, or the scrape line is corrupt."""
+        reg = m.MetricsRegistry()
+        hostile = 'say "hi"\nand C:\\path'
+        reg.counter("esc_total", {"app": hostile}).inc(2)
+        text = m.render_prometheus(reg)
+        line = next(ln for ln in text.splitlines() if ln.startswith("esc_total"))
+        # exactly one physical line, quotes and backslashes escaped
+        assert "\n" not in line
+        assert 'app="say \\"hi\\"\\nand C:\\\\path"' in line
+        assert line.endswith(" 2")
+        # every sample in the exposition stays one-line parseable
+        for sample in text.splitlines():
+            if sample and not sample.startswith("#"):
+                assert sample.rpartition(" ")[2] != ""
+
+    def test_help_text_escaped(self):
+        reg = m.MetricsRegistry()
+        reg.counter("h_total", help="multi\nline \\ help").inc()
+        text = m.render_prometheus(reg)
+        help_line = next(ln for ln in text.splitlines() if ln.startswith("# HELP"))
+        assert help_line == "# HELP h_total multi\\nline \\\\ help"

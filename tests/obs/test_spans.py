@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import threading
 
 from repro.obs import spans as sp
 
@@ -95,16 +97,58 @@ class TestChromeTraceExport:
                 pass
         trace = rec.to_chrome_trace()
         assert trace["displayTimeUnit"] == "ms"
-        events = trace["traceEvents"]
-        assert len(events) == 2
-        for ev in events:
-            assert ev["ph"] == "X"
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 2
+        for ev in slices:
             assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
             assert "pid" in ev and "tid" in ev
         # sorted by start time: outer starts first
-        assert events[0]["name"] == "outer"
-        assert events[0]["args"]["app"] == "cg"
+        assert slices[0]["name"] == "outer"
+        assert slices[0]["args"]["app"] == "cg"
 
         path = tmp_path / "trace.json"
         rec.dump(path)
-        assert json.loads(path.read_text())["traceEvents"] == events
+        assert json.loads(path.read_text())["traceEvents"] == trace["traceEvents"]
+
+    def test_spans_carry_real_pid(self):
+        rec = sp.SpanRecorder()
+        with rec.record("here"):
+            pass
+        (span,) = rec.spans()
+        assert span.pid == os.getpid()
+        (slice_ev,) = [e for e in rec.to_chrome_trace()["traceEvents"] if e["ph"] == "X"]
+        assert slice_ev["pid"] == os.getpid()
+
+    def test_two_threads_get_distinct_tids_and_metadata(self):
+        """Spans recorded on two threads must carry distinct ``tid``s and
+        the export must name both threads — otherwise chrome://tracing
+        collapses them onto one lane."""
+        rec = sp.SpanRecorder()
+
+        def work(name: str):
+            with rec.record(name):
+                pass
+
+        t = threading.Thread(target=work, args=("worker",))
+        with rec.record("main"):
+            pass
+        t.start()
+        t.join()
+        by_name = {s.name: s for s in rec.spans()}
+        assert by_name["main"].thread_id != by_name["worker"].thread_id
+        assert by_name["main"].pid == by_name["worker"].pid == os.getpid()
+
+        trace = rec.to_chrome_trace()
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {e["tid"] for e in slices} == {
+            by_name["main"].thread_id,
+            by_name["worker"].thread_id,
+        }
+        # one thread_name metadata record per (pid, tid) lane, first
+        assert len(meta) == 2
+        assert all(e["name"] == "thread_name" for e in meta)
+        assert {(e["pid"], e["tid"]) for e in meta} == {
+            (s["pid"], s["tid"]) for s in slices
+        }
+        assert trace["traceEvents"][: len(meta)] == meta

@@ -1,0 +1,53 @@
+"""AdaptivePythiaPolicy under drift: DIVERGED forces vanilla fallback."""
+
+from __future__ import annotations
+
+from repro.obs.drift import DIVERGED, DRIFTING, OK, DriftMonitor
+from repro.openmp.policies import AdaptivePythiaPolicy
+
+THRESHOLDS = [(1e-4, 1), (1e-3, 4)]
+
+
+class TestDriftFallback:
+    def test_diverged_forces_vanilla_thread_count(self):
+        policy = AdaptivePythiaPolicy(thresholds=THRESHOLDS)
+        assert policy.threads_for("r", 5e-5, 8) == 1  # trusting the oracle
+        policy.drift_transition(OK, DIVERGED, {})
+        assert policy.force_fallback
+        assert policy.threads_for("r", 5e-5, 8) == 8  # same prediction, vanilla
+        assert policy.decisions["drift_fallback"] == 1
+
+    def test_drifting_keeps_trusting_predictions(self):
+        policy = AdaptivePythiaPolicy(thresholds=THRESHOLDS)
+        policy.drift_transition(OK, DRIFTING, {})
+        assert not policy.force_fallback
+        assert policy.threads_for("r", 5e-5, 8) == 1
+
+    def test_recovery_restores_adaptive_decisions(self):
+        policy = AdaptivePythiaPolicy(thresholds=THRESHOLDS)
+        policy.drift_transition(OK, DIVERGED, {})
+        policy.drift_transition(DIVERGED, OK, {})
+        assert not policy.force_fallback
+        assert policy.threads_for("r", 5e-5, 8) == 1
+
+    def test_monitor_wiring_end_to_end(self):
+        """Constructing with drift_monitor registers the callback; a real
+        monitor transition flips the policy."""
+        monitor = DriftMonitor()
+        policy = AdaptivePythiaPolicy(thresholds=THRESHOLDS, drift_monitor=monitor)
+        assert policy.drift_transition in monitor.callbacks
+        monitor._transition(DIVERGED, None)
+        assert policy.force_fallback
+        assert policy.threads_for("r", 5e-5, 8) == 8
+
+    def test_decision_counters_split_three_ways(self):
+        policy = AdaptivePythiaPolicy(thresholds=THRESHOLDS)
+        policy.threads_for("r", None, 8)  # no prediction: plain fallback
+        policy.threads_for("r", 5e-5, 8)  # adaptive
+        policy.drift_transition(OK, DIVERGED, {})
+        policy.threads_for("r", 5e-5, 8)  # drift fallback
+        assert policy.decisions == {
+            "adaptive": 1,
+            "fallback": 1,
+            "drift_fallback": 1,
+        }

@@ -1,0 +1,174 @@
+"""Daemon ``explain`` / ``flight_dump`` ops: parity with the in-process
+facade, per-session flight/drift defaults, and request validation."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core.oracle import Pythia
+from repro.experiments.harness import mpi_record_run
+from repro.server import OracleServer, PythiaClient, TraceStore
+from repro.server.client import OracleServiceError
+from repro.server.protocol import read_frame, write_frame
+
+
+@pytest.fixture(scope="module")
+def npb_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("npb") / "cg.pythia")
+    mpi_record_run("cg", "small", path, ranks=2, seed=0, timestamps=True)
+    return path
+
+
+@pytest.fixture
+def server(tmp_path):
+    sock = str(tmp_path / "oracle.sock")
+    with OracleServer(sock, store=TraceStore(capacity=4)) as srv:
+        yield srv
+
+
+def event_stream(trace_path: str, thread: int = 0):
+    trace = Pythia(trace_path, mode="predict").reference
+    registry = trace.registry
+    return [
+        (registry.event(t).name, registry.event(t).payload)
+        for t in trace.threads[thread].grammar.unfold()
+    ]
+
+
+class TestExplainParity:
+    def test_remote_explanation_equals_in_process(self, npb_trace, server):
+        """Acceptance: explain through the daemon == in-process explain,
+        field by field, at several positions and distances."""
+        events = event_stream(npb_trace)[:150]
+        local = Pythia(npb_trace, mode="predict")
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            for i, (name, payload) in enumerate(events):
+                local.event(name, payload)
+                remote.event(name, payload)
+                if i % 10 != 0:
+                    continue
+                for distance in (1, 8):
+                    le = local.explain(distance, top_k=4)
+                    re = remote.explain(distance, top_k=4)
+                    if le is None:
+                        assert re is None
+                        continue
+                    assert re == le  # dataclass equality: every field
+                    lp = local.predict(distance)
+                    assert re.terminal == lp.terminal
+                    assert re.probability == lp.probability
+
+    def test_names_resolved_server_side(self, npb_trace, server):
+        events = event_stream(npb_trace)[:20]
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            for name, payload in events:
+                remote.event(name, payload)
+            sid = remote._session(0)
+            obj = remote._request(
+                "explain", session=sid, distance=1, names=True
+            )["explanation"]
+            assert obj is not None
+            top = obj["events"][0]
+            assert top["name"] == remote.registry.name(top["terminal"])
+
+    def test_lost_session_explains_none(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            remote.event("never_recorded_event")
+            assert remote.explain(1) is None
+
+    def test_explain_validation(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            sid = remote._session(0)
+            for bad in (
+                {"op": "explain", "session": sid, "distance": 0},
+                {"op": "explain", "session": sid, "distance": "far"},
+                {"op": "explain", "session": sid, "top_k": 0},
+                {"op": "explain", "session": sid, "top_k": 1000},
+            ):
+                with pytest.raises(OracleServiceError) as exc_info:
+                    remote._request(**bad)
+                assert exc_info.value.code == "bad_request"
+
+
+class TestFlightDumpOp:
+    def test_sessions_carry_flight_and_drift_by_default(self, npb_trace, server):
+        events = event_stream(npb_trace)[:100]
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            for name, payload in events:
+                remote.event(name, payload)
+            dump = remote.flight_dump()
+            assert dump["drift"]["state"] == "ok"
+            entries = dump["entries"]
+            assert entries  # at least the initial attach + run blocks
+            assert any(e["kind"] == "run" for e in entries)
+            assert remote.flight_journal() == entries
+
+    def test_chrome_format(self, npb_trace, server):
+        events = event_stream(npb_trace)[:64]
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            for name, payload in events:
+                remote.event(name, payload)
+            dump = remote.flight_dump(format="chrome")
+            trace = dump["trace"]
+            assert trace["traceEvents"][0]["ph"] == "M"
+            assert any(e["ph"] == "i" for e in trace["traceEvents"])
+
+    def test_flight_disabled_per_session(self, npb_trace, server):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(5)
+        sock.connect(server.socket_path)
+        write_frame(sock, {"op": "open_session", "trace": npb_trace, "flight": 0})
+        sid = read_frame(sock)["session"]
+        write_frame(sock, {"op": "flight_dump", "session": sid})
+        response = read_frame(sock)
+        assert response["ok"]
+        assert response["entries"] is None  # no recorder on this session
+        assert response["drift"]["state"] == "ok"  # drift still on
+        sock.close()
+
+    def test_flight_dump_validation(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            sid = remote._session(0)
+            with pytest.raises(OracleServiceError) as exc_info:
+                remote._request("flight_dump", session=sid, format="xml")
+            assert exc_info.value.code == "bad_request"
+            with pytest.raises(OracleServiceError) as exc_info:
+                remote._request(
+                    "open_session", trace=npb_trace, flight="lots"
+                )
+            assert exc_info.value.code == "bad_request"
+
+    def test_daemon_stats_list_session_ids(self, npb_trace, server):
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            sid = remote._session(0)
+            stats = remote.server_stats()
+            assert sid in stats["session_ids"]
+            assert stats["sessions_active"] == len(stats["session_ids"])
+
+    def test_drift_disabled_per_session(self, npb_trace, server):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(5)
+        sock.connect(server.socket_path)
+        write_frame(sock, {"op": "open_session", "trace": npb_trace, "drift": False})
+        sid = read_frame(sock)["session"]
+        write_frame(sock, {"op": "flight_dump", "session": sid})
+        response = read_frame(sock)
+        assert response["ok"]
+        assert response["drift"] == {}
+        sock.close()
+
+    def test_attached_watchers_do_not_change_predictions(self, npb_trace, server):
+        """Regression guard: the default per-session flight/drift attach
+        must leave every answer identical to the bare in-process facade
+        (which has no watchers unless enable_drift() is called)."""
+        events = event_stream(npb_trace)[:200]
+        local = Pythia(npb_trace, mode="predict")
+        with PythiaClient(npb_trace, socket=server.socket_path) as remote:
+            for name, payload in events:
+                assert local.event(name, payload) == remote.event(name, payload)
+                assert local.predict(4, with_time=True) == remote.predict(
+                    4, with_time=True
+                )
+            assert remote.stats() == local.stats()
