@@ -1,0 +1,112 @@
+"""Fault-layer cost: reconnect/resync latency and fallback switchover.
+
+Not a paper figure — this measures the fault-tolerance layer of the
+oracle service.  Two costs matter to a host application:
+
+- **reconnect + resync**: after a daemon restart, the first request
+  pays one connect, one ``open_session`` and an ``observe_batch``
+  replay of the client's event ring.  Measured per ring depth — the
+  replay is the dominant term and scales linearly, which is the reason
+  ``resync_window`` is a knob and not a constant.
+- **fallback switchover**: with the daemon permanently unreachable,
+  the first request burns the whole retry budget and then seeds the
+  in-process fallback.  That cost is paid once; the steady degraded
+  request is in-process speed.
+
+Asserted shapes: post-restart recovery stays under a second for every
+measured ring depth (immediate restart, first reconnect attempt
+succeeds), and the degraded steady state serves predictions with no
+daemon at all.
+
+Run with ``pytest benchmarks/bench_fault_recovery.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.oracle import Pythia
+from repro.server import OracleServer, PythiaClient, RetryPolicy, TraceStore
+
+RING_DEPTHS = (16, 64, 256)
+
+#: immediate-restart scenario: the first reconnect attempt succeeds
+EAGER = RetryPolicy(max_retries=10, backoff_base=0.01, backoff_cap=0.1,
+                    jitter=0.0, deadline=30.0)
+
+
+@pytest.fixture(scope="module")
+def loop_trace(tmp_path_factory):
+    """A loop-structured synthetic trace and its full event stream."""
+    path = str(tmp_path_factory.mktemp("trace") / "solver.pythia")
+    body = [("a", None), ("b", 1), ("c", None), ("b", 2)]
+    seq = ([("prologue", None)] + body * 10 + [("epilogue", None)]) * 40
+    oracle = Pythia(path, mode="record", record_timestamps=False)
+    for name, payload in seq:
+        oracle.event(name, payload)
+    oracle.finish()
+    return path, seq
+
+
+@pytest.mark.parametrize("depth", RING_DEPTHS)
+def test_reconnect_resync_latency(benchmark, loop_trace, tmp_path, depth):
+    """First request after a daemon restart: connect + session + replay."""
+    trace_path, seq = loop_trace
+    sock = str(tmp_path / "oracle.sock")
+    server = OracleServer(sock, store=TraceStore(capacity=4)).start()
+    client = PythiaClient(
+        trace_path, socket=sock, retry=EAGER, resync_window=depth
+    )
+    stream = iter(seq * 50)
+    for _ in range(depth):  # fill the ring
+        client.event(*next(stream))
+
+    def restart_daemon():
+        nonlocal server
+        server.stop()
+        server = OracleServer(sock, store=TraceStore(capacity=4)).start()
+        return (), {}
+
+    def first_request_after_restart():
+        matched = client.event(*next(stream))
+        return matched
+
+    elapsed = benchmark.pedantic(
+        first_request_after_restart, setup=restart_daemon,
+        rounds=5, iterations=1,
+    )
+    del elapsed
+    recovery = benchmark.stats.stats.mean
+    print(f"\nring depth {depth:4d}: {recovery * 1e3:7.2f} ms "
+          f"reconnect+resync ({client.counters['reconnects']} reconnects)")
+    assert recovery < 1.0  # immediate restart: recovery is sub-second
+    assert client.counters["reconnects"] >= 5
+    assert not client.degraded
+    client.finish()
+    server.stop()
+
+
+def test_fallback_switchover_and_steady_state(loop_trace, tmp_path):
+    """Daemon never up: one-time switchover cost, then in-process speed."""
+    trace_path, seq = loop_trace
+    client = PythiaClient(
+        trace_path, socket=str(tmp_path / "never.sock"),
+        retry=RetryPolicy(max_retries=3, backoff_base=0.005, backoff_cap=0.02,
+                          jitter=0.0, deadline=5.0),
+        fallback="local",
+    )
+    t0 = time.perf_counter()
+    client.event(*seq[0])
+    switchover = time.perf_counter() - t0
+    assert client.degraded and client.counters["fallbacks"] == 1
+
+    t0 = time.perf_counter()
+    for name, payload in seq[1:401]:
+        client.event_and_predict(name, payload, distance=4)
+    steady = (time.perf_counter() - t0) / 400
+    print(f"\nfallback switchover: {switchover * 1e3:.2f} ms once, then "
+          f"{steady * 1e6:.1f} us/event_and_predict in-process")
+    assert steady < switchover  # the budget is burned exactly once
+    client.finish()

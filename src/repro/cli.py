@@ -269,9 +269,10 @@ def _cmd_serve(args) -> int:
     addr = server.address
     where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
     print(f"pythia oracle service listening on {where} "
-          f"(trace cache: {args.cache_size} entries); Ctrl-C to stop")
+          f"(trace cache: {args.cache_size} entries); "
+          f"SIGTERM drains, Ctrl-C stops")
     try:
-        server.serve_forever()
+        server.serve_forever(drain_deadline=args.drain_deadline)
     finally:
         stats = server.counters
         print(f"served {stats['predictions_served']:,} predictions over "
@@ -321,6 +322,9 @@ def main(argv: list[str] | None = None) -> int:
                      help="listen on TCP instead of the unix socket")
     srv.add_argument("--cache-size", type=int, default=8,
                      help="trace store capacity (loaded trace bundles)")
+    srv.add_argument("--drain-deadline", type=float, default=5.0,
+                     help="seconds SIGTERM waits for in-flight requests "
+                          "before closing connections")
 
     met = sub.add_parser("metrics", help="scrape a running daemon (Prometheus text)")
     met.add_argument("--socket", default="/tmp/pythia-oracle.sock",

@@ -148,13 +148,50 @@ def _open(path: str | os.PathLike, mode: str, *, gz: bool) -> IO:
     return open(path, mode, encoding="utf-8")
 
 
+def _fsync_dir(dirname: str) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(dirname or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse fsync on directories
+    finally:
+        os.close(fd)
+
+
 def save_trace(trace: Trace, path: str | os.PathLike) -> None:
-    """Serialize ``trace`` to ``path`` (atomic: write then rename)."""
-    gz = str(path).endswith(".gz")
-    tmp = f"{path}.tmp"
-    with _open(tmp, "w", gz=gz) as fh:
-        json.dump(trace.to_obj(), fh, separators=(",", ":"))
-    os.replace(tmp, path)
+    """Serialize ``trace`` to ``path``, atomically and durably.
+
+    Concurrent-writer safe: each writer stages into its own temporary
+    file (pid + random suffix) in the destination directory, so two
+    processes saving the same path never clobber each other's staging
+    file — the last ``os.replace`` wins with a complete trace either
+    way.  Crash durable: the staged bytes are fsynced before the rename
+    and the directory entry after it, so a crash at any point leaves
+    either the old complete file or the new complete file, never a
+    partial one; failures unlink the staging file instead of leaking it.
+    """
+    path = os.fspath(path)
+    body = json.dumps(trace.to_obj(), separators=(",", ":")).encode("utf-8")
+    if path.endswith(".gz"):
+        body = gzip.compress(body)
+    tmp = f"{path}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(os.path.dirname(path))
 
 
 def load_trace(path: str | os.PathLike) -> Trace:

@@ -11,15 +11,18 @@ Two runtime-system shims mirror §III-B of the paper:
   asks PYTHIA for the probable region duration (feeding the adaptive
   thread policy of §III-D).
 
-:mod:`repro.runtime.faults` injects random unexpected events (§III-E).
+:mod:`repro.runtime.faults` injects random unexpected events (§III-E)
+and, via :class:`~repro.runtime.faults.FaultyTransport`, deterministic
+transport faults between a client and the oracle daemon.
 """
 
-from repro.runtime.faults import ErrorInjector
+from repro.runtime.faults import ErrorInjector, FaultyTransport
 from repro.runtime.mpi_interpose import MPIRuntimeSystem, PredictionScore
 from repro.runtime.omp_interpose import OMPRuntimeSystem
 
 __all__ = [
     "ErrorInjector",
+    "FaultyTransport",
     "MPIRuntimeSystem",
     "OMPRuntimeSystem",
     "PredictionScore",

@@ -18,12 +18,20 @@ share anything.  This subsystem splits record from serve:
 Start a daemon with ``pythia-trace serve --socket /tmp/pythia.sock`` (or
 :class:`OracleServer` in-process) and point any number of applications
 at it with ``PythiaClient(trace_path, socket="/tmp/pythia.sock")``.
+
+The stack is fault tolerant end to end: the client reconnects with
+capped exponential backoff (:class:`RetryPolicy`), replays a ring of
+recent events to resynchronise its daemon session, and degrades to an
+in-process oracle (or honest ``lost`` predictions) when the daemon stays
+unreachable; the daemon drains gracefully on SIGTERM, answering late
+requests with the retryable ``shutting_down`` code.
 """
 
-from repro.server.client import OracleServiceError, PythiaClient
+from repro.server.client import OracleServiceError, PythiaClient, RetryPolicy
 from repro.server.daemon import OracleServer, RequestError
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
+    RETRYABLE_CODES,
     ConnectionClosed,
     FrameTooLarge,
     ProtocolError,
@@ -34,6 +42,7 @@ from repro.server.store import TraceBundle, TraceStore
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
+    "RETRYABLE_CODES",
     "ConnectionClosed",
     "FrameTooLarge",
     "OracleServer",
@@ -41,6 +50,7 @@ __all__ = [
     "ProtocolError",
     "PythiaClient",
     "RequestError",
+    "RetryPolicy",
     "TraceBundle",
     "TraceStore",
     "read_frame",

@@ -17,22 +17,65 @@ daemon session per thread lazily, and an unknown thread raises
 The client only *predicts*: recording stays local (record anywhere,
 predict from one long-lived daemon).  It is safe to share between
 threads — requests are serialized over one connection.
+
+Fault tolerance
+---------------
+The daemon sits on the critical path of every interposed runtime, so a
+daemon hiccup must never take the host application with it.  The client
+therefore:
+
+- **never reuses a desynchronized socket** — any timeout, ``OSError``
+  or :class:`~repro.server.protocol.ProtocolError` mid-request closes
+  the connection immediately (a request that timed out mid-reply would
+  otherwise leave half a frame on the wire and the *next* request would
+  decode the stale bytes as its answer);
+- **reconnects with capped exponential backoff plus jitter** under a
+  per-request retry budget and deadline (:class:`RetryPolicy`);
+- **re-establishes its sessions after a reconnect** — a ring of the
+  most recent observed events per thread (``resync_window``) is
+  replayed through ``observe_batch``, so the fresh daemon-side tracker
+  attaches mid-stream and resynchronises (§II-B2); while the ring
+  still covers the whole run (or with ``resync_window=None``, which
+  keeps the full history) the post-resync prediction stream is
+  byte-identical to an uninterrupted run, and with a bounded ring the
+  top prediction converges immediately while residual candidate mass
+  may differ by a fraction of a percent;
+- **degrades instead of crashing** — when the retry budget is
+  exhausted the client switches permanently to an in-process
+  :class:`Pythia` over the same trace path (``fallback="local"``), or
+  to reporting every prediction as lost (``fallback="lost"``), or
+  re-raises (``fallback="raise"``).  The local fallback is seeded with
+  the rings, so it starts resynchronised.
+
+Every transition is observable: ``pythia_client_reconnects_total`` /
+``pythia_client_retries_total`` / ``pythia_client_fallbacks_total``
+counters, a client-side flight recorder journaling each reconnect,
+resync and fallback (dumped via ``PYTHIA_FLIGHT_DIR``), and the same
+counters mirrored on :attr:`PythiaClient.counters`.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
 import threading
+from collections import deque
+from dataclasses import dataclass
+from time import monotonic, sleep
 from typing import Hashable
 
 from repro.core.events import EventRegistry
 from repro.core.explain import Explanation
 from repro.core.predict import Prediction
 from repro.core.trace_file import TraceFormatError
+from repro.obs import metrics as obs_metrics
 from repro.obs.accuracy import aggregate_stats
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import get_logger
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
+    RETRYABLE_CODES,
     ProtocolError,
     decode_prediction,
     encode_payload,
@@ -40,7 +83,9 @@ from repro.server.protocol import (
     write_frame,
 )
 
-__all__ = ["OracleServiceError", "PythiaClient"]
+__all__ = ["OracleServiceError", "PythiaClient", "RetryPolicy"]
+
+_log = get_logger("client")
 
 
 class OracleServiceError(RuntimeError):
@@ -49,6 +94,79 @@ class OracleServiceError(RuntimeError):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a :class:`PythiaClient` fights for one request.
+
+    A *retry* is one failed attempt (connect refused, request timed
+    out, connection broke, daemon answered ``shutting_down``).  After
+    ``max_retries`` retries — or once ``deadline`` seconds have been
+    spent on the request including backoff sleeps — the client stops
+    retrying and enters degraded mode (see ``fallback``).
+
+    Backoff before retry *n* (1-based) is
+    ``min(cap, base * 2**(n-1)) * (1 + jitter * U[0,1))``.
+    """
+
+    max_retries: int = 5
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = 60.0
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry ``attempt`` (1-based), jittered."""
+        base = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class _UseFallback(Exception):
+    """Internal: the retry budget is gone; serve from the fallback."""
+
+
+class _RetryableFailure(Exception):
+    """Internal: this attempt failed but the request may be retried."""
+
+    def __init__(self, cause: BaseException | str) -> None:
+        super().__init__(str(cause))
+        self.cause = cause if isinstance(cause, BaseException) else None
+
+
+class _LostOracle:
+    """Fallback of last resort: every prediction is honestly lost.
+
+    Used when the daemon is unreachable *and* the trace cannot be
+    loaded locally (different host, unreadable file).  Mirrors the
+    facade surface the client needs: events never match, predictions
+    are ``None``, so a §III-E-aware runtime falls back to its own
+    heuristics instead of crashing.
+    """
+
+    mode = "predict"
+
+    def event(self, name, payload=None, *, timestamp=None, thread=0) -> bool:
+        return False
+
+    def event_and_predict(self, name, payload=None, **kwargs):
+        return False, None
+
+    def predict(self, distance=1, *, thread=0, with_time=False):
+        return None
+
+    def predict_duration(self, distance=1, *, thread=0):
+        return None
+
+    def explain(self, distance=1, *, thread=0, top_k=3, with_time=False):
+        return None
+
+    def stats(self, thread=None) -> dict:
+        return {"observed": 0, "matched": 0, "unexpected": 0, "unknown": 0,
+                "predictions": 0, "lost": True}
+
+    def finish(self) -> None:
+        return None
 
 
 class PythiaClient:
@@ -64,7 +182,32 @@ class PythiaClient:
     max_candidates:
         Tracker bound, forwarded to the daemon per session.
     timeout:
-        Socket timeout in seconds for connect and each request.
+        Socket timeout in seconds for connect and each request I/O.
+    retry:
+        :class:`RetryPolicy` for reconnect/backoff, or ``None`` to
+        fail a request on its first transport error (pre-fault-layer
+        behavior, still followed by the fallback).
+    resync_window:
+        How many recent observed events per thread are kept for session
+        replay after a reconnect, or ``None`` to keep the full history.
+        The replayed tracker re-attaches mid-stream (§II-B2): its top
+        prediction converges within a handful of events, but on
+        grammars with long loops a low-weight alternative candidate
+        can survive any bounded ring (the ring cannot disambiguate
+        *which iteration* the run is in), leaving post-resync
+        probabilities a fraction of a percent off an uninterrupted
+        run.  ``None`` guarantees byte-identical predictions after a
+        resync, at the cost of unbounded memory and a full-history
+        replay; the default of 256 bounds both and is exact whenever
+        the ring still covers the whole run.
+    fallback:
+        What happens when the retry budget is exhausted:
+        ``"local"`` (default) switches to an in-process
+        :class:`~repro.core.oracle.Pythia` over ``trace_path`` (seeded
+        with the rings; falls back to ``"lost"`` when the trace cannot
+        be loaded locally), ``"lost"`` reports every event unmatched
+        and every prediction ``None``, ``"raise"`` re-raises the last
+        transport error.
     """
 
     mode = "predict"
@@ -77,16 +220,55 @@ class PythiaClient:
         max_candidates: int = 64,
         timeout: float | None = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        retry: RetryPolicy | None = RetryPolicy(),
+        resync_window: int | None = 256,
+        fallback: str = "local",
     ) -> None:
+        if fallback not in ("local", "lost", "raise"):
+            raise ValueError(f"unknown fallback {fallback!r}")
+        if resync_window is not None and resync_window < 1:
+            raise ValueError("resync_window must be >= 1 or None")
         self.trace_path = os.fspath(trace_path)
         self.address = socket
         self.max_frame = max_frame
+        self.retry = retry
+        self.resync_window = resync_window
+        self.fallback = fallback
         self._max_candidates = max_candidates
+        self._timeout = timeout
         self._lock = threading.Lock()
         self._sessions: dict[int, str] = {}
+        self._rings: dict[int, deque] = {}
         self._registry: EventRegistry | None = None
         self._finished = False
-        self._sock = self._connect(socket, timeout)
+        self._degraded = False
+        self._fallback_oracle = None
+        self._rng = random.Random(f"pythia-client:{self.trace_path}")
+        #: fault-layer counters, mirrored into the metrics registry
+        self.counters = {"reconnects": 0, "retries": 0, "fallbacks": 0}
+        reg = obs_metrics.get_registry()
+        self._m_reconnects = reg.counter(
+            "pythia_client_reconnects_total",
+            help="Connections re-established to the oracle daemon",
+        )
+        self._m_retries = reg.counter(
+            "pythia_client_retries_total",
+            help="Request attempts that failed and were retried",
+        )
+        self._m_fallbacks = reg.counter(
+            "pythia_client_fallbacks_total",
+            help="Transitions into degraded (daemon-less) mode",
+        )
+        self._flight = FlightRecorder(
+            64, session=f"client.{os.path.basename(self.trace_path)}"
+        )
+        self._sock: "socket.socket | None" = None
+        try:
+            self._sock = self._connect(socket, timeout)
+        except OSError as exc:
+            # daemon not up yet: stay disconnected, the first request
+            # runs the full retry/backoff/fallback machinery
+            _log.debug("connect_deferred", error=str(exc))
 
     @staticmethod
     def _connect(address, timeout) -> socket.socket:
@@ -99,20 +281,70 @@ class PythiaClient:
         return sock
 
     # ------------------------------------------------------------------
-    # request plumbing
+    # fault-tolerant request plumbing
     # ------------------------------------------------------------------
 
-    def _request(self, op: str, **fields) -> dict:
-        request = {"op": op, **fields}
-        with self._lock:
+    @property
+    def degraded(self) -> bool:
+        """True once the client has given up on the daemon."""
+        return self._degraded
+
+    def _ring(self, thread: int) -> deque:
+        ring = self._rings.get(thread)
+        if ring is None:
+            ring = self._rings[thread] = deque(maxlen=self.resync_window)
+        return ring
+
+    def _invalidate_connection(self) -> None:
+        """Drop the socket and every session living on it.
+
+        Called on any transport error: after a timeout or protocol
+        violation the byte stream position is unknown, so the socket
+        must never be reused — and the daemon closes our sessions when
+        the connection dies, so the session ids are dead too.
+        """
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._sessions.clear()
+
+    def _roundtrip(self, request: dict) -> dict:
+        """One framed exchange on the live socket.
+
+        Raises :class:`_RetryableFailure` (after invalidating the
+        connection) for transport errors and for the daemon's retryable
+        ``shutting_down`` answer; raises the mapped facade exception
+        for every other error response.
+        """
+        assert self._sock is not None
+        try:
             write_frame(self._sock, request, max_frame=self.max_frame)
             response = read_frame(self._sock, max_frame=self.max_frame)
-        if response is None:
-            raise ProtocolError("daemon closed the connection")
+            if response is None:
+                raise ProtocolError("daemon closed the connection")
+        except (OSError, ProtocolError) as exc:
+            self._invalidate_connection()
+            raise _RetryableFailure(exc) from exc
         if response.get("ok"):
             return response
         code = response.get("code", "error")
         message = response.get("error", "unknown error")
+        if code in RETRYABLE_CODES:
+            # the daemon is draining: this connection has no future
+            self._invalidate_connection()
+            raise _RetryableFailure(f"[{code}] {message}")
+        if code == "no_such_session":
+            # our session evaporated while the connection survived
+            # (shouldn't happen, but a restarted daemon behind a proxy
+            # looks exactly like this): reopen and resync, then retry
+            self._sessions = {
+                t: s for t, s in self._sessions.items()
+                if s != request.get("session")
+            }
+            raise _RetryableFailure(f"[{code}] {message}")
         # map daemon error codes back onto the facade's exceptions
         if code == "no_such_thread":
             raise KeyError(message)
@@ -122,21 +354,136 @@ class PythiaClient:
             raise TraceFormatError(message)
         raise OracleServiceError(code, message)
 
-    def _session(self, thread: int) -> str:
-        sid = self._sessions.get(thread)
-        if sid is None:
-            response = self._request(
-                "open_session",
-                trace=self.trace_path,
-                thread=thread,
-                max_candidates=self._max_candidates,
-                with_registry=self._registry is None,
-            )
-            sid = response["session"]
-            self._sessions[thread] = sid
-            if self._registry is None and "registry" in response:
-                self._registry = EventRegistry.from_obj(response["registry"])
+    def _open_session(self, thread: int) -> str:
+        """Open a daemon session for ``thread`` and replay its ring."""
+        response = self._roundtrip({
+            "op": "open_session",
+            "trace": self.trace_path,
+            "thread": thread,
+            "max_candidates": self._max_candidates,
+            "with_registry": self._registry is None,
+        })
+        sid = response["session"]
+        if self._registry is None and "registry" in response:
+            self._registry = EventRegistry.from_obj(response["registry"])
+        ring = self._rings.get(thread)
+        if ring:
+            self._roundtrip({
+                "op": "observe_batch",
+                "session": sid,
+                "events": [[n, encode_payload(p)] for n, p in ring],
+            })
+            self._flight.note("resync", thread=thread, replayed=len(ring))
+        self._sessions[thread] = sid
         return sid
+
+    def _request(self, op: str, *, thread: int | None = None, **fields) -> dict:
+        """Send one request, retrying through reconnects.
+
+        ``thread`` selects (and lazily opens, ring-replaying) a daemon
+        session whose id is attached as the ``session`` field.  Raises
+        :class:`_UseFallback` once the retry budget is exhausted (or
+        the last error, with ``fallback="raise"``).
+        """
+        request = {"op": op, **fields}
+        with self._lock:
+            if self._degraded:
+                raise _UseFallback()
+            policy = self.retry
+            attempts = 0
+            started = monotonic()
+            while True:
+                try:
+                    if self._sock is None:
+                        self._reconnect(attempts)
+                    if thread is not None:
+                        sid = self._sessions.get(thread)
+                        if sid is None:
+                            sid = self._open_session(thread)
+                        request["session"] = sid
+                    return self._roundtrip(request)
+                except _RetryableFailure as exc:
+                    attempts += 1
+                    self.counters["retries"] += 1
+                    self._m_retries.inc()
+                    budget_left = policy is not None and (
+                        attempts <= policy.max_retries
+                        and (
+                            policy.deadline is None
+                            or monotonic() - started < policy.deadline
+                        )
+                    )
+                    if not budget_left:
+                        self._enter_degraded(exc.cause or exc)
+                        raise _UseFallback() from exc
+                    _log.debug(
+                        "request_retry", op=op, attempt=attempts, error=str(exc)
+                    )
+                    sleep(policy.backoff(attempts, self._rng))
+
+    def _reconnect(self, attempts: int) -> None:
+        """One connect attempt; transport errors become retryable."""
+        try:
+            self._sock = self._connect(self.address, self._timeout)
+        except OSError as exc:
+            raise _RetryableFailure(exc) from exc
+        if attempts:
+            self.counters["reconnects"] += 1
+            self._m_reconnects.inc()
+            self._flight.note("reconnect", attempts=attempts)
+            _log.info("reconnected", address=str(self.address), attempts=attempts)
+
+    def _enter_degraded(self, cause: BaseException | None) -> None:
+        """Exhausted retry budget: switch to the fallback, permanently."""
+        self._invalidate_connection()
+        if self.fallback == "raise":
+            if isinstance(cause, BaseException) and not isinstance(
+                cause, _RetryableFailure
+            ):
+                raise cause
+            raise OracleServiceError(
+                "unavailable", f"oracle daemon unreachable: {cause}"
+            )
+        self.counters["fallbacks"] += 1
+        self._m_fallbacks.inc()
+        self._degraded = True
+        mode = self.fallback
+        if mode == "local":
+            try:
+                from repro.core.oracle import Pythia
+
+                oracle = Pythia(self.trace_path, mode="predict")
+                # seed with the rings so the local tracker attaches
+                # mid-stream exactly where the daemon session stood
+                for thread, ring in self._rings.items():
+                    for name, payload in ring:
+                        oracle.event(name, payload, thread=thread)
+                self._fallback_oracle = oracle
+            except (OSError, ValueError) as exc:  # includes TraceFormatError
+                _log.warning("local_fallback_failed", error=str(exc))
+                mode = "lost"
+        if self._fallback_oracle is None:
+            self._fallback_oracle = _LostOracle()
+        self._flight.note("fallback", mode=mode, cause=str(cause or ""))
+        self._flight.auto_dump()
+        _log.warning(
+            "degraded_mode", mode=mode, trace=self.trace_path,
+            cause=str(cause or ""),
+        )
+
+    def _session(self, thread: int) -> str:
+        """Ensure a live daemon session for ``thread``; returns its id.
+
+        Test/diagnostic helper: runs the same reconnect-and-resync
+        machinery as any request, then reports the resulting id.
+        """
+        self._request("stats", thread=thread)
+        return self._sessions[thread]
+
+    def _observed(self, thread: int, events: list[tuple[str, Hashable]]) -> None:
+        """Remember successfully observed events for post-reconnect resync."""
+        ring = self._ring(thread)
+        ring.extend(events)
 
     # ------------------------------------------------------------------
     # the Pythia facade surface
@@ -155,9 +502,20 @@ class PythiaClient:
     @property
     def registry(self) -> EventRegistry:
         """The daemon's event registry for this trace (fetched once)."""
-        if self._registry is None:
+        if self._registry is not None:
+            return self._registry
+        try:
             response = self._request("registry", trace=self.trace_path)
             self._registry = EventRegistry.from_obj(response["registry"])
+        except _UseFallback:
+            oracle = self._fallback_oracle
+            if isinstance(oracle, _LostOracle):
+                raise OracleServiceError(
+                    "unavailable",
+                    "registry unavailable: daemon unreachable and trace "
+                    "unreadable locally",
+                ) from None
+            self._registry = oracle.registry
         return self._registry
 
     def event(
@@ -172,12 +530,14 @@ class PythiaClient:
         if self._finished:
             raise RuntimeError("oracle already finished")
         del timestamp  # predict mode never records timestamps
-        return self._request(
-            "observe",
-            session=self._session(thread),
-            name=name,
-            payload=encode_payload(payload),
-        )["matched"]
+        try:
+            matched = self._request(
+                "observe", thread=thread, name=name, payload=encode_payload(payload)
+            )["matched"]
+        except _UseFallback:
+            matched = self._fallback_oracle.event(name, payload, thread=thread)
+        self._observed(thread, [(name, payload)])
+        return matched
 
     def event_batch(
         self, events: list[tuple[str, Hashable]], *, thread: int = 0
@@ -185,11 +545,17 @@ class PythiaClient:
         """Submit many events in one round-trip (amortizes the socket)."""
         if self._finished:
             raise RuntimeError("oracle already finished")
-        return self._request(
-            "observe_batch",
-            session=self._session(thread),
-            events=[[name, encode_payload(payload)] for name, payload in events],
-        )["matched"]
+        try:
+            matched = self._request(
+                "observe_batch",
+                thread=thread,
+                events=[[name, encode_payload(payload)] for name, payload in events],
+            )["matched"]
+        except _UseFallback:
+            oracle = self._fallback_oracle
+            matched = [oracle.event(n, p, thread=thread) for n, p in events]
+        self._observed(thread, list(events))
+        return matched
 
     def event_and_predict(
         self,
@@ -212,16 +578,24 @@ class PythiaClient:
         if self._finished:
             raise RuntimeError("oracle already finished")
         del timestamp  # predict mode never records timestamps
-        response = self._request(
-            "observe_predict",
-            session=self._session(thread),
-            name=name,
-            payload=encode_payload(payload),
-            distance=distance,
-            with_time=with_time,
-            require_match=require_match,
-        )
-        return response["matched"], decode_prediction(response["prediction"])
+        try:
+            response = self._request(
+                "observe_predict",
+                thread=thread,
+                name=name,
+                payload=encode_payload(payload),
+                distance=distance,
+                with_time=with_time,
+                require_match=require_match,
+            )
+            result = response["matched"], decode_prediction(response["prediction"])
+        except _UseFallback:
+            result = self._fallback_oracle.event_and_predict(
+                name, payload, distance=distance, thread=thread,
+                with_time=with_time, require_match=require_match,
+            )
+        self._observed(thread, [(name, payload)])
+        return result
 
     def event_batch_and_predict(
         self,
@@ -235,33 +609,51 @@ class PythiaClient:
         """Submit many events and predict once, in one round trip."""
         if self._finished:
             raise RuntimeError("oracle already finished")
-        response = self._request(
-            "observe_predict",
-            session=self._session(thread),
-            events=[[name, encode_payload(payload)] for name, payload in events],
-            distance=distance,
-            with_time=with_time,
-            require_match=require_match,
-        )
-        return response["matched"], decode_prediction(response["prediction"])
+        if not events:
+            raise ValueError("'events' must be a non-empty list")
+        try:
+            response = self._request(
+                "observe_predict",
+                thread=thread,
+                events=[[name, encode_payload(payload)] for name, payload in events],
+                distance=distance,
+                with_time=with_time,
+                require_match=require_match,
+            )
+            result = response["matched"], decode_prediction(response["prediction"])
+        except _UseFallback:
+            oracle = self._fallback_oracle
+            matched = [oracle.event(n, p, thread=thread) for n, p in events[:-1]]
+            last, pred = oracle.event_and_predict(
+                events[-1][0], events[-1][1], distance=distance, thread=thread,
+                with_time=with_time, require_match=require_match,
+            )
+            result = matched + [last], pred
+        self._observed(thread, list(events))
+        return result
 
     def predict(
         self, distance: int = 1, *, thread: int = 0, with_time: bool = False
     ) -> Prediction | None:
         """Predict the event ``distance`` steps ahead."""
-        response = self._request(
-            "predict",
-            session=self._session(thread),
-            distance=distance,
-            with_time=with_time,
-        )
+        try:
+            response = self._request(
+                "predict", thread=thread, distance=distance, with_time=with_time
+            )
+        except _UseFallback:
+            return self._fallback_oracle.predict(
+                distance, thread=thread, with_time=with_time
+            )
         return decode_prediction(response["prediction"])
 
     def predict_duration(self, distance: int = 1, *, thread: int = 0) -> float | None:
         """Predict the delay until the event ``distance`` steps ahead."""
-        return self._request(
-            "predict_duration", session=self._session(thread), distance=distance
-        )["eta"]
+        try:
+            return self._request(
+                "predict_duration", thread=thread, distance=distance
+            )["eta"]
+        except _UseFallback:
+            return self._fallback_oracle.predict_duration(distance, thread=thread)
 
     def explain(
         self,
@@ -278,27 +670,45 @@ class PythiaClient:
         in-process oracle fed the same events — terminals, probabilities
         and source chains alike.  ``None`` when the session is lost.
         """
-        obj = self._request(
-            "explain",
-            session=self._session(thread),
-            distance=distance,
-            top_k=top_k,
-            with_time=with_time,
-        )["explanation"]
+        try:
+            obj = self._request(
+                "explain",
+                thread=thread,
+                distance=distance,
+                top_k=top_k,
+                with_time=with_time,
+            )["explanation"]
+        except _UseFallback:
+            return self._fallback_oracle.explain(
+                distance, thread=thread, top_k=top_k, with_time=with_time
+            )
         return Explanation.from_obj(obj) if obj is not None else None
 
     def flight_journal(self, thread: int = 0) -> list[dict]:
-        """This thread's daemon-side flight journal (mirrors the facade)."""
-        entries = self._request(
-            "flight_dump", session=self._session(thread), format="jsonl"
-        )["entries"]
+        """This thread's daemon-side flight journal (mirrors the facade).
+
+        In degraded mode the client's own journal — which recorded the
+        reconnects and the fallback — is returned instead.
+        """
+        try:
+            entries = self._request(
+                "flight_dump", thread=thread, format="jsonl"
+            )["entries"]
+        except _UseFallback:
+            return self._flight.entries()
         return entries or []
 
     def flight_dump(self, *, thread: int = 0, format: str = "jsonl") -> dict:
         """The raw ``flight_dump`` response: journal + drift report."""
-        return self._request(
-            "flight_dump", session=self._session(thread), format=format
-        )
+        try:
+            return self._request("flight_dump", thread=thread, format=format)
+        except _UseFallback:
+            return {
+                "ok": True,
+                "session": "degraded",
+                "drift": {},
+                "entries": self._flight.entries(),
+            }
 
     def describe(self, prediction: Prediction | None) -> str:
         """Human-readable form of a prediction (mirrors the facade)."""
@@ -316,39 +726,55 @@ class PythiaClient:
         ``thread=None`` aggregates every session this client opened;
         a thread id returns that session's view.
         """
-        if thread is not None:
-            return self._request("stats", session=self._session(thread))["session_stats"]
-        threads = sorted(self._sessions) or [0]
-        reports = [
-            self._request("stats", session=self._session(t))["session_stats"]
-            for t in threads
-        ]
-        return aggregate_stats(reports)
+        if self._degraded:
+            return self._fallback_oracle.stats(thread)
+        try:
+            if thread is not None:
+                return self._request("stats", thread=thread)["session_stats"]
+            threads = sorted(set(self._sessions) | set(self._rings)) or [0]
+            reports = [
+                self._request("stats", thread=t)["session_stats"]
+                for t in threads
+            ]
+            return aggregate_stats(reports)
+        except _UseFallback:
+            return self._fallback_oracle.stats(thread)
 
     def server_stats(self) -> dict:
         """Daemon-wide counters (sessions, cache, latency aggregates)."""
-        return self._request("stats")
+        try:
+            return self._request("stats")
+        except _UseFallback:
+            raise OracleServiceError(
+                "unavailable", "daemon unreachable: client is in degraded mode"
+            ) from None
+
+    def fault_stats(self) -> dict:
+        """The fault layer's own counters and state (for monitoring)."""
+        return {**self.counters, "degraded": self._degraded,
+                "fallback": self.fallback}
 
     def finish(self) -> None:
         """Close every session and the connection; returns None.
 
         Mirrors ``Pythia.finish`` in predict mode (which returns None);
-        safe to call once.
+        safe to call once.  Never retries — a dying client must not
+        stall its host on a dead daemon.
         """
         if self._finished:
             raise RuntimeError("oracle already finished")
         self._finished = True
-        try:
-            for sid in self._sessions.values():
-                self._request("close_session", session=sid)
-        except (OSError, ProtocolError, OracleServiceError):
-            pass  # daemon gone: sessions die with the connection anyway
-        finally:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    for sid in self._sessions.values():
+                        self._roundtrip({"op": "close_session", "session": sid})
+                except (_RetryableFailure, OracleServiceError, KeyError):
+                    pass  # daemon gone: sessions die with the connection anyway
             self._sessions.clear()
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+            self._invalidate_connection()
+            if self._fallback_oracle is not None:
+                self._fallback_oracle.finish()
         return None
 
     close = finish

@@ -35,12 +35,20 @@ misbehaving client's history is inspectable post-hoc.
 Error isolation: a bad request gets an ``{ok: false, code, error}``
 response; a broken frame closes only that connection; nothing a client
 sends can take the daemon down.
+
+Graceful drain: SIGTERM (under :meth:`OracleServer.serve_forever`) or
+:meth:`OracleServer.drain` stops accepting connections, finishes
+requests already being served within the drain deadline and answers
+anything arriving later with the retryable ``shutting_down`` code —
+``close_session``, ``ping``, ``stats`` and ``metrics`` stay answered so
+clients shut down cleanly and monitors can watch the drain.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import signal
 import socket
 import threading
 import time
@@ -169,7 +177,10 @@ class OracleServer:
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: set[threading.Thread] = set()
+        self._conns: dict[int, socket.socket] = {}
         self._running = threading.Event()
+        self._draining = threading.Event()
+        self._inflight = 0
         self._lock = threading.Lock()
         self._sessions: dict[str, _Session] = {}
         self._session_ids = itertools.count(1)
@@ -183,6 +194,7 @@ class OracleServer:
             "predictions_served": 0,
             "requests_total": 0,
             "requests_failed": 0,
+            "requests_rejected_draining": 0,
         }
         #: per-op request latency, shared with the metrics registry
         self._latency: dict[str, Histogram] = {}
@@ -217,6 +229,7 @@ class OracleServer:
         listener.listen(128)
         self._listener = listener
         self._running.set()
+        self._draining.clear()
         registry = obs_metrics.get_registry()
         for name, help_text in _METRIC_CATALOGUE:
             registry.counter(name, help=help_text)
@@ -227,6 +240,46 @@ class OracleServer:
         self._accept_thread.start()
         _log.info("server_started", address=str(self.address))
         return self
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun refusing new work."""
+        return self._draining.is_set()
+
+    def drain(self, deadline: float = 5.0) -> None:
+        """Graceful shutdown, phase one: stop taking new work.
+
+        Stops accepting connections, lets requests already being served
+        run to completion (waiting up to ``deadline`` seconds for the
+        daemon to go idle) and answers any request arriving meanwhile
+        with the retryable ``shutting_down`` error code, so a
+        fault-tolerant client reconnects elsewhere instead of failing.
+        Returns once idle or at the deadline; call :meth:`stop`
+        afterwards to close connections and release the socket.
+        """
+        if self._listener is None:
+            return
+        with self._lock:
+            already = self._draining.is_set()
+            self._draining.set()
+        if already:
+            return
+        _log.info("server_draining", deadline=deadline)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        t0 = time.monotonic()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=deadline)
+        while time.monotonic() - t0 < deadline:
+            with self._lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.005)
+        with self._lock:
+            leftover = self._inflight
+        _log.info("server_drained", inflight_left=leftover)
 
     def stop(self) -> None:
         """Stop accepting, close every connection, unlink the socket."""
@@ -239,6 +292,19 @@ class OracleServer:
             pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
+        with self._lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            # shutdown unblocks a connection thread parked in recv();
+            # close alone would leave it there until the client went away
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         for t in list(self._conn_threads):
             t.join(timeout=5)
         if self.socket_path is not None:
@@ -257,16 +323,33 @@ class OracleServer:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    def serve_forever(self) -> None:
-        """Block until interrupted (for the CLI)."""
+    def serve_forever(self, *, drain_deadline: float = 5.0) -> None:
+        """Block until interrupted (for the CLI).
+
+        SIGTERM triggers the graceful path: :meth:`drain` (finish
+        in-flight requests within ``drain_deadline`` seconds, answer
+        late ones with ``shutting_down``) and then :meth:`stop`.
+        KeyboardInterrupt skips the drain phase — Ctrl-C means *now*.
+        """
         if self._listener is None:
             self.start()
+        stop_requested = threading.Event()
+        old_handler = None
+        in_main = threading.current_thread() is threading.main_thread()
+        if in_main:
+            old_handler = signal.signal(
+                signal.SIGTERM, lambda *_sig: stop_requested.set()
+            )
         try:
-            while self._running.is_set():
-                time.sleep(0.2)
+            while self._running.is_set() and not stop_requested.is_set():
+                time.sleep(0.05)
         except KeyboardInterrupt:
             pass
         finally:
+            if in_main and old_handler is not None:
+                signal.signal(signal.SIGTERM, old_handler)
+            if stop_requested.is_set():
+                self.drain(drain_deadline)
             self.stop()
 
     # ------------------------------------------------------------------
@@ -280,9 +363,10 @@ class OracleServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 break  # listener closed by stop()
+            conn_id = next(self._conn_ids)
             with self._lock:
                 self.counters["connections_accepted"] += 1
-            conn_id = next(self._conn_ids)
+                self._conns[conn_id] = conn
             t = threading.Thread(
                 target=self._serve_connection,
                 args=(conn, conn_id),
@@ -310,11 +394,36 @@ class OracleServer:
                     return
                 if request is None:
                     return  # clean EOF
-                response = self._dispatch(request, conn_id)
+                with self._lock:
+                    rejected = (
+                        self._draining.is_set()
+                        and request.get("op") not in self._DRAIN_OPS
+                    )
+                    if rejected:
+                        self.counters["requests_rejected_draining"] += 1
+                    else:
+                        self._inflight += 1
+                if rejected:
+                    # late request during drain: refuse retryably, keep
+                    # the connection so the client can close sessions
+                    self._try_send(
+                        conn,
+                        {
+                            "ok": False,
+                            "code": "shutting_down",
+                            "error": "daemon is draining; reconnect and retry",
+                        },
+                    )
+                    continue
                 try:
-                    write_frame(conn, response, max_frame=self.max_frame)
-                except OSError:
-                    return
+                    response = self._dispatch(request, conn_id)
+                    try:
+                        write_frame(conn, response, max_frame=self.max_frame)
+                    except OSError:
+                        return
+                finally:
+                    with self._lock:
+                        self._inflight -= 1
         except Exception:
             # last-ditch isolation: an unexpected bug serving this client
             # must not unwind into the daemon
@@ -326,6 +435,8 @@ class OracleServer:
             except OSError:
                 pass
             self._close_owned_sessions(conn_id)
+            with self._lock:
+                self._conns.pop(conn_id, None)
             self._conn_threads.discard(threading.current_thread())
 
     @staticmethod
@@ -650,6 +761,9 @@ class OracleServer:
         registry.gauge(
             "pythia_server_sessions_active", help="Currently open sessions"
         ).set(len(sessions))
+        registry.gauge(
+            "pythia_server_draining", help="1 while the daemon refuses new work"
+        ).set(1 if self._draining.is_set() else 0)
         for key in ("hits", "misses"):
             if key in store:
                 registry.counter(
@@ -662,6 +776,10 @@ class OracleServer:
 
     def _op_ping(self, request: dict, conn_id: int) -> dict:
         return {"pong": True}
+
+    #: ops still answered while draining: clients closing down cleanly
+    #: and monitors watching the drain happen must not be locked out
+    _DRAIN_OPS = frozenset({"close_session", "ping", "stats", "metrics"})
 
     _HANDLERS = {
         "open_session": _op_open_session,

@@ -35,6 +35,7 @@ from repro.core.predict import Prediction
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
+    "RETRYABLE_CODES",
     "ProtocolError",
     "FrameTooLarge",
     "ConnectionClosed",
@@ -51,6 +52,14 @@ _HEADER = struct.Struct(">I")
 #: refuse frames beyond this many bytes (a batch of ~100k events fits
 #: comfortably; anything larger is a bug or an attack, not a request)
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+#: error codes that mean "the request was fine, the daemon just cannot
+#: take it right now" — a client may retry them (against the same daemon
+#: after a restart, or another one) without changing the request.
+#: ``shutting_down`` is what a draining daemon answers between SIGTERM
+#: and the drain deadline; the session it names dies with the daemon, so
+#: retrying means reconnect + reopen + resync, not a blind resend.
+RETRYABLE_CODES = frozenset({"shutting_down"})
 
 
 class ProtocolError(Exception):

@@ -60,6 +60,21 @@ class TraceBundle:
         return PythiaPredict(tt.grammar, tt.timing, max_candidates=max_candidates)
 
 
+def _per_waiter_copy(exc: Exception) -> Exception:
+    """A fresh instance of ``exc`` safe to raise in another thread.
+
+    Falls back to wrapping in :class:`TraceFormatError` for exception
+    types whose constructor does not round-trip ``args``.
+    """
+    try:
+        clone = type(exc)(*exc.args)
+        if not isinstance(clone, type(exc)):  # exotic __new__ tricks
+            raise TypeError
+    except Exception:
+        return TraceFormatError(f"concurrent trace load failed: {exc}")
+    return clone
+
+
 class _Entry:
     __slots__ = ("signature", "bundle", "error", "ready")
 
@@ -92,6 +107,8 @@ class TraceStore:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.waiters_ok = 0
+        self.waiters_failed = 0
 
     # ------------------------------------------------------------------
 
@@ -146,9 +163,15 @@ class TraceStore:
             return bundle
         entry.ready.wait()
         if entry.error is not None:
-            raise entry.error
+            with self._lock:
+                self.waiters_failed += 1
+            # Each waiter raises its own exception instance: re-raising
+            # the loader's would let N threads race to mutate one
+            # __traceback__/__context__, cross-contaminating tracebacks.
+            raise _per_waiter_copy(entry.error) from entry.error
         with self._lock:
             self.hits += 1
+            self.waiters_ok += 1
         assert entry.bundle is not None
         return entry.bundle
 
@@ -183,4 +206,6 @@ class TraceStore:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "waiters_ok": self.waiters_ok,
+                "waiters_failed": self.waiters_failed,
             }

@@ -155,3 +155,100 @@ class TestValidation:
         assert trace.rule_count == sum(
             t.grammar.rule_count for t in trace.threads.values()
         )
+
+
+class TestDurability:
+    """save_trace under concurrency and crashes (the bugs were real:
+    a fixed ``.tmp`` name let two writers clobber each other's staging
+    file, and an unsynced write could surface a partial trace)."""
+
+    def test_tmp_name_is_per_writer_unique(self, tmp_path, monkeypatch):
+        """Two concurrent writers must never share a staging path."""
+        import repro.core.trace_file as tf
+
+        seen = []
+        real_open = open
+
+        def spying_open(path, mode="r", *args, **kwargs):
+            if str(path).endswith(".tmp"):
+                seen.append(str(path))
+            return real_open(path, mode, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", spying_open)
+        path = tmp_path / "t.pythia"
+        tf.save_trace(make_trace(), path)
+        tf.save_trace(make_trace(), path)
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert all(s.startswith(f"{path}.") for s in seen)
+
+    def test_concurrent_writers_leave_a_complete_trace(self, tmp_path):
+        import threading
+
+        from repro.core.trace_file import save_trace
+
+        path = tmp_path / "t.pythia"
+        traces = [make_trace(threads=n + 1) for n in range(4)]
+        errors = []
+
+        def write(trace):
+            try:
+                for _ in range(8):
+                    save_trace(trace, path)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(t,)) for t in traces]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # whoever won, the visible file is one writer's complete trace
+        assert len(load_trace(path).threads) in (1, 2, 3, 4)
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_crash_before_rename_leaves_old_trace_visible(self, tmp_path, monkeypatch):
+        """Kill between write and rename: no partial trace, old one intact."""
+        import os as _os
+
+        from repro.core.trace_file import save_trace
+
+        path = tmp_path / "t.pythia"
+        save_trace(make_trace(threads=1), path)
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(_os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_trace(make_trace(threads=2), path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old trace untouched
+        assert len(load_trace(path).threads) == 1
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []  # staging file unlinked on failure
+
+    def test_failure_mid_write_unlinks_tmp(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.core import trace_file
+
+        def failing_fsync(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_os, "fsync", failing_fsync)
+        with pytest.raises(OSError, match="disk full"):
+            trace_file.save_trace(make_trace(), tmp_path / "t.pythia")
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("suffix", ["t.pythia", "t.pythia.gz"])
+    def test_fsynced_write_roundtrips(self, tmp_path, suffix):
+        from repro.core.trace_file import save_trace
+
+        path = tmp_path / suffix
+        trace = make_trace(timestamps=True)
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.to_obj() == trace.to_obj()

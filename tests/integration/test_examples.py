@@ -15,6 +15,7 @@ EXAMPLES = [
     "trace_anatomy.py",
     "oracle_service.py",
     "observability.py",
+    "fault_tolerance.py",
 ]
 ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -58,6 +59,14 @@ def test_trace_anatomy_shows_paper_figures():
     out = run_example("trace_anatomy.py")
     assert "Fig 1" in out and "abbcbcab" in out
     assert "distinct estimates" in out
+
+
+def test_fault_tolerance_rides_out_the_crash():
+    out = run_example("fault_tolerance.py")
+    assert "200/200 events" in out  # agreement survives crash + fallback
+    assert "'reconnects': 1" in out
+    assert "'fallbacks': 1" in out
+    assert "resync" in out and "fallback" in out  # flight journal entries
 
 
 def test_observability_reports_accuracy():

@@ -1,0 +1,605 @@
+"""Chaos suite: the oracle service under transport faults.
+
+Every fault here is deterministic — scripted by frame count through
+:class:`~repro.runtime.faults.FaultyTransport`, or an explicit daemon
+kill/restart — so the suite never flakes on timing.  The scenarios are
+the acceptance criteria of the fault-tolerance layer:
+
+- a request that times out mid-reply must never poison the next request
+  (the stale-frame desync the old client suffered from);
+- a daemon killed and restarted mid-session: the client reconnects
+  within its backoff schedule, replays its event ring, and the
+  post-resync prediction stream is byte-identical to an uninterrupted
+  run;
+- SIGTERM drain finishes in-flight batches and answers late requests
+  with the retryable ``shutting_down`` code;
+- with the daemon permanently unreachable the host application
+  completes in degraded mode with zero unhandled exceptions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket as socket_mod
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core.oracle import Pythia
+from repro.obs import metrics as obs_metrics
+from repro.runtime.faults import FaultyTransport
+from repro.server import OracleServer, PythiaClient, RetryPolicy, TraceStore
+from repro.server.protocol import read_frame, write_frame
+
+#: fights hard but fast: suited to in-test daemons that restart quickly
+FAST_RETRY = RetryPolicy(
+    max_retries=10, backoff_base=0.005, backoff_cap=0.05, jitter=0.0, deadline=10.0
+)
+
+#: gives up almost immediately: suited to permanently-down daemons
+IMPATIENT_RETRY = RetryPolicy(
+    max_retries=2, backoff_base=0.001, backoff_cap=0.002, jitter=0.0, deadline=1.0
+)
+
+
+def record_loop_trace(path: str, *, repeats: int = 6) -> list[tuple[str, object]]:
+    """A loop-structured reference trace (what HPC phases look like);
+    returns the exact event stream it was recorded from."""
+    body = [("a", None), ("b", 1), ("c", None), ("b", 2)]
+    seq = ([("prologue", None)] + body * 10 + [("epilogue", None)]) * repeats
+    oracle = Pythia(path, mode="record", record_timestamps=False)
+    for name, payload in seq:
+        oracle.event(name, payload)
+    oracle.finish()
+    return seq
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = str(tmp_path / "ref.pythia")
+    record_loop_trace(path)
+    return path
+
+
+def pred_key(pred):
+    """Byte-comparable view of a Prediction (None-safe)."""
+    if pred is None:
+        return None
+    return (
+        pred.terminal,
+        pred.probability,
+        pred.eta,
+        tuple(sorted(pred.distribution.items(), key=lambda kv: (kv[0] is None, kv[0]))),
+    )
+
+
+def raw_connect(path: str, timeout: float = 5.0) -> socket_mod.socket:
+    sock = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(path)
+    return sock
+
+
+class TestConnectionDesync:
+    """Satellite bugfix: a timed-out request must kill the connection."""
+
+    def test_stale_frame_poisons_a_naive_client(self, tmp_path, trace_path):
+        """Prove the old behavior was wrong: reuse the socket after a
+        timeout and the *next* request decodes the previous reply."""
+        sock_path = str(tmp_path / "oracle.sock")
+        proxy_path = str(tmp_path / "proxy.sock")
+        with OracleServer(sock_path, store=TraceStore()) as _srv, \
+                FaultyTransport(sock_path, proxy_path) as proxy:
+            naive = raw_connect(proxy_path, timeout=0.2)
+            write_frame(naive, {"op": "open_session", "trace": trace_path})
+            sid = read_frame(naive)["session"]
+            # replies so far: 1 (open_session); hold reply #2 past the timeout
+            proxy.delay_reply(2, 0.6)
+            write_frame(naive, {"op": "predict", "session": sid, "distance": 1})
+            with pytest.raises(TimeoutError):
+                read_frame(naive)
+            # the naive client shrugs and reuses the socket: its ping is
+            # answered by the stale predict reply — a wrong answer
+            naive.settimeout(5.0)
+            write_frame(naive, {"op": "ping"})
+            stale = read_frame(naive)
+            assert "prediction" in stale and "pong" not in stale
+            naive.close()
+
+    def test_client_closes_and_reconnects_on_timeout(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        proxy_path = str(tmp_path / "proxy.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))  # same stream
+        local = Pythia(trace_path, mode="predict")
+        with OracleServer(sock_path, store=TraceStore()) as _srv, \
+                FaultyTransport(sock_path, proxy_path) as proxy:
+            client = PythiaClient(
+                trace_path, socket=proxy_path, timeout=0.2, retry=FAST_RETRY
+            )
+            for name, payload in events[:20]:
+                local.event(name, payload)
+                client.event(name, payload)
+            # hold the next reply beyond the client timeout, then deliver:
+            # the stale frame lands on a socket the client already closed
+            proxy.delay_reply(proxy.replies_forwarded + 1, 0.5)
+            for i, (name, payload) in enumerate(events[20:60]):
+                lm, lp = local.event_and_predict(name, payload, distance=4)
+                cm, cp = client.event_and_predict(name, payload, distance=4)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+            assert client.counters["reconnects"] >= 1
+            assert not client.degraded
+            client.finish()
+
+    def test_mid_frame_cut_never_reuses_the_socket(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        proxy_path = str(tmp_path / "proxy.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        local = Pythia(trace_path, mode="predict")
+        with OracleServer(sock_path, store=TraceStore()) as _srv, \
+                FaultyTransport(sock_path, proxy_path) as proxy:
+            client = PythiaClient(
+                trace_path, socket=proxy_path, timeout=1.0, retry=FAST_RETRY
+            )
+            # cut replies 4 and 9 in half: the client sees a broken frame
+            proxy.cut_mid_reply(4)
+            proxy.cut_mid_reply(9)
+            for i, (name, payload) in enumerate(events[:40]):
+                lm, lp = local.event_and_predict(name, payload, distance=2)
+                cm, cp = client.event_and_predict(name, payload, distance=2)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+            assert proxy.cuts == 2
+            assert client.counters["reconnects"] >= 2
+            client.finish()
+
+    def test_dropped_connection_after_request(self, tmp_path, trace_path):
+        """The 'applied but unacknowledged' fault: the daemon observed
+        the event, the client never saw the reply.  The fresh session
+        replays the ring, so nothing is observed twice."""
+        sock_path = str(tmp_path / "oracle.sock")
+        proxy_path = str(tmp_path / "proxy.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        local = Pythia(trace_path, mode="predict")
+        with OracleServer(sock_path, store=TraceStore()) as _srv, \
+                FaultyTransport(sock_path, proxy_path) as proxy:
+            client = PythiaClient(
+                trace_path, socket=proxy_path, timeout=1.0, retry=FAST_RETRY
+            )
+            proxy.cut_after_requests(7)
+            for i, (name, payload) in enumerate(events[:40]):
+                lm, lp = local.event_and_predict(name, payload, distance=4)
+                cm, cp = client.event_and_predict(name, payload, distance=4)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+            assert client.counters["reconnects"] >= 1
+            client.finish()
+
+
+class TestDaemonCrashRestart:
+    def test_restart_mid_session_post_resync_byte_identical(self, tmp_path, trace_path):
+        """Acceptance: kill the daemon mid-run, restart it, and the
+        client's post-resync prediction stream matches an uninterrupted
+        in-process run field by field."""
+        sock_path = str(tmp_path / "oracle.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        local = Pythia(trace_path, mode="predict")
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        client = PythiaClient(
+            trace_path, socket=sock_path, timeout=1.0, retry=FAST_RETRY
+        )
+        cut = len(events) // 2
+        for name, payload in events[:cut]:
+            lm, lp = local.event_and_predict(name, payload, distance=4)
+            cm, cp = client.event_and_predict(name, payload, distance=4)
+            assert (lm, pred_key(lp)) == (cm, pred_key(cp))
+        srv.stop()  # abrupt: connections die mid-session
+        srv2 = OracleServer(sock_path, store=TraceStore()).start()
+        try:
+            for i, (name, payload) in enumerate(events[cut:]):
+                lm, lp = local.event_and_predict(name, payload, distance=4)
+                cm, cp = client.event_and_predict(name, payload, distance=4)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+            assert client.counters["reconnects"] >= 1
+            assert client.counters["fallbacks"] == 0
+            assert not client.degraded
+            # the daemon-side journal shows a fresh, resynced session
+            assert client.stats()["observed"] > 0
+            client.finish()
+        finally:
+            srv2.stop()
+
+    def test_sigkill_subprocess_daemon_and_restart(self, tmp_path, trace_path):
+        """The real thing: kill -9 a `pythia-trace serve` process."""
+        sock_path = str(tmp_path / "oracle.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = {**os.environ, "PYTHONPATH": src_dir}
+
+        def spawn():
+            proc = subprocess.Popen(
+                [sys.executable, "-c",
+                 "import sys; from repro.cli import main; "
+                 f"sys.exit(main(['serve', '--socket', {sock_path!r}]))"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            )
+            deadline = time.monotonic() + 15
+            while not os.path.exists(sock_path):
+                assert proc.poll() is None, proc.stdout.read().decode()
+                assert time.monotonic() < deadline, "daemon did not come up"
+                time.sleep(0.02)
+            return proc
+
+        local = Pythia(trace_path, mode="predict")
+        proc = spawn()
+        try:
+            client = PythiaClient(
+                trace_path, socket=sock_path, timeout=2.0, retry=FAST_RETRY
+            )
+            cut = len(events) // 2
+            for name, payload in events[:cut]:
+                local.event(name, payload)
+                client.event(name, payload)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            proc = spawn()
+            for i, (name, payload) in enumerate(events[cut:]):
+                lm, lp = local.event_and_predict(name, payload, distance=4)
+                cm, cp = client.event_and_predict(name, payload, distance=4)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+            assert client.counters["reconnects"] >= 1
+            assert not client.degraded
+            client.finish()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestResyncDepth:
+    """What a bounded ring can and cannot recover on a real NPB trace.
+
+    BT's grammar is one long loop: after a mid-run reattach a bounded
+    ring cannot disambiguate *which iteration* the run is in, so a
+    low-weight alternative candidate survives and post-resync
+    probabilities sit a fraction of a percent off the uninterrupted
+    run.  ``resync_window=None`` replays the full history and is exact.
+    """
+
+    @pytest.fixture(scope="class")
+    def npb(self, tmp_path_factory):
+        from repro.experiments.harness import mpi_record_run
+
+        path = str(tmp_path_factory.mktemp("npb") / "bt.pythia")
+        mpi_record_run("bt", "small", path, ranks=2, seed=0, timestamps=True)
+        trace = Pythia(path, mode="predict").reference
+        stream = [
+            (trace.registry.event(t).name, trace.registry.event(t).payload)
+            for t in trace.threads[0].grammar.unfold()
+        ]
+        return path, stream
+
+    def run_through_restart(self, tmp_path, npb, window):
+        trace_path, stream = npb
+        sock_path = str(tmp_path / "oracle.sock")
+        cut = 800
+        local = Pythia(trace_path, mode="predict")
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        client = PythiaClient(
+            trace_path, socket=sock_path, retry=FAST_RETRY,
+            resync_window=window,
+        )
+        try:
+            for name, payload in stream[:cut]:
+                local.event(name, payload)
+                client.event(name, payload)
+            srv.stop()
+            srv = OracleServer(sock_path, store=TraceStore()).start()
+            pairs = []
+            for name, payload in stream[cut:]:
+                pairs.append((
+                    local.event_and_predict(name, payload, distance=4,
+                                            with_time=True),
+                    client.event_and_predict(name, payload, distance=4,
+                                             with_time=True),
+                ))
+            assert client.counters["reconnects"] >= 1
+            assert not client.degraded
+            client.finish()
+            return pairs
+        finally:
+            srv.stop()
+
+    def test_unbounded_ring_is_byte_identical(self, tmp_path, npb):
+        pairs = self.run_through_restart(tmp_path, npb, window=None)
+        assert all(l == c for l, c in pairs)
+
+    def test_bounded_ring_converges_on_the_top_prediction(self, tmp_path, npb):
+        pairs = self.run_through_restart(tmp_path, npb, window=256)
+        argmax_diff = preds = 0
+        for (lm, lp), (cm, cp) in pairs:
+            assert lm == cm  # the matched stream re-attaches immediately
+            if lp is None or cp is None:
+                assert lp == cp
+                continue
+            preds += 1
+            if lp.terminal != cp.terminal:
+                # loop boundary: the surviving alternative outweighs the
+                # true path briefly — but the true terminal is never gone
+                argmax_diff += 1
+                assert lp.terminal in cp.distribution
+            else:
+                assert abs(lp.probability - cp.probability) < 0.05
+        assert preds > 900
+        assert argmax_diff <= preds * 0.02  # argmax agrees >= 98% of the time
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_batch(self, tmp_path, trace_path):
+        """A big observe_predict batch caught by the drain completes."""
+        sock_path = str(tmp_path / "oracle.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        batch = [[name, payload] for name, payload in events] * 200  # ~49k events
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        try:
+            conn = raw_connect(sock_path, timeout=30)
+            write_frame(conn, {"op": "open_session", "trace": trace_path})
+            sid = read_frame(conn)["session"]
+            write_frame(
+                conn,
+                {"op": "observe_predict", "session": sid, "events": batch,
+                 "distance": 1},
+            )
+            deadline = time.monotonic() + 5
+            while srv._inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.0005)
+            assert srv._inflight >= 1, "batch never became in-flight"
+            srv.drain(deadline=30)
+            response = read_frame(conn)
+            assert response["ok"] and len(response["matched"]) == len(batch)
+            conn.close()
+        finally:
+            srv.stop()
+
+    def test_late_request_gets_retryable_shutting_down(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        try:
+            conn = raw_connect(sock_path)
+            write_frame(conn, {"op": "open_session", "trace": trace_path})
+            sid = read_frame(conn)["session"]
+            srv.drain(deadline=1.0)
+            assert srv.draining
+            write_frame(conn, {"op": "predict", "session": sid, "distance": 1})
+            response = read_frame(conn)
+            assert response == {
+                "ok": False, "code": "shutting_down",
+                "error": "daemon is draining; reconnect and retry",
+            }
+            assert srv.counters["requests_rejected_draining"] == 1
+            # clean shutdown ops are still answered during the drain
+            write_frame(conn, {"op": "close_session", "session": sid})
+            assert read_frame(conn)["ok"]
+            write_frame(conn, {"op": "ping"})
+            assert read_frame(conn)["pong"]
+            conn.close()
+        finally:
+            srv.stop()
+
+    def test_draining_daemon_refuses_new_connections(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        try:
+            srv.drain(deadline=0.5)
+            with pytest.raises(OSError):
+                raw_connect(sock_path, timeout=0.5)
+        finally:
+            srv.stop()
+
+    def test_sigterm_subprocess_drains_cleanly(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = {**os.environ, "PYTHONPATH": src_dir}
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; "
+             f"sys.exit(main(['serve', '--socket', {sock_path!r}, "
+             "'--drain-deadline', '2']))"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 15
+            while not os.path.exists(sock_path):
+                assert proc.poll() is None, proc.stdout.read().decode()
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            conn = raw_connect(sock_path)
+            write_frame(conn, {"op": "open_session", "trace": trace_path})
+            assert read_frame(conn)["ok"]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0  # drained, summarized, exited
+            out = proc.stdout.read().decode()
+            assert "predictions" in out  # the serve summary still printed
+            conn.close()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestDegradedMode:
+    def test_daemon_never_up_local_fallback_byte_identical(self, tmp_path, trace_path):
+        """Acceptance: daemon permanently unreachable → the host app
+        completes with zero unhandled exceptions, predictions served by
+        the in-process fallback, fallback counter >= 1."""
+        events = record_loop_trace(str(tmp_path / "again.pythia"))[:200]
+        local = Pythia(trace_path, mode="predict")
+        fallbacks_before = obs_metrics.get_registry().counter(
+            "pythia_client_fallbacks_total"
+        ).value
+        client = PythiaClient(
+            trace_path, socket=str(tmp_path / "never.sock"),
+            retry=IMPATIENT_RETRY, fallback="local",
+        )
+        for i, (name, payload) in enumerate(events):
+            lm, lp = local.event_and_predict(name, payload, distance=4)
+            cm, cp = client.event_and_predict(name, payload, distance=4)
+            assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+        assert client.degraded
+        assert client.counters["fallbacks"] >= 1
+        assert client.counters["retries"] >= 1
+        after = obs_metrics.get_registry().counter(
+            "pythia_client_fallbacks_total"
+        ).value
+        assert after >= fallbacks_before + 1
+        assert client.stats()["observed"] == len(events)
+        client.finish()
+
+    def test_daemon_dies_midway_fallback_resyncs_from_ring(self, tmp_path, trace_path):
+        events = record_loop_trace(str(tmp_path / "again.pythia"))[:220]
+        sock_path = str(tmp_path / "oracle.sock")
+        local = Pythia(trace_path, mode="predict")
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        client = PythiaClient(
+            trace_path, socket=sock_path, retry=IMPATIENT_RETRY, fallback="local"
+        )
+        cut = 100
+        for name, payload in events[:cut]:
+            lm, lp = local.event_and_predict(name, payload, distance=4)
+            cm, cp = client.event_and_predict(name, payload, distance=4)
+            assert (lm, pred_key(lp)) == (cm, pred_key(cp))
+        srv.stop()  # permanent outage: nothing ever comes back
+        for i, (name, payload) in enumerate(events[cut:]):
+            lm, lp = local.event_and_predict(name, payload, distance=4)
+            cm, cp = client.event_and_predict(name, payload, distance=4)
+            assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+        assert client.degraded and client.counters["fallbacks"] == 1
+        client.finish()
+
+    def test_fallback_lost_never_crashes(self, tmp_path):
+        """No daemon, no readable trace: predictions are honestly lost."""
+        client = PythiaClient(
+            str(tmp_path / "no-such-trace.pythia"),
+            socket=str(tmp_path / "never.sock"),
+            retry=IMPATIENT_RETRY, fallback="lost",
+        )
+        assert client.event("anything", 1) is False
+        assert client.predict(4) is None
+        assert client.event_and_predict("more")[1] is None
+        assert client.predict_duration(2) is None
+        assert client.stats()["lost"] is True
+        assert client.degraded
+        client.finish()
+
+    def test_fallback_local_degrades_to_lost_without_trace(self, tmp_path):
+        """fallback='local' but the trace is unreadable locally: the
+        client downgrades to lost predictions instead of crashing."""
+        client = PythiaClient(
+            str(tmp_path / "no-such-trace.pythia"),
+            socket=str(tmp_path / "never.sock"),
+            retry=IMPATIENT_RETRY, fallback="local",
+        )
+        assert client.event("anything") is False
+        assert client.predict(1) is None
+        assert client.degraded
+        client.finish()
+
+    def test_fallback_raise_propagates(self, tmp_path, trace_path):
+        client = PythiaClient(
+            trace_path, socket=str(tmp_path / "never.sock"),
+            retry=IMPATIENT_RETRY, fallback="raise",
+        )
+        with pytest.raises(OSError):
+            client.event("a")
+        assert not client.degraded  # raise mode never enters degraded
+        client.finish()
+
+    def test_flight_journal_records_the_transitions(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        client = PythiaClient(
+            trace_path, socket=sock_path, retry=IMPATIENT_RETRY, fallback="local"
+        )
+        for name, payload in events[:30]:
+            client.event(name, payload)
+        srv.stop()
+        for name, payload in events[30:60]:
+            client.event(name, payload)
+        notes = [e for e in client.flight_journal() if e.get("kind") == "note"]
+        messages = [n.get("message") for n in notes]
+        assert "fallback" in messages
+        dump = client.flight_dump()
+        assert dump["session"] == "degraded" and dump["entries"]
+        client.finish()
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential_with_jitter(self):
+        import random
+
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.8, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff(n, rng) for n in range(1, 7)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 0.8, 0.8]
+        jittered = RetryPolicy(backoff_base=0.1, backoff_cap=0.8, jitter=0.5)
+        samples = {jittered.backoff(1, random.Random(s)) for s in range(8)}
+        assert len(samples) > 1  # jitter actually varies
+        assert all(0.1 <= d <= 0.15 for d in samples)
+
+    def test_zero_retries_falls_back_on_first_failure(self, tmp_path, trace_path):
+        client = PythiaClient(
+            trace_path, socket=str(tmp_path / "never.sock"),
+            retry=RetryPolicy(max_retries=0, deadline=1.0), fallback="local",
+        )
+        client.event("prologue")  # first event: tracker still syncing
+        assert client.event("a", None) is True
+        assert client.degraded and client.counters["retries"] == 1
+        client.finish()
+
+    def test_retry_none_disables_reconnect_but_not_fallback(self, tmp_path, trace_path):
+        client = PythiaClient(
+            trace_path, socket=str(tmp_path / "never.sock"),
+            retry=None, fallback="local",
+        )
+        client.event("prologue")  # first event: tracker still syncing
+        assert client.event("a", None) is True
+        assert client.degraded
+        client.finish()
+
+
+class TestConcurrentClientsUnderFaults:
+    def test_many_threads_share_one_reconnecting_client(self, tmp_path, trace_path):
+        """The client lock serializes requests; a daemon restart in the
+        middle must not wedge or corrupt any thread."""
+        sock_path = str(tmp_path / "oracle.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))[:120]
+        srv = OracleServer(sock_path, store=TraceStore()).start()
+        client = PythiaClient(
+            trace_path, socket=sock_path, timeout=1.0, retry=FAST_RETRY
+        )
+        errors: list[Exception] = []
+        done = threading.Barrier(5)
+
+        def run(tid: int) -> None:
+            try:
+                done.wait()
+                for name, payload in events:
+                    client.event(name, payload, thread=0)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(t,)) for t in range(5)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        srv.stop()
+        srv2 = OracleServer(sock_path, store=TraceStore()).start()
+        try:
+            for t in threads:
+                t.join(30)
+            assert errors == []
+            assert not client.degraded
+            client.finish()
+        finally:
+            srv2.stop()

@@ -148,3 +148,109 @@ class TestConcurrency:
             t.join()
         assert not errors
         assert store.snapshot()["misses"] == 8
+
+
+class TestPerWaiterExceptions:
+    """A failed load must give every waiter its *own* exception
+    instance: re-raising the loader's instance lets N threads race to
+    rewrite one ``__traceback__``, cross-contaminating tracebacks."""
+
+    class _CountingEvent(threading.Event):
+        """Event that reports how many threads are parked in wait()."""
+
+        def __init__(self):
+            super().__init__()
+            self.waiting = 0
+
+        def wait(self, timeout=None):
+            self.waiting += 1
+            return super().wait(timeout)
+
+    def _park_waiters(self, store, path, n, error):
+        """Deterministically drive ``n`` threads into the waiter path of
+        a pending load, then fail the load with ``error``."""
+        import time
+
+        from repro.server.store import TraceStore, _Entry
+
+        sig = TraceStore._signature(path)
+        abspath = os.path.abspath(path)
+        entry = _Entry(sig)
+        entry.ready = self._CountingEvent()
+        with store._lock:
+            store._entries[abspath] = entry
+
+        caught: list[Exception] = []
+        lock = threading.Lock()
+
+        def waiter():
+            try:
+                store.get(path)
+            except Exception as exc:
+                with lock:
+                    caught.append(exc)
+
+        threads = [threading.Thread(target=waiter) for _ in range(n)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5
+        while entry.ready.waiting < n and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert entry.ready.waiting == n  # everyone parked in the waiter path
+        entry.error = error
+        with store._lock:
+            del store._entries[abspath]  # what the loader does on failure
+        entry.ready.set()
+        for t in threads:
+            t.join(5)
+        return caught
+
+    def test_every_waiter_gets_its_own_instance(self, trace_path):
+        store = TraceStore()
+        original = TraceFormatError("synthetic load failure")
+        caught = self._park_waiters(store, trace_path, 8, original)
+        assert len(caught) == 8
+        assert all(isinstance(e, TraceFormatError) for e in caught)
+        assert all(str(e) == str(original) for e in caught)
+        # no waiter raised the loader's instance, and none shared one
+        assert original not in caught
+        assert len({id(e) for e in caught}) == 8
+        # each raise produced a private traceback, not a shared one
+        assert len({id(e.__traceback__) for e in caught}) == 8
+        # provenance survives: the loader's exception is the cause
+        assert all(e.__cause__ is original for e in caught)
+
+    def test_unclonable_exception_wrapped_as_trace_format_error(self, trace_path):
+        class Picky(Exception):
+            def __init__(self, a, b):  # args don't round-trip
+                super().__init__(f"{a}/{b}")
+
+        store = TraceStore()
+        caught = self._park_waiters(store, trace_path, 3, Picky.__new__(Picky))
+        assert len(caught) == 3
+        assert all(isinstance(e, TraceFormatError) for e in caught)
+
+    def test_waiter_outcomes_counted(self, trace_path):
+        store = TraceStore()
+        self._park_waiters(store, trace_path, 4, TraceFormatError("nope"))
+        snap = store.snapshot()
+        assert snap["waiters_failed"] == 4
+        assert snap["waiters_ok"] == 0
+        # happy path: successful waiters count as ok (and as hits)
+        store2 = TraceStore()
+        bundles = []
+        barrier = threading.Barrier(4)
+
+        def get():
+            barrier.wait()
+            bundles.append(store2.get(trace_path))
+
+        threads = [threading.Thread(target=get) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = store2.snapshot()
+        assert snap["misses"] == 1 and snap["hits"] == 3
+        assert 0 <= snap["waiters_ok"] <= 3 and snap["waiters_failed"] == 0
+        assert len({id(b) for b in bundles}) == 1
