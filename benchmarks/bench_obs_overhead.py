@@ -188,3 +188,118 @@ def test_flight_and_drift_overhead_under_budget():
           f"{', '.join(f'{100 * m:+.1f}%' for m in medians)} "
           f"-> overhead {100 * overhead:+.1f}%")
     assert overhead < MAX_WATCHER_OVERHEAD
+
+
+#: context propagation budget: <5% documented; same CI headroom story
+#: as MAX_OVERHEAD above.  Asserted against the iteration-grained loop
+#: (one 8-event iteration batched per round trip) — the grain the
+#: paper's runtime systems drive the oracle at.
+MAX_CONTEXT_OVERHEAD = 0.10
+#: backstop on the per-event (ping-sized) round trip: tracing is an
+#: *absolute* per-request cost, so the microscopic loop is bounded in
+#: microseconds, not as a ratio of a denominator this benchmark makes
+#: artificially small.  Measured ~5-7µs; the bound only catches a
+#: pathological regression (an extra round trip, O(n) accounting).
+MAX_CONTEXT_DELTA_US = 25.0
+CTX_EVENTS = 800
+CTX_ITERS = 100
+CTX_ROUNDS = 4
+CTX_PAIRS = 12
+
+
+def _paired_rounds(run_bare, run_traced, rounds: int, pairs: int):
+    """min-of-medians overhead plus best times for two workloads.
+
+    Same methodology as the watcher benchmark: traced and untraced
+    loops run in alternating pairs, a round's figure is the median
+    per-pair ratio, and the reported figure is the smallest median
+    across rounds — socket round trips are noisy, and the
+    min-of-medians rejects scheduler hiccups without letting
+    CPU-frequency drift inflate the result.
+    """
+    medians = []
+    bare_best = traced_best = float("inf")
+    for _ in range(rounds):
+        ratios = []
+        for i in range(pairs):
+            if i % 2:
+                traced = run_traced()
+                bare = run_bare()
+            else:
+                bare = run_bare()
+                traced = run_traced()
+            ratios.append(traced / bare - 1.0)
+            bare_best = min(bare_best, bare)
+            traced_best = min(traced_best, traced)
+        medians.append(statistics.median(ratios))
+    return min(medians), medians, bare_best, traced_best
+
+
+def test_context_propagation_overhead_under_budget(tmp_path):
+    """Tracing on the daemon path (ctx binding out, srv timing back,
+    per-session accounting, client-side decomposition) must stay within
+    the <5% budget at the grain runtime systems use the oracle:
+    one iteration's events batched per round trip
+    (``event_batch_and_predict``), decision asked once per iteration.
+
+    The per-event loop (a ping-sized request per event, ~50µs round
+    trips) is also measured, as an *absolute* per-request cost: full
+    per-request decomposition costs ~5-7µs of client accounting, reply
+    bytes and daemon bookkeeping, which is real money against a
+    microscopic denominator (~10-15% of a minimal loopback ping) and
+    noise against any request that does real work.  The README's
+    Operations section documents both figures; the assert here bounds
+    the absolute cost so a pathological regression still fails.
+    """
+    from repro.core.oracle import Pythia
+    from repro.server import OracleServer, PythiaClient, TraceStore
+
+    trace_path = str(tmp_path / "ref.pythia")
+    oracle = Pythia(trace_path, mode="record", record_timestamps=False)
+    events = _stream(CTX_EVENTS)
+    for name, payload in events:
+        oracle.event(name, payload)
+    oracle.finish()
+    sock = str(tmp_path / "oracle.sock")
+
+    def run_events(client) -> float:
+        t0 = time.perf_counter()
+        for name, payload in events:
+            client.event_and_predict(name, payload)
+        return time.perf_counter() - t0
+
+    def run_iters(client) -> float:
+        t0 = time.perf_counter()
+        for _ in range(CTX_ITERS):
+            client.event_batch_and_predict(PATTERN)
+        return time.perf_counter() - t0
+
+    prev = obs_metrics.get_registry()
+    try:
+        obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+        with OracleServer(sock, store=TraceStore()):
+            with PythiaClient(trace_path, socket=sock, context=False) as bare_c, \
+                    PythiaClient(trace_path, socket=sock) as traced_c:
+                run_events(bare_c)  # warm sessions and the trace cache
+                run_events(traced_c)
+                overhead, medians, it_bare, it_traced = _paired_rounds(
+                    lambda: run_iters(bare_c), lambda: run_iters(traced_c),
+                    CTX_ROUNDS, CTX_PAIRS,
+                )
+                _, ev_medians, ev_bare, ev_traced = _paired_rounds(
+                    lambda: run_events(bare_c), lambda: run_events(traced_c),
+                    CTX_ROUNDS, CTX_PAIRS,
+                )
+    finally:
+        obs_metrics.set_registry(prev)
+    delta_us = (ev_traced - ev_bare) / CTX_EVENTS * 1e6
+    print(f"\ncontext (per iteration): {CTX_ITERS / it_bare:,.0f} iter/s "
+          f"untraced, {CTX_ITERS / it_traced:,.0f} iter/s traced; round "
+          f"medians {', '.join(f'{100 * m:+.1f}%' for m in medians)} "
+          f"-> overhead {100 * overhead:+.1f}%")
+    print(f"context (per event): {CTX_EVENTS / ev_bare:,.0f} req/s untraced, "
+          f"{CTX_EVENTS / ev_traced:,.0f} req/s traced "
+          f"({', '.join(f'{100 * m:+.1f}%' for m in ev_medians)}) "
+          f"-> +{delta_us:.1f}us per traced request")
+    assert overhead < MAX_CONTEXT_OVERHEAD
+    assert delta_us < MAX_CONTEXT_DELTA_US

@@ -8,21 +8,38 @@ without a single error, aggregate throughput does not collapse as
 sessions are added, and every session shares the single cached trace
 load (the point of the shared store).
 
-Run with ``pytest benchmarks/bench_server_throughput.py --benchmark-only -s``.
+Alongside the headline rate, each run folds the clients' per-component
+latency digests (wire/queue/handler, from the ``srv`` reply timing)
+into one table per op — the baseline ROADMAP item 1 (a multi-worker
+daemon) is measured against: queue time is exactly the slice a worker
+pool would claw back, handler time is the floor it cannot touch.
+
+Run with ``pytest benchmarks/bench_server_throughput.py --benchmark-only -s``;
+run standalone (``python benchmarks/bench_server_throughput.py``) to
+emit ``BENCH_server.json``, the committed baseline.
 """
 
 from __future__ import annotations
 
+import argparse
 import threading
 import time
 
 import pytest
 
 from repro.core.oracle import Pythia
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram
 from repro.server import OracleServer, PythiaClient, TraceStore
 
 SESSIONS = (1, 4, 16)
 STEPS = 150  # observe/predict pairs per session
+
+#: standalone mode fails if 16 sessions fall below this fraction of the
+#: single-session aggregate rate — same shape floor the pytest variant
+#: asserts (absolute rates are machine-dependent; the scaling shape is
+#: not)
+MIN_SCALING = 0.8
 
 
 @pytest.fixture(scope="module")
@@ -40,10 +57,19 @@ def service(recorded_traces, tmp_path_factory):
         yield server, trace_path, events
 
 
-def run_sessions(n: int, trace_path: str, sock: str, events) -> float:
-    """N concurrent observe/predict loops; returns predictions/second."""
+def run_sessions(n: int, trace_path: str, sock: str, events, latency=None) -> float:
+    """N concurrent observe/predict loops; returns predictions/second.
+
+    With ``latency`` (a ``{(op, component): Histogram}`` accumulator),
+    every client's per-component latency digests are folded into it via
+    :meth:`Histogram.merge` — the same fold a multi-worker daemon's
+    per-worker digests will need.  Each call runs under a private
+    metrics registry so successive rounds stay independent.
+    """
     errors: list[Exception] = []
     barrier = threading.Barrier(n + 1)
+    digests: list[dict] = []
+    digests_lock = threading.Lock()
 
     def session():
         try:
@@ -52,20 +78,76 @@ def run_sessions(n: int, trace_path: str, sock: str, events) -> float:
             for name, payload in events:
                 client.event(name, payload)
                 client.predict(4)
+            hists = client.timing_histograms() if latency is not None else {}
             client.finish()
+            with digests_lock:
+                digests.append(hists)
         except Exception as exc:  # pragma: no cover - failure path
             errors.append(exc)
 
-    threads = [threading.Thread(target=session) for _ in range(n)]
-    for t in threads:
-        t.start()
-    barrier.wait()
-    t0 = time.perf_counter()
-    for t in threads:
-        t.join()
-    elapsed = time.perf_counter() - t0
+    prev = obs_metrics.get_registry()
+    if latency is not None:
+        # private registry: successive rounds must not see each other's
+        # samples (throughput-only runs keep the ambient registry)
+        obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+    try:
+        threads = [threading.Thread(target=session) for _ in range(n)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+    finally:
+        obs_metrics.set_registry(prev)
     assert not errors, errors[:3]
+    if latency is not None:
+        # in-process clients share one registry, so N digests may alias
+        # one histogram — fold each underlying digest exactly once
+        merged: set[int] = set()
+        for hists in digests:
+            for key, hist in hists.items():
+                if id(hist) in merged:
+                    continue
+                merged.add(id(hist))
+                acc = latency.get(key)
+                if acc is None:
+                    acc = latency[key] = Histogram(
+                        "bench_client_request_seconds", key,
+                        buckets=LATENCY_BUCKETS_S,
+                    )
+                acc.merge(hist)
     return n * len(events) / elapsed
+
+
+def component_report(latency: dict) -> dict:
+    """Merged digests -> ``{op: {component: {count, mean_us, p50_us,
+    p99_us, max_us}}}`` (same shape as ``PythiaClient.timing_report``)."""
+    report: dict = {}
+    for (op, component), hist in sorted(latency.items()):
+        snap = hist.snapshot()
+        if not snap["count"]:
+            continue
+        report.setdefault(op, {})[component] = {
+            "count": snap["count"],
+            "mean_us": round(snap["sum"] / snap["count"] * 1e6, 1),
+            "p50_us": round(snap["p50"] * 1e6, 1),
+            "p99_us": round(snap["p99"] * 1e6, 1),
+            "max_us": round(snap["max"] * 1e6, 1),
+        }
+    return report
+
+
+def _print_components(report: dict) -> None:
+    for op, comps in sorted(report.items()):
+        for component in ("total", "wire", "queue", "handler"):
+            row = comps.get(component)
+            if row is None:
+                continue
+            print(f"  {op:>8s}.{component:<7s} p50 {row['p50_us']:7.1f}us  "
+                  f"p99 {row['p99_us']:7.1f}us  mean {row['mean_us']:7.1f}us  "
+                  f"(n={row['count']})")
 
 
 @pytest.mark.parametrize("sessions", SESSIONS)
@@ -93,3 +175,98 @@ def test_concurrency_does_not_collapse_throughput(service):
     stats = server.store.snapshot()
     assert stats["misses"] == 1  # every session shared one trace load
     assert server.counters["connections_dropped"] == 0
+
+
+def test_per_component_latency_is_reported(service):
+    """The ``srv`` reply timing must decompose every request's latency
+    into wire/queue/handler across concurrent sessions — the baseline
+    ROADMAP item 1 (multi-worker daemon) is measured against."""
+    server, trace_path, events = service
+    latency: dict = {}
+    run_sessions(4, trace_path, server.socket_path, events, latency=latency)
+    report = component_report(latency)
+    print("\nper-component latency (4 sessions):")
+    _print_components(report)
+    for op in ("observe", "predict"):
+        comps = report[op]
+        total = comps["total"]
+        assert total["count"] == 4 * len(events)
+        for component in ("wire", "queue", "handler"):
+            # every reply carried srv timing: full decomposition
+            assert comps[component]["count"] == total["count"]
+        # components nest inside the round trip they decompose
+        assert comps["queue"]["p50_us"] + comps["handler"]["p50_us"] \
+            <= total["p99_us"]
+
+
+# ----------------------------------------------------------------------
+# standalone mode (CI: emits BENCH_server.json)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_server.json", help="output JSON path")
+    parser.add_argument("--steps", type=int, default=STEPS)
+    args = parser.parse_args(argv)
+
+    import json
+    import os
+    import tempfile
+
+    from repro.experiments.harness import mpi_record_run
+
+    report: dict = {
+        "workload": f"bt small, 4 ranks, {args.steps} observe/predict "
+                    "pairs per session",
+        "sessions": {},
+    }
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "ref.pythia")
+        mpi_record_run("bt", "small", trace_path, ranks=4, seed=0,
+                       timestamps=True)
+        sock = os.path.join(tmp, "oracle.sock")
+        with OracleServer(sock, store=TraceStore(capacity=4)) as server:
+            trace = Pythia(trace_path, mode="predict").reference
+            registry = trace.registry
+            events = [
+                (registry.event(t).name, registry.event(t).payload)
+                for t in trace.threads[0].grammar.unfold()[:args.steps]
+            ]
+            run_sessions(1, trace_path, sock, events)  # warm the store
+            rates: dict[int, float] = {}
+            for n in SESSIONS:
+                latency: dict = {}
+                rates[n] = max(
+                    run_sessions(n, trace_path, sock, events, latency=latency)
+                    for _ in range(2)
+                )
+                comps = component_report(latency)
+                report["sessions"][str(n)] = {
+                    "predictions_per_s": round(rates[n]),
+                    "latency_us": comps,
+                }
+                print(f"{n:2d} session(s): {rates[n]:,.0f} predictions/s")
+                _print_components(comps)
+            if server.counters["connections_dropped"]:
+                failures.append("daemon dropped connections under load")
+        scaling = rates[SESSIONS[-1]] / rates[SESSIONS[0]]
+        report["scaling_16_vs_1"] = round(scaling, 2)
+        if scaling < MIN_SCALING:
+            failures.append(
+                f"16-session aggregate is {scaling:.2f}x the 1-session rate "
+                f"(< {MIN_SCALING}x floor)"
+            )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if failures:
+        print("FLOOR FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,15 @@ Subcommands
     prediction service over a Unix socket (or TCP).
 ``metrics``
     Scrape a running daemon's metrics in Prometheus text format.
+``sessions``
+    Print a running daemon's per-client-session telemetry table.
+``top``
+    Live ops console: poll a daemon and render throughput, latency
+    (queue/handler split) and per-session rows every interval.
+``analyze``
+    Offline report over span dumps and flight journals: merge them,
+    decompose traced requests into wire/queue/handler, print per-op
+    percentiles (optionally write a merged Chrome trace).
 ``spans``
     Record + replay an application with span recording on and write a
     Chrome-trace JSON (chrome://tracing / Perfetto).
@@ -103,30 +112,157 @@ def _cmd_predict(args) -> int:
     return 0
 
 
-def _cmd_metrics(args) -> int:
+def _daemon_requests(args, requests: list[dict]) -> list[dict]:
+    """One connection to the daemon, many frames; returns the replies.
+
+    Raises ``OSError`` when the daemon is unreachable and
+    ``RuntimeError`` for error replies — callers decide presentation.
+    """
     import socket as socketlib
 
     from repro.server.protocol import read_frame, write_frame
 
+    timeout = getattr(args, "timeout", 10.0)
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")
         sock = socketlib.create_connection(
-            (host or "127.0.0.1", int(port)), timeout=args.timeout
+            (host or "127.0.0.1", int(port)), timeout=timeout
         )
     else:
         sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
-        sock.settimeout(args.timeout)
+        sock.settimeout(timeout)
         sock.connect(args.socket)
+    replies: list[dict] = []
     try:
-        write_frame(sock, {"op": "metrics"})
-        response = read_frame(sock)
+        for request in requests:
+            write_frame(sock, request)
+            response = read_frame(sock)
+            if response is None or not response.get("ok"):
+                error = (response or {}).get("error", "daemon closed the connection")
+                raise RuntimeError(error)
+            replies.append(response)
     finally:
         sock.close()
-    if response is None or not response.get("ok"):
-        error = (response or {}).get("error", "daemon closed the connection")
-        print(f"error: {error}", file=sys.stderr)
+    return replies
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        (response,) = _daemon_requests(args, [{"op": "metrics"}])
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     sys.stdout.write(response["text"])
+    return 0
+
+
+def _cmd_sessions(args) -> int:
+    import json
+
+    try:
+        (response,) = _daemon_requests(args, [{"op": "sessions"}])
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        response.pop("ok", None)
+        print(json.dumps(response, indent=1, sort_keys=True))
+        return 0
+    rows = response.get("sessions") or []
+    print(f"{response.get('tracked', len(rows))} session(s) tracked "
+          f"(capacity {response.get('capacity', '?')}, "
+          f"evicted {response.get('evicted', 0)})")
+    if not rows:
+        return 0
+    print(f"{'session':16s} {'reqs':>7s} {'err':>5s} {'rid':>8s} {'dup':>4s} "
+          f"{'hit%':>6s} {'drift':>8s} {'handler p50':>12s} {'p99':>9s} {'age':>7s}")
+    for row in rows:
+        hit = row.get("hit_rate")
+        handler = row.get("handler_us") or {}
+        hit_text = f"{100 * hit:5.1f}%" if hit is not None else f"{'-':>6s}"
+        print(f"{str(row.get('sid', '?'))[:16]:16s} "
+              f"{row.get('requests', 0):>7d} {row.get('errors', 0):>5d} "
+              f"{row.get('last_rid', 0):>8d} {row.get('rid_regressions', 0):>4d} "
+              f"{hit_text} {row.get('drift_state') or '-':>8s} "
+              f"{handler.get('p50', 0):>10.1f}µs {handler.get('p99', 0):>7.1f}µs "
+              f"{row.get('age_s', 0):>6.1f}s")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import OpsConsole
+
+    def poll() -> dict:
+        metrics, sessions = _daemon_requests(
+            args, [{"op": "metrics"}, {"op": "sessions"}]
+        )
+        return {"metrics": metrics["text"], "sessions": sessions}
+
+    where = args.tcp or args.socket
+    console = OpsConsole(
+        poll, interval=args.interval, title=f"pythia ops — {where}",
+        clear=None if not args.once else False,
+    )
+    return console.run(iterations=1 if args.once else args.iterations)
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.obs.analysis import TraceTable
+
+    try:
+        table = TraceTable.load(*args.files)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.merge:
+        merged = {
+            "traceEvents": [
+                {
+                    "name": row.get("name"),
+                    "ph": row.get("ph") or "X",
+                    "ts": row.get("ts"),
+                    "dur": row.get("dur"),
+                    "pid": row.get("pid") or 0,
+                    "tid": row.get("tid") or 0,
+                    "args": {
+                        k: v for k, v in row.items()
+                        if k not in ("name", "ph", "ts", "dur", "pid", "tid")
+                        and v is not None
+                    },
+                }
+                for row in table
+            ],
+            "displayTimeUnit": "ms",
+        }
+        with open(args.merge, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=1)
+        print(f"merged {len(table)} events from {len(args.files)} file(s) "
+              f"-> {args.merge}")
+    report = table.report()
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0
+    print(f"{len(table)} events loaded from {len(args.files)} file(s); "
+          f"{report['requests']} traced requests over "
+          f"{len(report['sessions'])} session(s)")
+    for sid in report["sessions"]:
+        print(f"  session {sid}")
+    for op, components in report["ops"].items():
+        print(f"\n{op}:")
+        print(f"  {'component':10s} {'count':>7s} {'mean':>10s} "
+              f"{'p50':>10s} {'p99':>10s} {'max':>10s}")
+        for component in ("total", "wire", "queue", "handler"):
+            stats = components.get(component)
+            if stats is None:
+                continue
+            print(f"  {component:10s} {stats['count']:>7d} "
+                  f"{stats['mean_us']:>8.1f}µs {stats['p50_us']:>8.1f}µs "
+                  f"{stats['p99_us']:>8.1f}µs {stats['max_us']:>8.1f}µs")
+    if not report["ops"]:
+        print("no traced client request spans found "
+              "(enable spans and dump them: PYTHIA_SPANS=1 + PYTHIA_SPANS_DUMP)")
     return 0
 
 
@@ -326,12 +462,39 @@ def main(argv: list[str] | None = None) -> int:
                      help="seconds SIGTERM waits for in-flight requests "
                           "before closing connections")
 
+    def _daemon_args(p) -> None:
+        p.add_argument("--socket", default="/tmp/pythia-oracle.sock",
+                       help="unix socket the daemon listens on")
+        p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="connect over TCP instead of the unix socket")
+        p.add_argument("--timeout", type=float, default=10.0)
+
     met = sub.add_parser("metrics", help="scrape a running daemon (Prometheus text)")
-    met.add_argument("--socket", default="/tmp/pythia-oracle.sock",
-                     help="unix socket the daemon listens on")
-    met.add_argument("--tcp", default=None, metavar="HOST:PORT",
-                     help="connect over TCP instead of the unix socket")
-    met.add_argument("--timeout", type=float, default=10.0)
+    _daemon_args(met)
+
+    ses = sub.add_parser("sessions", help="per-client-session daemon telemetry")
+    _daemon_args(ses)
+    ses.add_argument("--json", action="store_true",
+                     help="print the raw sessions table as JSON")
+
+    top = sub.add_parser("top", help="live ops console (ANSI, polls the daemon)")
+    _daemon_args(top)
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between frames (default 1)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: until Ctrl-C)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen clear)")
+
+    ana = sub.add_parser(
+        "analyze", help="offline report over span/flight journals"
+    )
+    ana.add_argument("files", nargs="+",
+                     help="Chrome-trace JSON and/or flight JSONL files")
+    ana.add_argument("--json", action="store_true",
+                     help="print the report as JSON")
+    ana.add_argument("--merge", default=None, metavar="OUT.json",
+                     help="also write the merged Chrome trace to this path")
 
     def _session_args(p) -> None:
         p.add_argument("trace", help="reference trace file")
@@ -374,6 +537,8 @@ def main(argv: list[str] | None = None) -> int:
     return {"apps": _cmd_apps, "record": _cmd_record,
             "dump": _cmd_dump, "predict": _cmd_predict,
             "serve": _cmd_serve, "metrics": _cmd_metrics,
+            "sessions": _cmd_sessions, "top": _cmd_top,
+            "analyze": _cmd_analyze,
             "spans": _cmd_spans, "explain": _cmd_explain,
             "flight": _cmd_flight}[args.cmd](args)
 

@@ -16,13 +16,22 @@ Four independent, dependency-free pieces:
 - :mod:`repro.obs.drift` — an online OK → DRIFTING → DIVERGED monitor
   comparing the tracker's drift signals against a reference baseline;
 - :mod:`repro.obs.flight` — a bounded per-session flight recorder
-  journaling recent events/predictions/outcomes (``PYTHIA_FLIGHT_DIR``).
+  journaling recent events/predictions/outcomes (``PYTHIA_FLIGHT_DIR``);
+- :mod:`repro.obs.sessions` — the daemon's bounded per-client-session
+  telemetry table (LRU, evictions prune the labeled metric series);
+- :mod:`repro.obs.analysis` — offline trace analysis: span dumps and
+  flight journals merged into a columnar :class:`TraceTable` with
+  filter/groupby/percentile and wire/queue/handler decomposition
+  (``pythia-trace analyze``);
+- :mod:`repro.obs.top` — the live ANSI ops console behind
+  ``pythia-trace top``.
 
 The metric name catalogue lives in the README's "Observability" section.
 """
 
 from repro.obs import log
 from repro.obs.accuracy import AccuracyTracker, merge_reports
+from repro.obs.analysis import TraceTable
 from repro.obs.drift import (
     DIVERGED,
     DRIFTING,
@@ -40,11 +49,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    ParsedMetrics,
     get_registry,
     metrics_enabled,
+    parse_prometheus_text,
     render_prometheus,
     set_registry,
 )
+from repro.obs.sessions import SessionEntry, SessionStats
 from repro.obs.spans import (
     Span,
     SpanRecorder,
@@ -71,8 +83,12 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "OK",
+    "ParsedMetrics",
+    "SessionEntry",
+    "SessionStats",
     "Span",
     "SpanRecorder",
+    "TraceTable",
     "active_recorders",
     "baseline_from_replay",
     "disable_spans",
@@ -83,6 +99,7 @@ __all__ = [
     "log",
     "merge_reports",
     "metrics_enabled",
+    "parse_prometheus_text",
     "render_prometheus",
     "set_registry",
     "span",

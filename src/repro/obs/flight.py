@@ -28,6 +28,7 @@ the daemon can :func:`dump_active` every session post-mortem.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import json
 import os
@@ -408,3 +409,20 @@ def dump_active(directory: str | os.PathLike | None = None) -> list[str]:
         if path is not None:
             paths.append(path)
     return paths
+
+
+def _atexit_dump() -> None:
+    """Flush every live recorder with a configured destination at exit.
+
+    A crashing example or a short CLI run otherwise loses the journal
+    tail that explains what went wrong.  Recorders without a dump
+    directory (no ``dump_dir=``, no ``PYTHIA_FLIGHT_DIR``) are skipped
+    by :func:`dump_active`, so the hook never invents output paths.
+    """
+    try:
+        dump_active()
+    except OSError:
+        pass  # exit paths must never raise
+
+
+atexit.register(_atexit_dump)

@@ -38,9 +38,12 @@ __all__ = [
     "NullRegistry",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS_S",
+    "ParsedMetrics",
     "get_registry",
     "set_registry",
     "metrics_enabled",
+    "parse_prometheus_text",
+    "quantile_from_buckets",
     "render_prometheus",
 ]
 
@@ -200,6 +203,33 @@ class Histogram:
             if value > self._max:
                 self._max = value
 
+    def observe_batch(self, values) -> None:
+        """Record many samples under one lock acquisition.
+
+        Hot paths buffer raw samples and fold them in batches; this
+        keeps the per-sample cost to a bisect and a few float ops
+        instead of a call + lock round trip each.
+        """
+        if not values:
+            return
+        bounds = self.bounds
+        with self._lock:
+            counts = self._counts
+            total = 0.0
+            lo = self._min
+            hi = self._max
+            for v in values:
+                counts[bisect_left(bounds, v)] += 1
+                total += v
+                if v < lo:
+                    lo = v
+                if v > hi:
+                    hi = v
+            self._sum += total
+            self._count += len(values)
+            self._min = lo
+            self._max = hi
+
     @property
     def count(self) -> int:
         """Number of samples observed."""
@@ -269,6 +299,28 @@ class Histogram:
             out.append((bound, cum))
         out.append((float("inf"), cum + counts[-1]))
         return out
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram.
+
+        Both histograms must share the same bucket bounds (the benches
+        merge per-client component digests this way).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        with other._lock:
+            counts = list(other._counts)
+            osum, ocount = other._sum, other._count
+            omin, omax = other._min, other._max
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._sum += osum
+            self._count += ocount
+            if omin < self._min:
+                self._min = omin
+            if omax > self._max:
+                self._max = omax
 
 
 class _NullInstrument:
@@ -367,6 +419,19 @@ class MetricsRegistry:
     ) -> Histogram:
         """Get or create a histogram (``buckets`` applies on creation only)."""
         return self._get(Histogram, name, labels, help, buckets=buckets)
+
+    def remove(self, name: str, labels: Mapping[str, str] | None = None) -> bool:
+        """Drop the instrument registered under ``(name, labels)``.
+
+        Returns True when something was removed.  Used to keep labeled
+        families bounded: when the daemon's session table evicts an LRU
+        entry, its ``pythia_session_*`` series are removed too, so the
+        exposition's cardinality tracks the (bounded) table instead of
+        every session id ever seen.
+        """
+        key = (name, _labels_key(labels))
+        with self._lock:
+            return self._instruments.pop(key, None) is not None
 
     def register_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
         """Register a callback run before every :meth:`collect`.
@@ -527,3 +592,187 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
             lab = _fmt_labels(inst.labels)
             lines.append(f"{inst.name}{lab} {_fmt_value(inst.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text parsing (the inverse, for scrapers and the ops console)
+# ----------------------------------------------------------------------
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    it = iter(range(len(value)))
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    """Parse the inside of ``{...}`` (quotes and escapes respected)."""
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(body)
+    while i < n:
+        eq = body.index("=", i)
+        key = body[i:eq].strip().lstrip(",").strip()
+        i = eq + 1
+        if i >= n or body[i] != '"':
+            raise ValueError(f"malformed label value near {body[i:]!r}")
+        i += 1
+        start = i
+        raw: list[str] = []
+        while i < n:
+            c = body[i]
+            if c == "\\":
+                raw.append(body[start:i] + body[i : i + 2])
+                i += 2
+                start = i
+                continue
+            if c == '"':
+                break
+            i += 1
+        else:
+            raise ValueError("unterminated label value")
+        raw.append(body[start:i])
+        labels[key] = _unescape_label_value("".join(raw))
+        i += 1  # closing quote
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+class ParsedMetrics:
+    """A scraped Prometheus text page, queryable by name + labels.
+
+    The inverse of :func:`render_prometheus` — ``pythia-trace top``
+    scrapes the daemon's ``metrics`` op and reads throughputs and
+    histogram quantiles back out of the text with this.
+    """
+
+    def __init__(self) -> None:
+        #: family name -> {"type": str, "help": str}
+        self.families: dict[str, dict[str, str]] = {}
+        #: raw samples in page order: (sample_name, labels, value)
+        self.samples: list[tuple[str, dict[str, str], float]] = []
+
+    def value(self, name: str, labels: Mapping[str, str] | None = None) -> float | None:
+        """The sample matching ``name`` and exactly ``labels``, or None."""
+        want = dict(labels or {})
+        for sname, slabels, val in self.samples:
+            if sname == name and slabels == want:
+                return val
+        return None
+
+    def buckets(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> list[tuple[float, float]]:
+        """Cumulative ``(le, count)`` pairs of one histogram series.
+
+        ``labels`` match the series' labels with ``le`` ignored; pairs
+        come back sorted by bound, ``+Inf`` last.
+        """
+        want = dict(labels or {})
+        out: list[tuple[float, float]] = []
+        for sname, slabels, val in self.samples:
+            if sname != name + "_bucket" or "le" not in slabels:
+                continue
+            rest = {k: v for k, v in slabels.items() if k != "le"}
+            if rest != want:
+                continue
+            out.append((_parse_value(slabels["le"]), val))
+        out.sort(key=lambda p: p[0])
+        return out
+
+    def quantile(
+        self, name: str, q: float, labels: Mapping[str, str] | None = None
+    ) -> float | None:
+        """Estimate a quantile of one histogram series (or None if absent)."""
+        pairs = self.buckets(name, labels)
+        if not pairs or pairs[-1][1] == 0:
+            return None
+        return quantile_from_buckets(pairs, q)
+
+    def series(self, name: str) -> list[tuple[dict[str, str], float]]:
+        """Every ``(labels, value)`` sample of one family member name."""
+        return [(lab, val) for sname, lab, val in self.samples if sname == name]
+
+
+def quantile_from_buckets(pairs: Iterable[tuple[float, float]], q: float) -> float:
+    """Quantile by linear interpolation over cumulative ``(le, count)``.
+
+    Mirrors :meth:`Histogram.quantile` but works on scraped bucket
+    pairs (no min/max clamp available — the top bound stands in).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    pairs = sorted(pairs, key=lambda p: p[0])
+    if not pairs:
+        return 0.0
+    total = pairs[-1][1]
+    if total == 0:
+        return 0.0
+    target = q * total
+    prev_bound, prev_cum = 0.0, 0.0
+    finite = [b for b, _ in pairs if b != float("inf")]
+    top = finite[-1] if finite else 0.0
+    for bound, cum in pairs:
+        if cum >= target:
+            if bound == float("inf"):
+                return top
+            span = cum - prev_cum
+            frac = (target - prev_cum) / span if span else 1.0
+            return prev_bound + (bound - prev_bound) * frac
+        prev_bound, prev_cum = (0.0 if bound == float("inf") else bound), cum
+    return top
+
+
+def parse_prometheus_text(text: str) -> ParsedMetrics:
+    """Parse a Prometheus text exposition page into :class:`ParsedMetrics`.
+
+    Understands the subset :func:`render_prometheus` emits (``# HELP`` /
+    ``# TYPE`` comments, escaped label values, ``+Inf``).  Unknown
+    comment lines and malformed sample lines are skipped — the ops
+    console polls whatever daemon it is pointed at, so one stray line
+    must not take the whole frame down.
+    """
+    parsed = ParsedMetrics()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                fam = parsed.families.setdefault(parts[2], {"type": "", "help": ""})
+                fam["type" if parts[1] == "TYPE" else "help"] = (
+                    parts[3] if len(parts) > 3 else ""
+                )
+            continue
+        try:
+            if "{" in line:
+                name, rest = line.split("{", 1)
+                body, _, tail = rest.rpartition("}")
+                labels = _parse_labels(body)
+                value_text = tail.strip().split()[0]
+            else:
+                name, value_text = line.split()[:2]
+                labels = {}
+            value = _parse_value(value_text)
+        except (ValueError, IndexError):
+            continue
+        parsed.samples.append((name.strip(), labels, value))
+    return parsed

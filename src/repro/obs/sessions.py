@@ -1,0 +1,287 @@
+"""Per-session telemetry for the oracle daemon: who is asking what.
+
+Context propagation (:mod:`repro.server.client` stamps every request
+with a client-lifetime session id and a monotonically increasing
+request id) makes requests attributable; :class:`SessionStats` is the
+daemon-side table that accumulates them — per-session op counts,
+error counts, request-id continuity, and queue/handler latency digests.
+
+The table is a bounded LRU keyed by client session id: one daemon can
+serve an unbounded population of (possibly short-lived) clients, so
+the table — and everything derived from it, including the labeled
+``pythia_session_*`` metric series — must not grow with the number of
+session ids ever seen.  When a new session id would exceed
+``capacity`` the least-recently-active entry is evicted (``evicted``
+counts them) and its callbacks fire so the daemon can drop the
+evicted id's metric series.
+
+``rid_regressions`` counts requests whose request id did not move
+forward — a duplicate or replayed rid.  A correct client never
+produces one, even across reconnect+resync (retries of one logical
+request are re-stamped with a fresh rid), so the chaos suite asserts
+this stays zero through cut connections and daemon restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["SessionEntry", "SessionStats", "DEFAULT_SESSION_CAPACITY"]
+
+#: sessions tracked before LRU eviction kicks in
+DEFAULT_SESSION_CAPACITY = 256
+
+
+class _LatencyWindow:
+    """Recent (queue, handler) latency pairs, with exact percentiles.
+
+    The record path is one list append of the pair; all percentile
+    math happens when somebody snapshots.  Bounded: once the buffer
+    doubles past ``keep`` the oldest half is dropped, so the digest
+    always covers the most recent ``keep``..2·``keep`` samples.
+    Exact-but-windowed beats bucketed-but-cumulative here — a
+    session's recent behaviour is what an operator triages on.
+    """
+
+    __slots__ = ("keep", "_cap", "_samples")
+
+    def __init__(self, keep: int = 2048) -> None:
+        self.keep = keep
+        self._cap = 2 * keep
+        self._samples: list[tuple[float, float]] = []
+
+    def observe(self, queue_s: float, handler_s: float) -> None:
+        samples = self._samples
+        samples.append((queue_s, handler_s))
+        if len(samples) >= self._cap:
+            del samples[: -self.keep]
+
+    def percentiles_us(self) -> tuple[dict, dict]:
+        """``({p50, p99, max}, ...)`` for queue then handler, in µs."""
+        pairs = self._samples
+        if not pairs:
+            return ({"p50": 0.0, "p99": 0.0, "max": 0.0},
+                    {"p50": 0.0, "p99": 0.0, "max": 0.0})
+        digests = []
+        for samples in (
+            sorted(q for q, _ in pairs), sorted(h for _, h in pairs)
+        ):
+            n = len(samples)
+            digests.append({
+                "p50": round(samples[(n - 1) // 2] * 1e6, 1),
+                "p99": round(samples[min(n - 1, (99 * n) // 100)] * 1e6, 1),
+                "max": round(samples[-1] * 1e6, 1),
+            })
+        return digests[0], digests[1]
+
+
+class SessionEntry:
+    """Accumulated telemetry of one client session id."""
+
+    __slots__ = (
+        "sid",
+        "first_seen",
+        "last_seen",
+        "requests",
+        "errors",
+        "last_rid",
+        "rid_regressions",
+        "ops",
+        "lat",
+    )
+
+    def __init__(self, sid: str, now: float) -> None:
+        self.sid = sid
+        self.first_seen = now
+        self.last_seen = now
+        self.requests = 0
+        self.errors = 0
+        self.last_rid = 0
+        self.rid_regressions = 0
+        self.ops: dict[str, int] = {}
+        self.lat = _LatencyWindow()
+
+    def snapshot(self) -> dict:
+        """JSON-safe view (served by the daemon's ``sessions`` op)."""
+        queue_us, handler_us = self.lat.percentiles_us()
+        return {
+            "sid": self.sid,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "age_s": round(time.time() - self.last_seen, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "last_rid": self.last_rid,
+            "rid_regressions": self.rid_regressions,
+            "ops": dict(self.ops),
+            "queue_us": queue_us,
+            "handler_us": handler_us,
+        }
+
+
+class SessionStats:
+    """Bounded, thread-safe LRU table of :class:`SessionEntry`.
+
+    ``on_evict`` callbacks receive the evicted entry (under no lock)
+    so the owner can release per-session resources — the daemon uses
+    this to drop the session's ``pythia_session_*`` metric series.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SESSION_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.evicted = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, SessionEntry] = OrderedDict()
+        self._mru: str | None = None  # skips the LRU touch on repeat hits
+        self._on_evict: list[Callable[[SessionEntry], None]] = []
+        #: deferred-accounting buffer: producers append raw
+        #: ``(sid, op, rid, queue_s, handler_s, error)`` tuples with no
+        #: lock (one GIL-atomic list append per request — the cheapest
+        #: thing the per-request path can do) and :meth:`fold` applies
+        #: them in a batch.  One shared list, not one per producer, so
+        #: cross-producer arrival order — which rid continuity depends
+        #: on — is preserved by construction.  Every reader folds
+        #: first; don't mix direct :meth:`record` calls and buffered
+        #: appends for the same sid (their relative order is undefined).
+        self.pending: list[tuple] = []
+
+    def __len__(self) -> int:
+        self.fold()
+        with self._lock:
+            return len(self._entries)
+
+    def on_evict(self, fn: Callable[[SessionEntry], None]) -> None:
+        """Register a callback fired with each evicted entry."""
+        with self._lock:
+            if fn not in self._on_evict:
+                self._on_evict.append(fn)
+
+    def _apply_locked(
+        self,
+        sid: str,
+        op: str,
+        rid: int | None,
+        queue_s: float,
+        handler_s: float,
+        error: bool,
+        now: float,
+        evicted: list,
+    ) -> None:
+        """Fold one request into the table (caller holds ``_lock``).
+
+        The steady state (same session as last time) touches no LRU
+        machinery — the ``_mru`` cache proves the entry is already at
+        the hot end of the OrderedDict.
+        """
+        entries = self._entries
+        entry = entries.get(sid)
+        if entry is None:
+            entry = entries[sid] = SessionEntry(sid, now)
+            self._mru = sid
+            while len(entries) > self.capacity:
+                _, old = entries.popitem(last=False)
+                self.evicted += 1
+                evicted.append(old)
+        elif self._mru != sid:
+            entries.move_to_end(sid)
+            self._mru = sid
+        entry.last_seen = now
+        entry.requests += 1
+        if error:
+            entry.errors += 1
+        ops = entry.ops
+        ops[op] = ops.get(op, 0) + 1
+        if rid is not None:
+            if rid > entry.last_rid:
+                entry.last_rid = rid
+            else:
+                entry.rid_regressions += 1
+        entry.lat.observe(queue_s, handler_s)
+
+    def _fire_evictions(self, evicted: list) -> None:
+        """Run eviction callbacks outside the lock."""
+        with self._lock:
+            callbacks = list(self._on_evict)
+        for old in evicted:
+            for fn in callbacks:
+                fn(old)
+
+    def record(
+        self,
+        sid: str,
+        op: str,
+        rid: int | None,
+        queue_s: float,
+        handler_s: float,
+        error: bool = False,
+    ) -> None:
+        """Account one dispatched request to session ``sid``, immediately.
+
+        The daemon's per-request path uses :attr:`pending` +
+        :meth:`fold` instead; this direct form serves tests and any
+        owner without a batching loop.
+        """
+        evicted: list[SessionEntry] = []
+        with self._lock:
+            self._apply_locked(
+                sid, op, rid, queue_s, handler_s, error, time.time(), evicted
+            )
+        if evicted:
+            self._fire_evictions(evicted)
+
+    def fold(self) -> None:
+        """Drain :attr:`pending` into the table.
+
+        Safe against concurrent producers: the buffered prefix is
+        sliced out under the lock while appends keep landing beyond it.
+        ``last_seen`` is stamped with the fold time — at most one batch
+        (or one reader latency) behind the request itself.
+        """
+        pending = self.pending
+        if not pending:
+            return
+        evicted: list[SessionEntry] = []
+        with self._lock:
+            n = len(pending)
+            items = pending[:n]
+            del pending[:n]
+            now = time.time()
+            for sid, op, rid, queue_s, handler_s, error in items:
+                self._apply_locked(
+                    sid, op, rid, queue_s, handler_s, error, now, evicted
+                )
+        if evicted:
+            self._fire_evictions(evicted)
+
+    def get(self, sid: str) -> SessionEntry | None:
+        """The live entry for ``sid`` (no LRU touch), or None."""
+        self.fold()
+        with self._lock:
+            return self._entries.get(sid)
+
+    def entries(self) -> list[SessionEntry]:
+        """Current entries, least-recently-active first."""
+        self.fold()
+        with self._lock:
+            return list(self._entries.values())
+
+    def snapshot(self) -> dict:
+        """JSON-safe table view: the ``sessions`` op's payload.
+
+        Built under the table lock: each row's pending latency samples
+        fold into the digests here, and a concurrent ``record`` must
+        not append to a list mid-fold.
+        """
+        self.fold()
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "tracked": len(self._entries),
+                "evicted": self.evicted,
+                "sessions": [e.snapshot() for e in self._entries.values()],
+            }

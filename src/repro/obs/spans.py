@@ -20,6 +20,7 @@ The export is the Chrome trace-event format: complete events (``ph:
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import threading
@@ -30,6 +31,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Span",
     "SpanRecorder",
+    "SPANS_DUMP_ENV",
     "enable_spans",
     "disable_spans",
     "get_recorder",
@@ -37,6 +39,10 @@ __all__ = [
     "span_recording",
     "spans_enabled",
 ]
+
+#: environment variable naming a Chrome-trace path the process recorder
+#: is dumped to at interpreter exit (the atexit flush)
+SPANS_DUMP_ENV = "PYTHIA_SPANS_DUMP"
 
 
 @dataclass(slots=True)
@@ -98,6 +104,40 @@ class SpanRecorder:
                     self._spans.append(sp)
                 else:
                     self._dropped += 1
+
+    def emit(
+        self,
+        name: str,
+        t0: float,
+        duration: float,
+        *,
+        depth: int = 0,
+        **attrs,
+    ) -> None:
+        """Record an already-finished span.
+
+        ``t0`` is the :func:`time.perf_counter` value at which the span
+        began.  Request tracing uses this instead of :meth:`record`:
+        a request span's attributes (the server-side queue/handler
+        split) are only known once the reply has been decoded, after
+        the interval being described has already ended.
+        """
+        thread = threading.current_thread()
+        sp = Span(
+            name=name,
+            start=t0 - self._epoch,
+            duration=duration,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            depth=depth,
+            attrs=attrs,
+            pid=os.getpid(),
+        )
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(sp)
+            else:
+                self._dropped += 1
 
     # -- reading --------------------------------------------------------
 
@@ -242,6 +282,30 @@ def span(name: str, **attrs):
     if rec is None:
         return _NULL_SPAN
     return rec.record(name, **attrs)
+
+
+def _atexit_dump() -> None:
+    """Flush the process recorder at interpreter exit.
+
+    Short CLI runs and crashing examples otherwise lose their tail of
+    telemetry — the recorder dies with the process.  A destination must
+    be configured (``PYTHIA_SPANS_DUMP=path``); without one this is a
+    no-op, so merely enabling spans never writes files as a side effect.
+    """
+    rec = _recorder
+    target = os.environ.get(SPANS_DUMP_ENV)
+    if rec is None or not target or not len(rec):
+        return
+    try:
+        parent = os.path.dirname(target)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        rec.dump(target)
+    except OSError:
+        pass  # exit paths must never raise
+
+
+atexit.register(_atexit_dump)
 
 
 @contextmanager

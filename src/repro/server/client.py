@@ -52,17 +52,42 @@ Every transition is observable: ``pythia_client_reconnects_total`` /
 counters, a client-side flight recorder journaling each reconnect,
 resync and fallback (dumped via ``PYTHIA_FLIGHT_DIR``), and the same
 counters mirrored on :attr:`PythiaClient.counters`.
+
+Request tracing
+---------------
+Unless ``context=False``, every request is stamped with a ``ctx``
+field: a client-lifetime session id (:attr:`session_id`, stable across
+reconnects and daemon restarts, so one logical run stays one trace)
+and a monotonically increasing request id — each *transmitted attempt*
+gets a fresh rid, so retries never reuse one.  The full ``ctx`` rides
+only until the daemon first echoes timing back (proof the identity is
+bound to the connection); from then on requests carry no stamp at all
+— the daemon counts consecutive rids on the bound connection, mirror
+of the client's own counter, so steady-state tracing adds zero bytes
+to the request.  A context-aware daemon echoes server-side timing (``srv``:
+queue and handler microseconds) in each reply, and the client
+decomposes its observed round-trip into
+**wire** (the residual), **queue** and **handler** components:
+``pythia_client_request_seconds{op=...,component=...}`` histograms,
+:attr:`last_timing`, and :meth:`timing_report`.  With span recording
+on (``PYTHIA_SPANS=1`` / :func:`~repro.obs.spans.enable_spans`) each
+request also emits a ``client.<op>`` span tagged ``sid``/``rid`` that
+correlates 1:1 with the daemon's ``server.<op>`` span.  Old daemons
+simply ignore ``ctx`` and return no ``srv``; only the total is then
+recorded.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import socket
 import threading
+import uuid
 from collections import deque
 from dataclasses import dataclass
-from time import monotonic, sleep
+from time import monotonic, perf_counter, sleep
 from typing import Hashable
 
 from repro.core.events import EventRegistry
@@ -70,9 +95,11 @@ from repro.core.explain import Explanation
 from repro.core.predict import Prediction
 from repro.core.trace_file import TraceFormatError
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs.accuracy import aggregate_stats
 from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
+from repro.obs.metrics import LATENCY_BUCKETS_S
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
     RETRYABLE_CODES,
@@ -208,6 +235,13 @@ class PythiaClient:
         be loaded locally), ``"lost"`` reports every event unmatched
         and every prediction ``None``, ``"raise"`` re-raises the last
         transport error.
+    context:
+        Stamp every request with tracing context (``ctx``: session id
+        + request id) and decompose reply latency (default True).
+        ``False`` restores the pre-tracing wire format byte for byte.
+    session_id:
+        Override the generated client session id (at most 128 chars;
+        useful when an outer system owns correlation ids).
     """
 
     mode = "predict"
@@ -223,11 +257,15 @@ class PythiaClient:
         retry: RetryPolicy | None = RetryPolicy(),
         resync_window: int | None = 256,
         fallback: str = "local",
+        context: bool = True,
+        session_id: str | None = None,
     ) -> None:
         if fallback not in ("local", "lost", "raise"):
             raise ValueError(f"unknown fallback {fallback!r}")
         if resync_window is not None and resync_window < 1:
             raise ValueError("resync_window must be >= 1 or None")
+        if session_id is not None and not 0 < len(session_id) <= 128:
+            raise ValueError("session_id must be 1..128 characters")
         self.trace_path = os.fspath(trace_path)
         self.address = socket
         self.max_frame = max_frame
@@ -244,6 +282,38 @@ class PythiaClient:
         self._degraded = False
         self._fallback_oracle = None
         self._rng = random.Random(f"pythia-client:{self.trace_path}")
+        #: client-lifetime session id: stamped into every request's
+        #: ``ctx``, stable across reconnects and daemon restarts
+        self.session_id = (
+            session_id if session_id is not None else f"c{uuid.uuid4().hex[:12]}"
+        )
+        self._ctx = bool(context)
+        self._rid = 0  # last transmitted request id (under self._lock)
+        # pre-serialized ctx fragment: per request only the rid varies,
+        # so the sid half (escaped once, here) never hits the encoder
+        self._ctx_prefix = ',"ctx":{"sid":%s,"rid":' % json.dumps(self.session_id)
+        # once a reply carries srv the daemon has bound our identity to
+        # this connection and no stamp is needed; reset on reconnect
+        self._sid_bound = False
+        #: wire/queue/handler/total digests keyed (op, component); the
+        #: instruments live in the metrics registry as
+        #: pythia_client_request_seconds{op=...,component=...}.  The
+        #: hot path appends raw samples to _timing_pending and folds
+        #: them into the histograms in batches (same idiom as the
+        #: facade's counter bumps) — readers flush first.
+        self._timing: dict[tuple[str, str], object] = {}
+        #: per-op pending samples as parallel float lists
+        #: (totals, srv_totals, queues, handlers): container-free on
+        #: the per-request path — building a tuple per reply measurably
+        #: taxes the round trip, plain float appends do not
+        self._timing_pending: dict[str, tuple] = {}
+        # most recent traced reply, as scalars (same rationale;
+        # last_timing assembles its dict lazily from these)
+        self._lr_op: str | None = None
+        self._lr_rid = 0
+        self._lr_total = 0.0
+        self._lr_q: float | None = None
+        self._lr_h: float | None = None
         #: fault-layer counters, mirrored into the metrics registry
         self.counters = {"reconnects": 0, "retries": 0, "fallbacks": 0}
         reg = obs_metrics.get_registry()
@@ -310,24 +380,165 @@ class PythiaClient:
                 pass
             self._sock = None
         self._sessions.clear()
+        self._sid_bound = False  # a fresh connection starts unbound
+
+    def _timing_hist(self, op: str, component: str):
+        """The (op, component) latency digest, created on first use."""
+        hist = self._timing.get((op, component))
+        if hist is None:
+            hist = obs_metrics.get_registry().histogram(
+                "pythia_client_request_seconds",
+                {"op": op, "component": component},
+                buckets=LATENCY_BUCKETS_S,
+                help="Client-observed request latency split into "
+                     "wire/queue/handler/total components",
+            )
+            self._timing[(op, component)] = hist
+        return hist
+
+    def _emit_span(
+        self, rec, op: str, t0: float, total_s: float, queue_s, handler_s
+    ) -> None:
+        """Emit one ``client.<op>`` span (only with a recorder active)."""
+        attrs = {
+            "op": op, "sid": self.session_id, "rid": self._rid,
+            "total_us": round(total_s * 1e6, 1),
+        }
+        if queue_s is not None:
+            wire_s = total_s - queue_s - handler_s
+            attrs.update(
+                wire_us=round(wire_s * 1e6, 1) if wire_s > 0.0 else 0.0,
+                queue_us=round(queue_s * 1e6, 1),
+                handler_us=round(handler_s * 1e6, 1),
+            )
+        rec.emit(f"client.{op}", t0, total_s, **attrs)
+
+    def _flush_timing(self) -> None:
+        """Fold pending raw samples into the (op, component) digests.
+
+        Called under ``self._lock`` (hot path when a batch fills, and
+        every reader before looking at ``self._timing``).  The wire
+        component — the residual ``total - queue - handler`` (send +
+        receive + scheduling) — is derived here, once per batch.
+        """
+        for op, pend in self._timing_pending.items():
+            totals, srv_totals, queues, handlers = pend
+            if not totals:
+                continue
+            self._timing_hist(op, "total").observe_batch(totals)
+            if srv_totals:
+                wires: list[float] = []
+                for total_s, queue_s, handler_s in zip(
+                    srv_totals, queues, handlers
+                ):
+                    wire_s = total_s - queue_s - handler_s
+                    wires.append(wire_s if wire_s > 0.0 else 0.0)
+                self._timing_hist(op, "wire").observe_batch(wires)
+                self._timing_hist(op, "queue").observe_batch(queues)
+                self._timing_hist(op, "handler").observe_batch(handlers)
+            del totals[:], srv_totals[:], queues[:], handlers[:]
+
+    @property
+    def last_timing(self) -> dict | None:
+        """Decomposition of the most recent traced reply, in µs.
+
+        ``None`` before any traced request (or with ``context=False``).
+        Built lazily from the raw scalars so the per-request cost stays
+        off the hot path.
+        """
+        op = self._lr_op
+        if op is None:
+            return None
+        total_s = self._lr_total
+        queue_s = self._lr_q
+        handler_s = self._lr_h
+        if queue_s is None:
+            wire_us = queue_us = handler_us = None
+        else:
+            wire_s = total_s - queue_s - handler_s
+            wire_us = round(wire_s * 1e6, 1) if wire_s > 0.0 else 0.0
+            queue_us = round(queue_s * 1e6, 1)
+            handler_us = round(handler_s * 1e6, 1)
+        return {
+            "op": op,
+            "sid": self.session_id,
+            "rid": self._lr_rid,
+            "total_us": round(total_s * 1e6, 1),
+            "wire_us": wire_us,
+            "queue_us": queue_us,
+            "handler_us": handler_us,
+        }
 
     def _roundtrip(self, request: dict) -> dict:
         """One framed exchange on the live socket.
 
-        Raises :class:`_RetryableFailure` (after invalidating the
-        connection) for transport errors and for the daemon's retryable
+        Stamps the request with tracing context (fresh rid per
+        transmitted attempt — a retry must never reuse one) and records
+        the reply's latency decomposition.  Raises
+        :class:`_RetryableFailure` (after invalidating the connection)
+        for transport errors and for the daemon's retryable
         ``shutting_down`` answer; raises the mapped facade exception
         for every other error response.
         """
         assert self._sock is not None
+        traced = self._ctx
+        extra = None
+        if traced:
+            self._rid += 1
+            if not self._sid_bound:
+                extra = self._ctx_prefix + str(self._rid) + "}"
+            # else: nothing to stamp — the daemon counts this request's
+            # rid itself on the bound connection (the stream delivers in
+            # order, so both counters stay in lockstep)
+        t0 = perf_counter()
         try:
-            write_frame(self._sock, request, max_frame=self.max_frame)
+            write_frame(self._sock, request, max_frame=self.max_frame, extra=extra)
             response = read_frame(self._sock, max_frame=self.max_frame)
             if response is None:
                 raise ProtocolError("daemon closed the connection")
         except (OSError, ProtocolError) as exc:
             self._invalidate_connection()
             raise _RetryableFailure(exc) from exc
+        if traced:
+            # per-request accounting, inlined and container-free: parse
+            # srv into two floats, append to parallel per-op lists, and
+            # remember the last reply as scalar attributes.  Wire
+            # residuals, histogram folds and the last_timing dict are
+            # all deferred to the readers (via _flush_timing) — and no
+            # tuple or dict is allocated per reply, which is measurably
+            # cheaper across a ~50µs round trip.
+            total_s = perf_counter() - t0
+            srv = response.get("srv")
+            op = request["op"]
+            pend = self._timing_pending.get(op)
+            if pend is None:
+                pend = self._timing_pending[op] = ([], [], [], [])
+            pend[0].append(total_s)
+            queue_s = handler_s = None
+            if srv is not None:
+                # the daemon echoed timing: our identity is bound to
+                # this connection, no stamp is needed from here on
+                self._sid_bound = True
+                if type(srv) is list and len(srv) == 2:
+                    try:
+                        queue_s = srv[0] / 1e6
+                        handler_s = srv[1] / 1e6
+                    except TypeError:  # malformed pair: total-only
+                        queue_s = handler_s = None
+                    else:
+                        pend[1].append(total_s)
+                        pend[2].append(queue_s)
+                        pend[3].append(handler_s)
+            self._lr_op = op
+            self._lr_rid = self._rid
+            self._lr_total = total_s
+            self._lr_q = queue_s
+            self._lr_h = handler_s
+            if len(pend[0]) >= 512:
+                self._flush_timing()
+            rec = obs_spans._recorder  # inlined get_recorder(): hot path
+            if rec is not None:
+                self._emit_span(rec, op, t0, total_s, queue_s, handler_s)
         if response.get("ok"):
             return response
         code = response.get("code", "error")
@@ -754,6 +965,51 @@ class PythiaClient:
         return {**self.counters, "degraded": self._degraded,
                 "fallback": self.fallback}
 
+    def sessions(self) -> dict:
+        """The daemon's per-client-session telemetry table."""
+        try:
+            return self._request("sessions")
+        except _UseFallback:
+            raise OracleServiceError(
+                "unavailable", "daemon unreachable: client is in degraded mode"
+            ) from None
+
+    def trace_context(self) -> dict:
+        """This client's tracing identity: session id and last rid."""
+        return {"sid": self.session_id, "rid": self._rid,
+                "enabled": self._ctx}
+
+    def timing_histograms(self) -> dict[tuple[str, str], object]:
+        """The raw (op, component) latency histograms (for merging)."""
+        with self._lock:
+            self._flush_timing()
+            return dict(self._timing)
+
+    def timing_report(self) -> dict:
+        """Latency decomposition per op: count/mean/p50/p99/max in µs.
+
+        Shape: ``{op: {component: {count, mean_us, p50_us, p99_us,
+        max_us}}}`` with components ``total`` and — when the daemon
+        returns reply timing — ``wire`` / ``queue`` / ``handler``.
+        Empty under ``PYTHIA_METRICS=0`` (the digests live in the
+        metrics registry) or with ``context=False``.
+        """
+        with self._lock:
+            self._flush_timing()
+            hists = sorted(self._timing.items())
+        out: dict[str, dict[str, dict]] = {}
+        for (op, component), hist in hists:
+            snap = hist.snapshot()
+            mean = snap["sum"] / snap["count"] if snap["count"] else 0.0
+            out.setdefault(op, {})[component] = {
+                "count": snap["count"],
+                "mean_us": round(mean * 1e6, 1),
+                "p50_us": round(snap["p50"] * 1e6, 1),
+                "p99_us": round(snap["p99"] * 1e6, 1),
+                "max_us": round(snap["max"] * 1e6, 1),
+            }
+        return out
+
     def finish(self) -> None:
         """Close every session and the connection; returns None.
 
@@ -765,6 +1021,7 @@ class PythiaClient:
             raise RuntimeError("oracle already finished")
         self._finished = True
         with self._lock:
+            self._flush_timing()  # registry digests catch up before exit
             if self._sock is not None:
                 try:
                     for sid in self._sessions.values():

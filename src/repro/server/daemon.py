@@ -25,8 +25,39 @@ Request ops
                    session's flight-recorder journal + drift report
 ``close_session``  ``{session}``
 ``stats``          ``{session?}`` — daemon counters, or one tracker's
+``sessions``       the per-client-session telemetry table
+                   (:class:`~repro.obs.sessions.SessionStats`), joined
+                   with each live tracker's hit rate and drift state
+                   (``pythia-trace sessions`` prints it)
 ``metrics``        Prometheus text exposition of the process registry
                    (``pythia-trace metrics`` prints it)
+
+Request tracing
+---------------
+Any request may carry an optional ``ctx`` field —
+``{"sid": <client session id>, "rid": <monotonic request id>}`` — as
+stamped by :class:`~repro.server.client.PythiaClient`.  A valid ``ctx``
+also *binds* the identity to the connection: later requests on the
+same connection need no stamp at all (zero extra bytes on a path that
+runs per event) — they inherit the bound sid, and because the stream
+delivers in order, the daemon assigns them consecutive rids that
+mirror the client's own counter.  A traced request gets a ``srv``
+pair in its reply —
+``[queue_us, handler_us]``, positional for the same
+stays-terse-on-the-hot-path reason prediction distributions travel as
+``[terminal, weight]`` pairs — where ``queue_us`` is the time between
+the frame's arrival and its handler starting and ``handler_us`` the
+handler's own time, so the client can decompose its observed
+round-trip latency into wire / queue / handler (replies come back in
+request order on a connection, so the client needs no rid echo to
+correlate them).  The context also tags
+the daemon's spans (``server.<op>`` with ``sid``/``rid`` attrs), the
+per-session latency digests in the
+:class:`~repro.obs.sessions.SessionStats` table, and the session's
+flight-recorder journal (the client sid is folded into the recorder's
+session name at ``open_session``).  Requests without ``ctx`` behave
+exactly as before — old clients keep working, and old daemons ignore
+``ctx`` — it is just an unknown request field.
 
 Every session carries a flight recorder (``flight`` entries, default
 256, 0 disables) and a drift monitor (``drift=false`` disables) so a
@@ -58,10 +89,13 @@ from repro.core.events import Event
 from repro.core.predict import PythiaPredict
 from repro.core.trace_file import TraceFormatError
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.accuracy import aggregate_stats
 from repro.obs.drift import DriftMonitor
 from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, render_prometheus
+from repro.obs.sessions import DEFAULT_SESSION_CAPACITY, SessionEntry, SessionStats
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
     ConnectionClosed,
@@ -119,6 +153,9 @@ class _Session:
     tracker: PythiaPredict
     owner: int  # connection id, for cleanup when the connection dies
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: the client-side session id from the opening request's ``ctx``,
+    #: joining this daemon session to the SessionStats table row
+    ctx_sid: str | None = None
 
 
 def _latency_view(hist: Histogram) -> dict[str, float]:
@@ -166,6 +203,7 @@ class OracleServer:
         store: TraceStore | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         max_candidates_limit: int = 4096,
+        session_stats_capacity: int = DEFAULT_SESSION_CAPACITY,
     ) -> None:
         if (socket_path is None) == (tcp_address is None):
             raise ValueError("exactly one of socket_path / tcp_address required")
@@ -198,6 +236,12 @@ class OracleServer:
         }
         #: per-op request latency, shared with the metrics registry
         self._latency: dict[str, Histogram] = {}
+        self._queue_latency: Histogram | None = None
+        #: bounded per-client-session telemetry (the ``sessions`` op);
+        #: evicting an LRU entry also drops its metric series, so the
+        #: labeled pythia_session_* cardinality tracks the table
+        self.session_stats = SessionStats(session_stats_capacity)
+        self.session_stats.on_evict(self._drop_session_metrics)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -378,6 +422,10 @@ class OracleServer:
 
     def _serve_connection(self, conn: socket.socket, conn_id: int) -> None:
         """One client, fully isolated: its errors never leave this frame."""
+        # tracing binding: ``[sid, last_rid]``, set by the last full
+        # ``ctx`` seen on this connection.  Once bound, bare requests
+        # (no ctx at all) are traced implicitly with consecutive rids.
+        conn_ctx: list = [None, 0]
         try:
             while self._running.is_set():
                 try:
@@ -394,6 +442,7 @@ class OracleServer:
                     return
                 if request is None:
                     return  # clean EOF
+                recv_ts = time.perf_counter()
                 with self._lock:
                     rejected = (
                         self._draining.is_set()
@@ -416,9 +465,13 @@ class OracleServer:
                     )
                     continue
                 try:
-                    response = self._dispatch(request, conn_id)
+                    response, extra = self._dispatch(
+                        request, conn_id, recv_ts, conn_ctx
+                    )
                     try:
-                        write_frame(conn, response, max_frame=self.max_frame)
+                        write_frame(
+                            conn, response, max_frame=self.max_frame, extra=extra
+                        )
                     except OSError:
                         return
                 finally:
@@ -457,20 +510,72 @@ class OracleServer:
     # request dispatch
     # ------------------------------------------------------------------
 
-    def _dispatch(self, request: dict, conn_id: int) -> dict:
+    @staticmethod
+    def _request_ctx(request: dict) -> tuple[str | None, int | None]:
+        """Validated ``(sid, rid)`` from a request's optional ``ctx``.
+
+        Lenient on purpose: a malformed ``ctx`` (wrong types, absurd
+        sid length) is treated as absent, never as an error — tracing
+        must not be able to fail a request.
+        """
+        ctx = request.get("ctx")
+        if not isinstance(ctx, dict):
+            return None, None
+        sid = ctx.get("sid")
+        rid = ctx.get("rid")
+        if not isinstance(sid, str) or not 0 < len(sid) <= 128:
+            sid = None
+        if isinstance(rid, bool) or not isinstance(rid, int) or rid < 0:
+            rid = None
+        return sid, rid
+
+    def _dispatch(
+        self,
+        request: dict,
+        conn_id: int,
+        recv_ts: float | None = None,
+        conn_ctx: list | None = None,
+    ) -> tuple[dict, str | None]:
+        """Handle one request; returns ``(response, extra)``.
+
+        ``extra`` is the reply's pre-serialized ``srv`` timing fragment
+        (or ``None`` for untraced requests) — spliced into the frame by
+        the serve loop so the per-reply timing never pays the JSON
+        encoder.  ``conn_ctx`` is the connection's ``[sid, last_rid]``
+        binding: a full ``ctx`` stores its identity there, and bare
+        requests on a bound connection inherit the sid with the next
+        consecutive rid (the stream delivers in order, so counting
+        arrivals reproduces the client's own rid counter exactly).
+        """
         op = request.get("op")
         handler = self._HANDLERS.get(op)
+        if "ctx" in request:
+            sid, rid = self._request_ctx(request)
+            if sid is not None and conn_ctx is not None:
+                conn_ctx[0] = sid
+                conn_ctx[1] = rid if rid is not None else 0
+        elif conn_ctx is not None and conn_ctx[0] is not None:
+            sid = conn_ctx[0]
+            rid = conn_ctx[1] = conn_ctx[1] + 1
+            if op == "open_session":
+                # the handler folds the sid into flight naming and
+                # session metadata; give it the resolved identity
+                request["ctx"] = {"sid": sid, "rid": rid}
+        else:
+            sid = rid = None
         t0 = time.perf_counter()
+        # queue time: frame fully received -> handler start (the drain
+        # check and daemon-lock waits live in this interval)
+        queue_s = max(0.0, t0 - recv_ts) if recv_ts is not None else 0.0
         try:
             if handler is None:
                 raise RequestError("unknown_op", f"unknown request op {op!r}")
-            result = handler(self, request, conn_id)
-            result["ok"] = True
-            return result
+            response = handler(self, request, conn_id)
+            response["ok"] = True
         except RequestError as exc:
             with self._lock:
                 self.counters["requests_failed"] += 1
-            return {"ok": False, "code": exc.code, "error": str(exc)}
+            response = {"ok": False, "code": exc.code, "error": str(exc)}
         except (FileNotFoundError, TraceFormatError, KeyError, ValueError, TypeError) as exc:
             with self._lock:
                 self.counters["requests_failed"] += 1
@@ -481,29 +586,72 @@ class OracleServer:
             }.get(type(exc), "bad_request")
             # KeyError reprs its message; unwrap just that one
             message = str(exc.args[0]) if isinstance(exc, KeyError) and exc.args else str(exc)
-            return {"ok": False, "code": code, "error": message}
+            response = {"ok": False, "code": code, "error": message}
         except Exception as exc:  # defensive: never leak an exception
             with self._lock:
                 self.counters["requests_failed"] += 1
-            return {"ok": False, "code": "internal", "error": f"{type(exc).__name__}: {exc}"}
-        finally:
-            dt = time.perf_counter() - t0
-            # bucket unknown ops together: op names are client-controlled
-            # and must not grow the latency table without bound
-            key = op if isinstance(op, str) and op in self._HANDLERS else "<unknown>"
+            response = {"ok": False, "code": "internal", "error": f"{type(exc).__name__}: {exc}"}
+        handler_s = time.perf_counter() - t0
+        # bucket unknown ops together: op names are client-controlled
+        # and must not grow the latency table without bound
+        key = op if isinstance(op, str) and op in self._HANDLERS else "<unknown>"
+        with self._lock:
+            self.counters["requests_total"] += 1
+            hist = self._latency.get(key)
+        if hist is None:
+            hist = obs_metrics.get_registry().histogram(
+                "pythia_server_request_seconds",
+                {"op": key},
+                buckets=LATENCY_BUCKETS_S,
+                help="Request handling latency per op",
+            )
             with self._lock:
-                self.counters["requests_total"] += 1
-                hist = self._latency.get(key)
-            if hist is None:
-                hist = obs_metrics.get_registry().histogram(
-                    "pythia_server_request_seconds",
-                    {"op": key},
+                self._latency.setdefault(key, hist)
+        hist.observe(handler_s)
+        if recv_ts is not None:
+            qhist = self._queue_latency
+            if qhist is None:
+                qhist = obs_metrics.get_registry().histogram(
+                    "pythia_server_queue_seconds",
                     buckets=LATENCY_BUCKETS_S,
-                    help="Request handling latency per op",
+                    help="Frame arrival to handler start (dispatch queue time)",
                 )
-                with self._lock:
-                    self._latency.setdefault(key, hist)
-            hist.observe(dt)
+                self._queue_latency = qhist
+            qhist.observe(queue_s)
+        extra = None
+        if sid is not None:
+            # reply timing: lets the client decompose its observed
+            # round-trip into wire / queue / handler components.  A
+            # positional pair of integer µs (whole-µs resolution is
+            # plenty at socket-RTT scale) in a pre-serialized fragment —
+            # this rides every traced reply, so it pays neither the
+            # dict encoder nor the bytes of spelled-out keys.  The rid
+            # is not echoed: the connection answers in order, so the
+            # client correlates replies itself; a malformed rid shows
+            # up in the session table (last_rid stops moving), not on
+            # the wire.
+            extra = ',"srv":[%d,%d]' % (
+                int(queue_s * 1e6),
+                int(handler_s * 1e6),
+            )
+            # session accounting is deferred: append the raw sample to
+            # the table's shared buffer (one lock-free list append — the
+            # shared list keeps cross-connection arrival order, so rid
+            # continuity folds exactly) and fold in batches
+            pending = self.session_stats.pending
+            pending.append((sid, key, rid, queue_s, handler_s, not response["ok"]))
+            if len(pending) >= 64:
+                self.session_stats.fold()
+        rec = obs_spans._recorder  # inlined get_recorder(): per-request path
+        if rec is not None:
+            attrs: dict = {"op": key, "queue_us": int(queue_s * 1e6),
+                           "handler_us": int(handler_s * 1e6)}
+            if sid is not None:
+                attrs["sid"] = sid
+            if rid is not None:
+                attrs["rid"] = rid
+            rec.emit(f"server.{key}", t0, handler_s, **attrs)
+        return response, extra
 
     def _session(self, request: dict) -> _Session:
         sid = request.get("session")
@@ -537,16 +685,21 @@ class OracleServer:
             raise RequestError("bad_request", "'flight' must be in [0, 65536]")
         bundle = self.store.get(trace)
         tracker = bundle.tracker(thread, max_candidates=max_candidates)
+        ctx_sid, _ctx_rid = self._request_ctx(request)
         with self._lock:
             sid = f"s{next(self._session_ids)}"
-            self._sessions[sid] = _Session(sid, bundle, thread, tracker, conn_id)
+            self._sessions[sid] = _Session(
+                sid, bundle, thread, tracker, conn_id, ctx_sid=ctx_sid
+            )
             self.counters["sessions_opened"] += 1
         if flight_capacity:
+            # fold the client's session id into the recorder name so
+            # every flight entry carries the cross-process correlation id
+            flight_name = f"{sid}.{os.path.basename(bundle.path)}.t{thread}"
+            if ctx_sid is not None:
+                flight_name = f"{ctx_sid}.{flight_name}"
             tracker.attach_flight(
-                FlightRecorder(
-                    flight_capacity,
-                    session=f"{sid}.{os.path.basename(bundle.path)}.t{thread}",
-                )
+                FlightRecorder(flight_capacity, session=flight_name)
             )
         if request.get("drift", True):
             tracker.attach_drift(DriftMonitor())
@@ -745,6 +898,69 @@ class OracleServer:
                 "latency": {op: _latency_view(h) for op, h in self._latency.items()},
             }
 
+    def _op_sessions(self, request: dict, conn_id: int) -> dict:
+        """The per-client-session telemetry table, joined with live trackers.
+
+        Rows come from the bounded :class:`SessionStats` LRU; for rows
+        whose client sid currently owns live daemon sessions, the
+        tracker-side view (hit rate, drift state, candidates) is merged
+        in.  ``pythia-trace sessions`` and ``pythia-trace top`` read
+        this.
+        """
+        table = self.session_stats.snapshot()
+        with self._lock:
+            live = list(self._sessions.values())
+        by_sid: dict[str, list[_Session]] = {}
+        for session in live:
+            if session.ctx_sid is not None:
+                by_sid.setdefault(session.ctx_sid, []).append(session)
+        for row in table["sessions"]:
+            owned = by_sid.get(row["sid"], [])
+            row["live_sessions"] = sorted(s.session_id for s in owned)
+            if not owned:
+                continue
+            reports = []
+            drift_states = []
+            for session in owned:
+                with session.lock:
+                    reports.append(session.tracker.stats())
+                    drift = session.tracker.drift
+                    if drift is not None:
+                        drift_states.append(drift.state)
+            agg = aggregate_stats(reports)
+            row["hit_rate"] = round(agg.get("hit_rate", 0.0), 4)
+            row["observed"] = agg.get("observed", 0)
+            row["candidates"] = agg.get("candidates", 0)
+            # worst state wins: any diverged tracker flags the session
+            for state in ("diverged", "drifting", "ok"):
+                if state in drift_states:
+                    row["drift_state"] = state
+                    break
+        return table
+
+    #: labeled per-session families published by the collector; removed
+    #: on LRU eviction so exposition cardinality stays bounded
+    _SESSION_METRIC_FAMILIES: tuple[tuple[str, str, str], ...] = (
+        ("pythia_session_requests_total", "counter",
+         "Requests dispatched for a client session id"),
+        ("pythia_session_errors_total", "counter",
+         "Error responses sent to a client session id"),
+        ("pythia_session_rid_regressions_total", "counter",
+         "Requests whose request id failed to advance (duplicate/replay)"),
+        ("pythia_session_last_rid", "gauge",
+         "Highest request id seen from a client session id"),
+        ("pythia_session_age_seconds", "gauge",
+         "Seconds since a client session id was last seen"),
+        ("pythia_session_hit_rate", "gauge",
+         "Aggregate tracker hit rate of a client session id's live sessions"),
+    )
+
+    def _drop_session_metrics(self, entry: SessionEntry) -> None:
+        """SessionStats eviction hook: drop the evicted sid's series."""
+        registry = obs_metrics.get_registry()
+        for name, _kind, _help in self._SESSION_METRIC_FAMILIES:
+            registry.remove(name, {"session": entry.sid})
+
     def _op_metrics(self, request: dict, conn_id: int) -> dict:
         return {"text": render_prometheus(obs_metrics.get_registry())}
 
@@ -773,13 +989,53 @@ class OracleServer:
         for session in sessions:
             with session.lock:
                 session.tracker.flush_metrics()
+        # labeled per-client-session series; bounded by the LRU table
+        # (eviction removes a sid's series via _drop_session_metrics)
+        by_sid: dict[str, list[_Session]] = {}
+        for session in sessions:
+            if session.ctx_sid is not None:
+                by_sid.setdefault(session.ctx_sid, []).append(session)
+        helps = {name: help_text for name, _k, help_text in self._SESSION_METRIC_FAMILIES}
+        now = time.time()
+        for entry in self.session_stats.entries():
+            labels = {"session": entry.sid}
+            registry.counter(
+                "pythia_session_requests_total", labels,
+                help=helps["pythia_session_requests_total"],
+            )._set_total(entry.requests)
+            registry.counter(
+                "pythia_session_errors_total", labels,
+                help=helps["pythia_session_errors_total"],
+            )._set_total(entry.errors)
+            registry.counter(
+                "pythia_session_rid_regressions_total", labels,
+                help=helps["pythia_session_rid_regressions_total"],
+            )._set_total(entry.rid_regressions)
+            registry.gauge(
+                "pythia_session_last_rid", labels,
+                help=helps["pythia_session_last_rid"],
+            ).set(entry.last_rid)
+            registry.gauge(
+                "pythia_session_age_seconds", labels,
+                help=helps["pythia_session_age_seconds"],
+            ).set(max(0.0, now - entry.last_seen))
+            owned = by_sid.get(entry.sid)
+            if owned:
+                reports = []
+                for session in owned:
+                    with session.lock:
+                        reports.append(session.tracker.stats())
+                registry.gauge(
+                    "pythia_session_hit_rate", labels,
+                    help=helps["pythia_session_hit_rate"],
+                ).set(round(aggregate_stats(reports).get("hit_rate", 0.0), 6))
 
     def _op_ping(self, request: dict, conn_id: int) -> dict:
         return {"pong": True}
 
     #: ops still answered while draining: clients closing down cleanly
     #: and monitors watching the drain happen must not be locked out
-    _DRAIN_OPS = frozenset({"close_session", "ping", "stats", "metrics"})
+    _DRAIN_OPS = frozenset({"close_session", "ping", "stats", "sessions", "metrics"})
 
     _HANDLERS = {
         "open_session": _op_open_session,
@@ -793,6 +1049,7 @@ class OracleServer:
         "flight_dump": _op_flight_dump,
         "registry": _op_registry,
         "stats": _op_stats,
+        "sessions": _op_sessions,
         "metrics": _op_metrics,
         "ping": _op_ping,
     }

@@ -22,6 +22,28 @@ response carries the ``matched`` flag(s) next to the same
 ``prediction`` object a plain ``predict`` would return (``null`` when
 the oracle is lost or ``require_match`` skipped the predict half), so a
 fused round trip decodes with the same helpers as two separate ones.
+
+Tracing context (optional, both directions):
+
+- a request may carry ``ctx = {"sid": str, "rid": int}`` — the
+  client's session id and a monotonically increasing request id.  A
+  daemon that does not understand ``ctx`` ignores it (unknown request
+  fields are not errors), so old daemons interoperate.  A valid ``ctx``
+  binds the identity to the connection, after which requests need no
+  stamp at all: a bare request on a bound connection inherits the sid,
+  and — because a stream connection delivers requests in order — the
+  daemon assigns it the next consecutive rid, reproducing the client's
+  own counter.  The context rides *every* request of a traced client,
+  so the steady-state form costs zero request bytes;
+- a reply to a traced request carries ``srv = [queue_us, handler_us]``
+  (integer microseconds) — server-side timing that lets the client
+  decompose its observed round-trip latency into wire/queue/handler.
+  Positional for the same reason prediction distributions travel as
+  ``[terminal, weight]`` pairs: it is the one reply field that exists
+  on every traced exchange.  No rid is echoed — a connection answers
+  in request order, so the client correlates replies itself.  Clients
+  that predate ``srv`` ignore it.  Neither field changes any existing
+  key, so the formats are forward- and backward-compatible.
 """
 
 from __future__ import annotations
@@ -119,12 +141,30 @@ def read_frame(sock: socket.socket, *, max_frame: int = DEFAULT_MAX_FRAME) -> di
     return obj
 
 
-def write_frame(sock: socket.socket, obj: dict, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
-    """Serialize ``obj`` and send it as one frame."""
-    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    if len(body) > max_frame:
-        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds limit {max_frame}")
-    sock.sendall(_HEADER.pack(len(body)) + body)
+def write_frame(
+    sock: socket.socket,
+    obj: dict,
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    extra: str | None = None,
+) -> None:
+    """Serialize ``obj`` and send it as one frame.
+
+    ``extra`` is a pre-serialized JSON fragment (``',"key":<value>'``)
+    spliced in before the object's closing brace.  Hot paths use it to
+    attach a per-request field (tracing ctx, reply timing) without
+    paying the encoder for the nested dict — the bytes on the wire are
+    identical to encoding the field normally.  The caller guarantees
+    the fragment is valid JSON and ``obj`` is a non-empty dict (every
+    protocol frame carries at least ``op`` or ``ok``).
+    """
+    body = json.dumps(obj, separators=(",", ":"))
+    if extra:
+        body = body[:-1] + extra + "}"
+    encoded = body.encode("utf-8")
+    if len(encoded) > max_frame:
+        raise FrameTooLarge(f"frame of {len(encoded)} bytes exceeds limit {max_frame}")
+    sock.sendall(_HEADER.pack(len(encoded)) + encoded)
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,7 @@ EXAMPLES = [
     "oracle_service.py",
     "observability.py",
     "fault_tolerance.py",
+    "ops_console.py",
 ]
 ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -75,3 +76,16 @@ def test_observability_reports_accuracy():
     assert "mean |time error|" in out
     assert "1 lost, 1 resyncs" in out
     assert "pythia_predict_hits_total" in out
+
+
+def test_ops_console_decomposes_and_correlates():
+    out = run_example("ops_console.py")
+    # one request decomposed live into wire/queue/handler
+    for component in ("wire", "queue", "handler"):
+        assert component in out, component
+    # both named sessions reach the daemon's table with no duplicate rids
+    assert "solver-rank0" in out and "viz-sidecar" in out
+    assert "duplicates=0" in out
+    # a rendered ops-console frame and the offline analyze report
+    assert "throughput" in out
+    assert "traced requests from sessions" in out

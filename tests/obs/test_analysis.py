@@ -1,0 +1,155 @@
+"""TraceTable: offline analysis over span dumps and flight journals."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.analysis import TraceTable, load
+from repro.obs.spans import SpanRecorder
+
+
+def make_chrome(tmp_path, name="spans.json"):
+    """A small span dump with two traced requests + server spans."""
+    rec = SpanRecorder()
+    rec.emit("client.observe_predict", 0.001, 100e-6,
+             op="observe_predict", sid="cAAA", rid=1,
+             total_us=100.0, wire_us=60.0, queue_us=10.0, handler_us=30.0)
+    rec.emit("server.observe_predict", 0.00105, 30e-6,
+             op="observe_predict", sid="cAAA", rid=1,
+             queue_us=10.0, handler_us=30.0)
+    rec.emit("client.observe_predict", 0.002, 200e-6,
+             op="observe_predict", sid="cAAA", rid=2,
+             total_us=200.0, wire_us=120.0, queue_us=20.0, handler_us=60.0)
+    rec.emit("server.observe_predict", 0.00210, 60e-6,
+             op="observe_predict", sid="cAAA", rid=2,
+             queue_us=20.0, handler_us=60.0)
+    rec.emit("record.compress", 0.0005, 5e-3)  # an untraced span
+    path = tmp_path / name
+    rec.dump(path)
+    return str(path)
+
+
+def make_jsonl(tmp_path, name="flight.jsonl"):
+    entries = [
+        {"kind": "event", "t": 0.0011, "name": "mpi_send", "thread": 0},
+        {"kind": "prediction", "t": 0.0012, "terminal": 4, "matched": True},
+    ]
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    return str(path)
+
+
+class TestLoading:
+    def test_load_sniffs_both_formats(self, tmp_path):
+        table = TraceTable.load(make_chrome(tmp_path), make_jsonl(tmp_path))
+        assert len(table) == 7
+        sources = set(table.column("source"))
+        assert sources == {"spans.json", "flight.jsonl"}
+
+    def test_rows_sorted_by_timestamp(self, tmp_path):
+        table = TraceTable.load(make_chrome(tmp_path), make_jsonl(tmp_path))
+        ts = table.column("ts")
+        assert ts == sorted(ts)
+
+    def test_metadata_events_skipped(self, tmp_path):
+        path = tmp_path / "meta.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+             "args": {"name": "main"}},
+            {"ph": "X", "name": "work", "ts": 1.0, "dur": 2.0,
+             "pid": 1, "tid": 2},
+        ]}))
+        table = TraceTable.load(path)
+        assert [r["name"] for r in table] == ["work"]
+
+    def test_module_level_load_alias(self, tmp_path):
+        assert len(load(make_jsonl(tmp_path))) == 2
+
+    def test_flight_fields_flattened_into_rows(self, tmp_path):
+        table = TraceTable.load(make_jsonl(tmp_path))
+        row = table.filter(name="prediction").rows[0]
+        assert row["terminal"] == 4
+        assert row["matched"] is True
+        assert row["ph"] == "i"
+        assert row["dur"] == 0.0
+
+
+class TestVerbs:
+    @pytest.fixture
+    def table(self, tmp_path):
+        return TraceTable.load(make_chrome(tmp_path), make_jsonl(tmp_path))
+
+    def test_filter_by_equality_and_predicate(self, table):
+        assert len(table.filter(name="client.observe_predict")) == 2
+        assert len(table.filter(sid="cAAA", rid=1)) == 2
+        assert len(table.filter(lambda r: (r.get("dur") or 0) > 150)) == 2
+
+    def test_groupby(self, table):
+        groups = table.groupby("name")
+        assert len(groups["client.observe_predict"]) == 2
+        assert len(groups["event"]) == 1
+
+    def test_percentile_interpolates(self):
+        table = TraceTable(
+            [{"name": "x", "ts": float(i), "v": float(i)} for i in range(11)]
+        )
+        assert table.percentile("v", 0) == 0.0
+        assert table.percentile("v", 50) == 5.0
+        assert table.percentile("v", 100) == 10.0
+        assert table.percentile("v", 95) == pytest.approx(9.5)
+        with pytest.raises(ValueError):
+            table.percentile("v", 101)
+
+    def test_percentile_of_missing_column(self, table):
+        assert table.percentile("no_such_column", 50) == 0.0
+
+    def test_summary(self, table):
+        summary = table.summary("dur")
+        assert summary["client.observe_predict"]["count"] == 2
+        assert summary["client.observe_predict"]["max"] == pytest.approx(200.0)
+
+
+class TestRequestTracing:
+    @pytest.fixture
+    def table(self, tmp_path):
+        return TraceTable.load(make_chrome(tmp_path), make_jsonl(tmp_path))
+
+    def test_requests_selects_client_spans(self, table):
+        reqs = table.requests()
+        assert len(reqs) == 2
+        assert all(r["name"].startswith("client.") for r in reqs)
+
+    def test_critical_path(self, table):
+        path = table.critical_path("cAAA", 1)
+        assert path == [("wire", 60.0), ("queue", 10.0), ("handler", 30.0)]
+        assert table.critical_path("cAAA", 99) == []
+
+    def test_decompose_joins_server_spans(self, table):
+        rows = list(table.decompose())
+        assert len(rows) == 2
+        by_rid = {r["rid"]: r for r in rows}
+        assert by_rid[1]["server_handler_us"] == 30.0
+        assert by_rid[2]["server_handler_us"] == 60.0
+        for row in rows:
+            assert row["total_us"] == pytest.approx(
+                row["wire_us"] + row["queue_us"] + row["handler_us"]
+            )
+
+    def test_report_shape_matches_timing_report(self, table):
+        report = table.report()
+        assert report["requests"] == 2
+        assert report["sessions"] == ["cAAA"]
+        op = report["ops"]["observe_predict"]
+        for component in ("total", "wire", "queue", "handler"):
+            stats = op[component]
+            assert stats["count"] == 2
+            for key in ("mean_us", "p50_us", "p99_us", "max_us"):
+                assert key in stats
+        assert op["total"]["max_us"] == pytest.approx(200.0)
+
+    def test_report_without_traced_requests(self, tmp_path):
+        table = TraceTable.load(make_jsonl(tmp_path))
+        report = table.report()
+        assert report == {"requests": 0, "sessions": [], "ops": {}}

@@ -154,3 +154,44 @@ class TestDumping:
         assert len(set(paths)) == len(paths)
         assert not any("empty" in p for p in paths)
         del a, b, empty
+
+
+class TestAtexitFlush:
+    """Satellite: configured flight recorders flush at interpreter exit."""
+
+    def test_journal_dumped_on_exit(self, tmp_path):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.obs.flight import FlightRecorder\n"
+            "flight = FlightRecorder(8, session='exit.test/t0')\n"
+            "flight.note('bye')\n"  # never dumped explicitly
+        )
+        env = dict(os.environ, PYTHIA_FLIGHT_DIR=str(tmp_path))
+        env.setdefault("PYTHONPATH", "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        (path,) = tmp_path.glob("flight-*.jsonl")
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(e.get("message") == "bye" for e in entries)
+
+    def test_unconfigured_recorders_stay_silent(self, tmp_path):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.obs.flight import FlightRecorder\n"
+            "flight = FlightRecorder(8, session='quiet/t0')\n"
+            "flight.note('nothing to see')\n"
+        )
+        env = {k: v for k, v in os.environ.items() if k != FLIGHT_DIR_ENV}
+        env["TMPDIR"] = str(tmp_path)
+        env.setdefault("PYTHONPATH", "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert list(tmp_path.glob("flight-*.jsonl")) == []

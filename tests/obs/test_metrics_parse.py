@@ -1,0 +1,163 @@
+"""Prometheus exposition round-trip: parse_prometheus_text vs render.
+
+Guards the exposition contract the ops console depends on: HELP/TYPE
+metadata per family, ``_sum``/``_count`` series and cumulative ``le``
+buckets on histograms, label escaping — anything render emits, parse
+must read back unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    render_prometheus,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", help="total requests").inc(42)
+    reg.counter("requests_total", {"op": "observe"}).inc(7)
+    reg.gauge("sessions_active", help="live sessions").set(3)
+    hist = reg.histogram("latency_seconds", buckets=LATENCY_BUCKETS_S,
+                         help="request latency")
+    for value in (1e-6, 5e-6, 1e-4, 2e-3):
+        hist.observe(value)
+    return reg
+
+
+class TestRoundTrip:
+    def test_values_survive(self):
+        parsed = parse_prometheus_text(render_prometheus(populated_registry()))
+        assert parsed.value("requests_total") == 42
+        assert parsed.value("requests_total", {"op": "observe"}) == 7
+        assert parsed.value("sessions_active") == 3
+
+    def test_histogram_sum_count_and_buckets(self):
+        parsed = parse_prometheus_text(render_prometheus(populated_registry()))
+        assert parsed.value("latency_seconds_count") == 4
+        assert parsed.value("latency_seconds_sum") == pytest.approx(
+            1e-6 + 5e-6 + 1e-4 + 2e-3
+        )
+        buckets = parsed.buckets("latency_seconds")
+        assert buckets, "no le buckets parsed"
+        bounds, counts = zip(*buckets)
+        assert counts == tuple(sorted(counts)), "buckets must be cumulative"
+        assert bounds[-1] == math.inf
+        assert counts[-1] == 4  # +Inf bucket equals _count
+
+    def test_help_and_type_metadata(self):
+        parsed = parse_prometheus_text(render_prometheus(populated_registry()))
+        assert parsed.families["requests_total"]["type"] == "counter"
+        assert parsed.families["requests_total"]["help"] == "total requests"
+        assert parsed.families["sessions_active"]["type"] == "gauge"
+        assert parsed.families["latency_seconds"]["type"] == "histogram"
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        reg.counter("weird_total", {"who": nasty}).inc(1)
+        parsed = parse_prometheus_text(render_prometheus(reg))
+        assert parsed.value("weird_total", {"who": nasty}) == 1
+
+    def test_quantiles_from_parsed_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("q_seconds", buckets=LATENCY_BUCKETS_S)
+        for _ in range(100):
+            hist.observe(3e-5)
+        parsed = parse_prometheus_text(render_prometheus(reg))
+        p50 = parsed.quantile("q_seconds", 0.50)
+        # every sample landed in one bucket; the quantile lands inside it
+        lo = max(b for b in LATENCY_BUCKETS_S if b < 3e-5)
+        hi = min(b for b in LATENCY_BUCKETS_S if b >= 3e-5)
+        assert lo <= p50 <= hi
+
+
+class TestParser:
+    def test_series_enumerates_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", {"op": "a"}).inc(1)
+        reg.counter("x_total", {"op": "b"}).inc(2)
+        parsed = parse_prometheus_text(render_prometheus(reg))
+        series = {labels["op"]: v for labels, v in parsed.series("x_total")}
+        assert series == {"a": 1, "b": 2}
+
+    def test_missing_metric_is_none(self):
+        parsed = parse_prometheus_text("")
+        assert parsed.value("nope") is None
+        assert parsed.buckets("nope") == []
+        assert parsed.quantile("nope", 0.5) is None
+
+    def test_malformed_lines_skipped(self):
+        text = "\n".join([
+            "# random comment",
+            "not_a_metric_line",
+            "ok_total 5",
+            "",
+        ])
+        parsed = parse_prometheus_text(text)
+        assert parsed.value("ok_total") == 5
+
+    def test_inf_values(self):
+        parsed = parse_prometheus_text('x_bucket{le="+Inf"} 3\nx_count 3\n')
+        assert parsed.buckets("x") == [(math.inf, 3)]
+
+
+class TestQuantileFromBuckets:
+    def test_empty_is_zero(self):
+        # None-for-missing is ParsedMetrics.quantile's job; the raw
+        # helper degrades to 0.0 so callers can render without guards
+        assert quantile_from_buckets([], 0.5) == 0.0
+
+    def test_single_bucket_interpolates_from_zero(self):
+        assert quantile_from_buckets([(1.0, 10)], 0.5) == pytest.approx(0.5)
+        assert quantile_from_buckets([(1.0, 10)], 1.0) == pytest.approx(1.0)
+
+    def test_interpolates_within_bucket(self):
+        pairs = [(1.0, 0), (2.0, 100)]
+        assert 1.0 <= quantile_from_buckets(pairs, 0.5) <= 2.0
+
+    def test_inf_bucket_clamps_to_top_finite_bound(self):
+        pairs = [(1.0, 0), (math.inf, 10)]
+        assert quantile_from_buckets(pairs, 0.99) == pytest.approx(1.0)
+
+
+class TestHistogramMerge:
+    def test_merge_folds_counts_and_extremes(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(7.0)
+        assert snap["min"] == pytest.approx(0.5)
+        assert snap["max"] == pytest.approx(5.0)
+
+    def test_merge_requires_identical_buckets(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistryRemove:
+    def test_remove_drops_series_from_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("s_total", {"session": "cAAA"}).inc(1)
+        reg.counter("s_total", {"session": "cBBB"}).inc(1)
+        assert reg.remove("s_total", {"session": "cAAA"}) is True
+        assert reg.remove("s_total", {"session": "cAAA"}) is False
+        text = render_prometheus(reg)
+        assert 'session="cAAA"' not in text
+        assert 'session="cBBB"' in text

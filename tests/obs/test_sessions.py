@@ -1,0 +1,131 @@
+"""SessionStats: the daemon's bounded per-client-session telemetry table."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.sessions import DEFAULT_SESSION_CAPACITY, SessionEntry, SessionStats
+
+
+class TestSessionEntry:
+    def test_snapshot_shape(self):
+        entry = SessionEntry("c1", now=100.0)
+        entry.requests = 3
+        entry.ops["observe"] = 3
+        entry.lat.observe(2e-6, 40e-6)
+        snap = entry.snapshot()
+        assert snap["sid"] == "c1"
+        assert snap["requests"] == 3
+        assert snap["ops"] == {"observe": 3}
+        assert snap["queue_us"]["p50"] > 0
+        assert snap["handler_us"]["max"] >= snap["handler_us"]["p50"] > 0
+        # JSON-safe: only scalars, dicts and lists
+        import json
+
+        json.dumps(snap)
+
+
+class TestSessionStats:
+    def test_record_accumulates(self):
+        table = SessionStats(capacity=4)
+        for rid in range(1, 6):
+            table.record("c1", "observe", rid, 1e-6, 10e-6)
+        table.record("c1", "predict", 6, 1e-6, 10e-6, error=True)
+        entry = table.get("c1")
+        assert entry is not None
+        assert entry.requests == 6
+        assert entry.errors == 1
+        assert entry.last_rid == 6
+        assert entry.ops == {"observe": 5, "predict": 1}
+        assert entry.rid_regressions == 0
+
+    def test_rid_regression_detected(self):
+        table = SessionStats(capacity=4)
+        table.record("c1", "observe", 5, 0.0, 0.0)
+        table.record("c1", "observe", 5, 0.0, 0.0)  # duplicate
+        table.record("c1", "observe", 3, 0.0, 0.0)  # replay
+        table.record("c1", "observe", 6, 0.0, 0.0)  # forward again
+        entry = table.get("c1")
+        assert entry.rid_regressions == 2
+        assert entry.last_rid == 6
+
+    def test_rid_none_is_not_a_regression(self):
+        table = SessionStats(capacity=4)
+        table.record("c1", "observe", None, 0.0, 0.0)
+        table.record("c1", "observe", None, 0.0, 0.0)
+        assert table.get("c1").rid_regressions == 0
+        assert table.get("c1").last_rid == 0
+
+    def test_lru_eviction_bounds_table(self):
+        table = SessionStats(capacity=3)
+        for i in range(10):
+            table.record(f"c{i}", "observe", 1, 0.0, 0.0)
+        assert len(table) == 3
+        assert table.evicted == 7
+        kept = [e.sid for e in table.entries()]
+        assert kept == ["c7", "c8", "c9"]
+
+    def test_activity_refreshes_lru_position(self):
+        table = SessionStats(capacity=2)
+        table.record("old", "observe", 1, 0.0, 0.0)
+        table.record("new", "observe", 1, 0.0, 0.0)
+        table.record("old", "observe", 2, 0.0, 0.0)  # touch -> MRU
+        table.record("newest", "observe", 1, 0.0, 0.0)
+        assert table.get("old") is not None
+        assert table.get("new") is None  # the stale one went
+
+    def test_on_evict_callback_receives_entries(self):
+        table = SessionStats(capacity=1)
+        gone: list[str] = []
+        table.on_evict(lambda entry: gone.append(entry.sid))
+        table.record("a", "observe", 1, 0.0, 0.0)
+        table.record("b", "observe", 1, 0.0, 0.0)
+        table.record("c", "observe", 1, 0.0, 0.0)
+        assert gone == ["a", "b"]
+
+    def test_on_evict_callback_may_use_the_table(self):
+        """Callbacks run outside the lock — re-entering must not deadlock."""
+        table = SessionStats(capacity=1)
+        seen_len: list[int] = []
+        table.on_evict(lambda entry: seen_len.append(len(table)))
+        table.record("a", "observe", 1, 0.0, 0.0)
+        table.record("b", "observe", 1, 0.0, 0.0)
+        assert seen_len == [1]
+
+    def test_snapshot_is_the_sessions_op_payload(self):
+        table = SessionStats(capacity=8)
+        table.record("c1", "observe", 1, 1e-6, 5e-6)
+        snap = table.snapshot()
+        assert snap["capacity"] == 8
+        assert snap["tracked"] == 1
+        assert snap["evicted"] == 0
+        assert [row["sid"] for row in snap["sessions"]] == ["c1"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SessionStats(capacity=0)
+        assert SessionStats().capacity == DEFAULT_SESSION_CAPACITY
+
+    def test_concurrent_recording(self):
+        table = SessionStats(capacity=16)
+        n_threads, per_thread = 8, 200
+
+        def worker(idx: int) -> None:
+            for rid in range(1, per_thread + 1):
+                table.record(f"c{idx}", "observe", rid, 1e-6, 1e-6)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(table) == n_threads
+        for i in range(n_threads):
+            entry = table.get(f"c{i}")
+            assert entry.requests == per_thread
+            assert entry.last_rid == per_thread
+            assert entry.rid_regressions == 0

@@ -152,3 +152,68 @@ class TestChromeTraceExport:
             (s["pid"], s["tid"]) for s in slices
         }
         assert trace["traceEvents"][: len(meta)] == meta
+
+
+class TestEmit:
+    def test_emit_records_a_finished_interval(self):
+        import time
+
+        rec = sp.SpanRecorder()
+        t0 = time.perf_counter()
+        rec.emit("client.observe", t0, 42e-6, sid="cAAA", rid=3)
+        (span,) = rec.spans()
+        assert span.name == "client.observe"
+        assert span.duration == 42e-6
+        assert span.attrs == {"sid": "cAAA", "rid": 3}
+        assert span.pid == os.getpid()
+        assert span.thread_id == threading.get_ident()
+
+    def test_emit_respects_max_spans(self):
+        rec = sp.SpanRecorder(max_spans=2)
+        for i in range(5):
+            rec.emit("x", 0.0, 0.0, i=i)
+        assert len(rec) == 2
+        assert rec.dropped == 3
+
+
+class TestAtexitFlush:
+    """Satellite: the process recorder flushes at interpreter exit."""
+
+    def test_spans_dumped_on_exit(self, tmp_path):
+        import subprocess
+        import sys
+
+        target = tmp_path / "sub" / "spans.json"  # parent must be created
+        code = (
+            "from repro.obs.spans import span\n"
+            "with span('work', app='t'):\n"
+            "    pass\n"
+        )
+        env = dict(
+            os.environ,
+            PYTHIA_SPANS="1",
+            PYTHIA_SPANS_DUMP=str(target),
+        )
+        env.setdefault("PYTHONPATH", "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        trace = json.loads(target.read_text())
+        names = [e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert names == ["work"]
+
+    def test_no_dump_without_destination(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(sp.SPANS_DUMP_ENV, raising=False)
+        with sp.span_recording():
+            with sp.span("work"):
+                pass
+            sp._atexit_dump()  # must be a no-op, not a crash
+        assert list(tmp_path.iterdir()) == []
+
+    def test_empty_recorder_not_dumped(self, tmp_path, monkeypatch):
+        target = tmp_path / "never.json"
+        monkeypatch.setenv(sp.SPANS_DUMP_ENV, str(target))
+        with sp.span_recording():
+            sp._atexit_dump()
+        assert not target.exists()

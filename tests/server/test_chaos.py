@@ -603,3 +603,93 @@ class TestConcurrentClientsUnderFaults:
             client.finish()
         finally:
             srv2.stop()
+
+
+class TestTracingUnderFaults:
+    """Satellite: tracing identity survives reconnect + resync.
+
+    The session id is client-lifetime — it must not change when the
+    connection is cut or the daemon is replaced — and every transmitted
+    attempt carries a fresh request id, so the daemon's per-session
+    ``rid_regressions`` counter (rid failed to advance = duplicate or
+    replay) stays at zero through any amount of chaos.
+    """
+
+    def test_sid_stable_and_rids_unique_across_cuts(self, tmp_path, trace_path):
+        sock_path = str(tmp_path / "oracle.sock")
+        proxy_path = str(tmp_path / "proxy.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        with OracleServer(sock_path, store=TraceStore()) as srv, \
+                FaultyTransport(sock_path, proxy_path) as proxy:
+            client = PythiaClient(
+                trace_path, socket=proxy_path, timeout=1.0, retry=FAST_RETRY
+            )
+            sid = client.session_id
+            proxy.cut_after_requests(7)
+            proxy.cut_mid_reply(30)
+            for name, payload in events[:60]:
+                client.event_and_predict(name, payload, distance=4)
+            assert client.counters["reconnects"] >= 2
+            assert client.session_id == sid, "sid changed across reconnects"
+            entry = srv.session_stats.get(sid)
+            assert entry is not None
+            assert entry.rid_regressions == 0
+            assert entry.last_rid == client.trace_context()["rid"]
+            # resync replays (observe_batch) are traced requests too:
+            # the daemon saw more than the client's logical op count
+            assert entry.requests >= 60
+            client.finish()
+
+    def test_sid_stable_across_daemon_kill9_restart(self, tmp_path, trace_path):
+        """kill -9 the daemon: the replacement daemon's (fresh) session
+        table re-learns the same sid, with rids continuing upward."""
+        sock_path = str(tmp_path / "oracle.sock")
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = {**os.environ, "PYTHONPATH": src_dir}
+
+        def spawn():
+            proc = subprocess.Popen(
+                [sys.executable, "-c",
+                 "import sys; from repro.cli import main; "
+                 f"sys.exit(main(['serve', '--socket', {sock_path!r}]))"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            )
+            deadline = time.monotonic() + 15
+            while not os.path.exists(sock_path):
+                assert proc.poll() is None, proc.stdout.read().decode()
+                assert time.monotonic() < deadline, "daemon did not come up"
+                time.sleep(0.02)
+            return proc
+
+        proc = spawn()
+        try:
+            client = PythiaClient(
+                trace_path, socket=sock_path, timeout=2.0, retry=FAST_RETRY
+            )
+            sid = client.session_id
+            cut = len(events) // 2
+            for name, payload in events[:cut]:
+                client.event(name, payload)
+            rid_before_crash = client.trace_context()["rid"]
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            proc = spawn()
+            for name, payload in events[cut:]:
+                client.event_and_predict(name, payload, distance=4)
+            assert client.session_id == sid
+            assert client.trace_context()["rid"] > rid_before_crash
+            # daemon #2's table: same sid, rids advanced monotonically
+            sock = raw_connect(sock_path)
+            try:
+                write_frame(sock, {"op": "sessions"})
+                table = read_frame(sock)
+            finally:
+                sock.close()
+            (row,) = [r for r in table["sessions"] if r["sid"] == sid]
+            assert row["rid_regressions"] == 0
+            assert row["last_rid"] == client.trace_context()["rid"]
+            client.finish()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
