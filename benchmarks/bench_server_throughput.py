@@ -16,7 +16,12 @@ pool would claw back, handler time is the floor it cannot touch.
 
 Run with ``pytest benchmarks/bench_server_throughput.py --benchmark-only -s``;
 run standalone (``python benchmarks/bench_server_throughput.py``) to
-emit ``BENCH_server.json``, the committed baseline.
+emit ``BENCH_server.json``, the committed baseline.  Add ``--workers 4``
+to also measure the multi-worker supervisor: sessions driven from
+separate load-generator *processes* (client threads would share one GIL
+and cap the aggregate), 64-session rounds against both a single-process
+daemon and the N-worker tier, with scaling floors enforced on runners
+that have at least 4 cores.
 """
 
 from __future__ import annotations
@@ -200,6 +205,226 @@ def test_per_component_latency_is_reported(service):
 
 
 # ----------------------------------------------------------------------
+# subprocess load generators (multi-worker measurement)
+# ----------------------------------------------------------------------
+#
+# Thread loadgens undersell a multi-process daemon: 64 client threads
+# share one GIL, so the *clients* become the bottleneck and every
+# worker count measures the same number.  For multi-worker rounds the
+# driver spawns separate load-generator processes (capped at 4), each
+# running a slice of the sessions, released simultaneously over stdin.
+
+MULTI_SESSIONS = (1, 4, 16, 64)
+
+#: floors enforced when the runner actually has cores to scale onto
+MIN_MULTI_SPEEDUP_64 = 2.5  # 4 workers vs single-worker, 64 sessions
+MIN_MULTI_SCALING = 1.0  # 16 sessions vs 1 session, multi-worker
+
+
+def _loadgen(args) -> int:
+    """Child mode: run ``--sessions`` client loops against the daemon.
+
+    Prints ``ready`` once every session thread is parked at the start
+    barrier, waits for ``go`` on stdin, runs, then emits one JSON line
+    with the prediction count and elapsed wall time.
+    """
+    import json
+    import sys
+
+    trace = Pythia(args.trace, mode="predict").reference
+    registry = trace.registry
+    events = [
+        (registry.event(t).name, registry.event(t).payload)
+        for t in trace.threads[0].grammar.unfold()[: args.steps]
+    ]
+    barrier = threading.Barrier(args.sessions + 1)
+    errors: list[Exception] = []
+
+    def session(i: int) -> None:
+        try:
+            client = PythiaClient(
+                args.trace, socket=args.socket,
+                session_id=f"{args.session_prefix}-{i}",
+            )
+            barrier.wait()
+            for name, payload in events:
+                client.event(name, payload)
+                client.predict(4)
+            client.finish()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=session, args=(i,)) for i in range(args.sessions)
+    ]
+    for t in threads:
+        t.start()
+    print("ready", flush=True)
+    sys.stdin.readline()  # the driver's "go"
+    t0 = time.perf_counter()
+    barrier.wait()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        print(json.dumps({"error": repr(errors[0])}), flush=True)
+        return 1
+    print(
+        json.dumps(
+            {"predictions": args.sessions * len(events), "elapsed": elapsed}
+        ),
+        flush=True,
+    )
+    return 0
+
+
+def run_sessions_subproc(n: int, trace_path: str, sock: str, steps: int,
+                         *, tag: str) -> float:
+    """N concurrent sessions from separate loadgen processes; preds/s."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    proc_count = 1 if n == 1 else min(4, n)
+    share = [n // proc_count + (1 if i < n % proc_count else 0)
+             for i in range(proc_count)]
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + os.pathsep + existing if existing else src_dir
+    children = []
+    for i, sessions in enumerate(share):
+        cmd = [
+            sys.executable, os.path.abspath(__file__), "--loadgen",
+            "--socket", sock, "--trace", trace_path,
+            "--sessions", str(sessions), "--steps", str(steps),
+            "--session-prefix", f"{tag}-p{i}",
+        ]
+        children.append(
+            subprocess.Popen(cmd, env=env, stdin=subprocess.PIPE,
+                             stdout=subprocess.PIPE, text=True)
+        )
+    try:
+        for child in children:
+            line = child.stdout.readline().strip()
+            assert line == "ready", f"loadgen said {line!r}"
+        for child in children:
+            child.stdin.write("go\n")
+            child.stdin.flush()
+        results = [json.loads(child.stdout.readline()) for child in children]
+    finally:
+        for child in children:
+            child.stdin.close()
+            child.wait(timeout=60)
+    failed = [r for r in results if "error" in r]
+    assert not failed, failed
+    total = sum(r["predictions"] for r in results)
+    # sessions run concurrently: wall time is the slowest loadgen
+    return total / max(r["elapsed"] for r in results)
+
+
+def _bench_multi_worker(trace_path: str, tmp: str, workers: int, steps: int,
+                        metrics_out: str | None) -> tuple[dict, list[str]]:
+    """The multi-worker section of the report (+ its floor failures)."""
+    import json
+    import os
+
+    from repro.server import OracleSupervisor
+    from repro.server.protocol import read_frame, write_frame
+
+    section: dict = {
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "routing": "hash",
+        "sessions": {},
+    }
+    failures: list[str] = []
+
+    # single-worker baseline, measured with the SAME subprocess loadgen
+    sock1 = os.path.join(tmp, "single.sock")
+    with OracleServer(sock1, store=TraceStore(capacity=4)):
+        run_sessions_subproc(1, trace_path, sock1, steps, tag="warm1")
+        single_64 = max(
+            run_sessions_subproc(64, trace_path, sock1, steps, tag=f"s64-{r}")
+            for r in range(2)
+        )
+    section["single_worker_64_sessions_per_s"] = round(single_64)
+    print(f"single-worker, 64 sessions: {single_64:,.0f} predictions/s")
+
+    sockn = os.path.join(tmp, "multi.sock")
+    sup = OracleSupervisor(sockn, workers=workers, drain_deadline=2.0)
+    sup.start()
+    try:
+        run_sessions_subproc(1, trace_path, sockn, steps, tag="warmN")
+        rates: dict[int, float] = {}
+        for n in MULTI_SESSIONS:
+            rates[n] = max(
+                run_sessions_subproc(n, trace_path, sockn, steps,
+                                     tag=f"m{n}-{r}")
+                for r in range(2)
+            )
+            section["sessions"][str(n)] = {
+                "predictions_per_s": round(rates[n]),
+            }
+            print(f"{workers} workers, {n:2d} session(s): "
+                  f"{rates[n]:,.0f} predictions/s")
+        speedup = rates[64] / single_64
+        scaling = rates[16] / rates[1]
+        section["speedup_64_vs_single_worker"] = round(speedup, 2)
+        section["scaling_16_vs_1"] = round(scaling, 2)
+        print(f"speedup at 64 sessions: {speedup:.2f}x over single-worker; "
+              f"multi-worker 16-vs-1 scaling {scaling:.2f}x")
+
+        if metrics_out:
+            import socket as socket_mod
+
+            conn = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+            conn.connect(sockn)
+            write_frame(conn, {"op": "metrics"})
+            page = read_frame(conn)["text"]
+            write_frame(conn, {"op": "stats"})
+            stats = read_frame(conn)
+            conn.close()
+            with open(metrics_out, "w") as fh:
+                fh.write(page)
+            section["artifacts"] = stats["store"].get("artifacts", [])
+            if len(section["artifacts"]) != 1:
+                failures.append(
+                    f"expected one shared grammar artifact, saw "
+                    f"{section['artifacts']}"
+                )
+            print(f"wrote per-worker metrics snapshot to {metrics_out}")
+    finally:
+        sup.stop()
+
+    # the scaling floors only mean something when the runner has cores
+    # for the workers to land on; a 1-core box measures GIL relief only
+    enforce = (os.cpu_count() or 1) >= 4
+    section["floors_enforced"] = enforce
+    if enforce:
+        if speedup < MIN_MULTI_SPEEDUP_64:
+            failures.append(
+                f"{workers}-worker speedup at 64 sessions is {speedup:.2f}x "
+                f"single-worker (< {MIN_MULTI_SPEEDUP_64}x floor)"
+            )
+        if scaling < MIN_MULTI_SCALING:
+            failures.append(
+                f"multi-worker 16-session scaling is {scaling:.2f}x "
+                f"(< {MIN_MULTI_SCALING}x floor)"
+            )
+    else:
+        print(f"floors not enforced: os.cpu_count()={os.cpu_count()} < 4")
+    return section, failures
+
+
+# ----------------------------------------------------------------------
 # standalone mode (CI: emits BENCH_server.json)
 # ----------------------------------------------------------------------
 
@@ -208,7 +433,21 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_server.json", help="output JSON path")
     parser.add_argument("--steps", type=int, default=STEPS)
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="also benchmark an N-worker supervisor "
+                             "(0 = single-process only)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the merged per-worker metrics "
+                             "exposition after the multi-worker rounds")
+    # internal: subprocess load-generator mode
+    parser.add_argument("--loadgen", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--socket", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--trace", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--sessions", type=int, default=1, help=argparse.SUPPRESS)
+    parser.add_argument("--session-prefix", default="lg", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+    if args.loadgen:
+        return _loadgen(args)
 
     import json
     import os
@@ -258,6 +497,12 @@ def main(argv=None) -> int:
                 f"16-session aggregate is {scaling:.2f}x the 1-session rate "
                 f"(< {MIN_SCALING}x floor)"
             )
+        if args.workers and args.workers > 0:
+            section, multi_failures = _bench_multi_worker(
+                trace_path, tmp, args.workers, args.steps, args.metrics_out
+            )
+            report["multi_worker"] = section
+            failures.extend(multi_failures)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -391,10 +391,34 @@ def _cmd_flight(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.server import OracleServer, TraceStore
 
+    tcp_address = None
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")
+        tcp_address = (host or "127.0.0.1", int(port))
+    if args.workers and args.workers > 0:
+        from repro.server import OracleSupervisor
+
+        supervisor = OracleSupervisor(
+            None if tcp_address else args.socket,
+            tcp_address=tcp_address,
+            workers=args.workers,
+            routing=args.routing,
+            use_mmap=not args.no_mmap,
+            cache_size=args.cache_size,
+            drain_deadline=args.drain_deadline,
+        )
+        supervisor.start()
+        addr = supervisor.address
+        where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
+        print(f"pythia oracle supervisor listening on {where} "
+              f"({args.workers} workers, {args.routing} routing, "
+              f"{'mmap' if not args.no_mmap else 'json'} grammars); "
+              f"SIGTERM drains, Ctrl-C stops")
+        supervisor.serve_forever(drain_deadline=args.drain_deadline)
+        return 0
+    if tcp_address is not None:
         server = OracleServer(
-            tcp_address=(host or "127.0.0.1", int(port)),
+            tcp_address=tcp_address,
             store=TraceStore(capacity=args.cache_size),
         )
     else:
@@ -461,6 +485,16 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--drain-deadline", type=float, default=5.0,
                      help="seconds SIGTERM waits for in-flight requests "
                           "before closing connections")
+    srv.add_argument("--workers", type=int, default=0, metavar="N",
+                     help="run N worker processes behind a supervisor "
+                          "(0 = single-process daemon)")
+    srv.add_argument("--routing", default="hash", choices=("hash", "kernel"),
+                     help="multi-worker routing: 'hash' pins sessions to "
+                          "workers by consistent hash; 'kernel' uses "
+                          "SO_REUSEPORT (TCP only, no stickiness)")
+    srv.add_argument("--no-mmap", action="store_true",
+                     help="multi-worker: parse JSON traces per worker "
+                          "instead of sharing mmap'd artifacts")
 
     def _daemon_args(p) -> None:
         p.add_argument("--socket", default="/tmp/pythia-oracle.sock",

@@ -8,6 +8,13 @@ use-sites of every rule, the positions of every terminal — are
 precomputed.  This is what gets written to the trace file and reloaded on
 subsequent executions (§II-B: "it is the grammar that is loaded in memory
 and used, without the trace being reconstructed").
+
+Two serializations exist: the portable JSON form (:meth:`FrozenGrammar.
+to_obj` / :meth:`from_obj`, re-deriving the indexes on load) and the
+compiled binary artifact (:mod:`repro.core.mmap_grammar`), which stores
+every derived table verbatim so worker processes can ``mmap`` one shared
+read-only copy and adopt the tables via :meth:`FrozenGrammar.from_tables`
+without parsing or re-deriving anything.
 """
 
 from __future__ import annotations
@@ -253,3 +260,23 @@ class FrozenGrammar:
     def from_obj(cls, obj: dict) -> "FrozenGrammar":
         """Inverse of :meth:`to_obj`."""
         return cls({int(rid): tuple((s, e) for s, e in body) for rid, body in obj["bodies"].items()})
+
+    @classmethod
+    def from_tables(cls, *, bodies, occ, uses, terminal_positions, trace_len):
+        """Adopt precomputed tables without validating or re-deriving.
+
+        The compiled-artifact loader (:mod:`repro.core.mmap_grammar`)
+        persists every derived index at compile time; this constructor
+        trusts them verbatim, so loading skips ``_validate`` and the
+        ``uses``/``occ``/``terminal_positions`` builds entirely.  The
+        tables only need the read-side :class:`~typing.Mapping`
+        interface — lazily-decoding views are fine.
+        """
+        self = object.__new__(cls)
+        self.bodies = bodies
+        self.occ = occ
+        self.uses = uses
+        self.terminal_positions = terminal_positions
+        self.trace_len = trace_len
+        self._machine = None
+        return self

@@ -41,6 +41,7 @@ __all__ = [
     "ParsedMetrics",
     "get_registry",
     "set_registry",
+    "merge_expositions",
     "metrics_enabled",
     "parse_prometheus_text",
     "quantile_from_buckets",
@@ -776,3 +777,52 @@ def parse_prometheus_text(text: str) -> ParsedMetrics:
             continue
         parsed.samples.append((name.strip(), labels, value))
     return parsed
+
+
+def merge_expositions(pages: Mapping[str, str], *, label: str = "worker") -> str:
+    """Merge per-process Prometheus pages into one labeled exposition.
+
+    ``pages`` maps an instance key (e.g. a worker id) to that
+    instance's exposition text; every sample comes back with a
+    ``label="<key>"`` label injected, so N workers' identically-named
+    series coexist in one scrape (``pythia_server_requests_total{
+    worker="0"}`` next to ``worker="1"``).  ``# HELP`` / ``# TYPE``
+    headers are emitted once per family (first page to define them
+    wins); histogram ``_bucket`` / ``_sum`` / ``_count`` samples stay
+    grouped under their family.  A sample that already carries the
+    label is overridden — the merger is the authority on instance
+    identity.
+    """
+    families: dict[str, dict[str, str]] = {}
+    by_family: dict[str, list[tuple[str, dict[str, str], float]]] = {}
+    for key in sorted(pages, key=str):
+        parsed = parse_prometheus_text(pages[key])
+        for fam, meta in parsed.families.items():
+            cur = families.setdefault(fam, {"type": "", "help": ""})
+            for part in ("type", "help"):
+                if not cur[part]:
+                    cur[part] = meta[part]
+        for sname, labels, value in parsed.samples:
+            fam = sname
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = sname[: -len(suffix)]
+                if sname.endswith(suffix) and base in parsed.families:
+                    fam = base
+                    break
+            labeled = dict(labels)
+            labeled[label] = str(key)
+            by_family.setdefault(fam, []).append((sname, labeled, value))
+    lines: list[str] = []
+    for fam in sorted(by_family):
+        meta = families.get(fam)
+        if meta is not None:
+            # headers were parsed from exposition text: already escaped
+            if meta["help"]:
+                lines.append(f"# HELP {fam} {meta['help']}")
+            if meta["type"]:
+                lines.append(f"# TYPE {fam} {meta['type']}")
+        for sname, labels, value in by_family[fam]:
+            lines.append(
+                f"{sname}{_fmt_labels(_labels_key(labels))} {_fmt_value(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

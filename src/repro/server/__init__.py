@@ -15,9 +15,19 @@ share anything.  This subsystem splits record from serve:
   facade;
 - :mod:`repro.server.protocol` — the framing and value encodings.
 
+- :mod:`repro.server.supervisor` — :class:`OracleSupervisor`, the
+  multi-process serving tier: N worker processes (each a full
+  ``OracleServer``) behind one listening socket, sessions pinned to
+  workers by consistent hash (fd passing over ``SCM_RIGHTS``), crashed
+  workers restarted, per-worker telemetry merged into one exposition;
+  workers share grammars through mmap'd compiled artifacts
+  (:mod:`repro.core.mmap_grammar`) so a host pays one parse and one
+  page-cache copy per trace regardless of worker count.
+
 Start a daemon with ``pythia-trace serve --socket /tmp/pythia.sock`` (or
 :class:`OracleServer` in-process) and point any number of applications
 at it with ``PythiaClient(trace_path, socket="/tmp/pythia.sock")``.
+Add ``--workers N`` to scale across cores.
 
 The stack is fault tolerant end to end: the client reconnects with
 capped exponential backoff (:class:`RetryPolicy`), replays a ring of
@@ -39,14 +49,17 @@ from repro.server.protocol import (
     write_frame,
 )
 from repro.server.store import TraceBundle, TraceStore
+from repro.server.supervisor import HashRing, OracleSupervisor
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
     "RETRYABLE_CODES",
     "ConnectionClosed",
     "FrameTooLarge",
+    "HashRing",
     "OracleServer",
     "OracleServiceError",
+    "OracleSupervisor",
     "ProtocolError",
     "PythiaClient",
     "RequestError",

@@ -332,6 +332,14 @@ class PythiaClient:
         self._flight = FlightRecorder(
             64, session=f"client.{os.path.basename(self.trace_path)}"
         )
+        #: preallocated send buffer: requests are small (tens of bytes
+        #: steady-state), so one reused 4 KiB scratch removes the
+        #: header+body concat allocation from every round trip; larger
+        #: frames (batch resyncs) fall back to the allocating path
+        self._send_buf = bytearray(4096)
+        #: worker id the daemon advertised at open_session (multi-worker
+        #: deployments; None for a single-process daemon)
+        self._worker: int | None = None
         self._sock: "socket.socket | None" = None
         try:
             self._sock = self._connect(socket, timeout)
@@ -344,6 +352,10 @@ class PythiaClient:
     def _connect(address, timeout) -> socket.socket:
         if isinstance(address, tuple):
             sock = socket.create_connection(address, timeout=timeout)
+            # a request is one small frame followed by a blocking read
+            # of the reply — exactly the shape Nagle penalizes.  Without
+            # this, wire time dominates handler time by ~5x on TCP.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         else:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(timeout)
@@ -492,7 +504,8 @@ class PythiaClient:
             # order, so both counters stay in lockstep)
         t0 = perf_counter()
         try:
-            write_frame(self._sock, request, max_frame=self.max_frame, extra=extra)
+            write_frame(self._sock, request, max_frame=self.max_frame,
+                        extra=extra, scratch=self._send_buf)
             response = read_frame(self._sock, max_frame=self.max_frame)
             if response is None:
                 raise ProtocolError("daemon closed the connection")
@@ -575,6 +588,7 @@ class PythiaClient:
             "with_registry": self._registry is None,
         })
         sid = response["session"]
+        self._worker = response.get("worker")
         if self._registry is None and "registry" in response:
             self._registry = EventRegistry.from_obj(response["registry"])
         ring = self._rings.get(thread)
@@ -974,10 +988,19 @@ class PythiaClient:
                 "unavailable", "daemon unreachable: client is in degraded mode"
             ) from None
 
+    @property
+    def worker(self) -> int | None:
+        """Worker id serving this client's sessions (multi-worker only).
+
+        Updated at every (re)open; ``None`` until a session exists or
+        when the daemon is a single process.
+        """
+        return self._worker
+
     def trace_context(self) -> dict:
         """This client's tracing identity: session id and last rid."""
         return {"sid": self.session_id, "rid": self._rid,
-                "enabled": self._ctx}
+                "enabled": self._ctx, "worker": self._worker}
 
     def timing_histograms(self) -> dict[tuple[str, str], object]:
         """The raw (op, component) latency histograms (for merging)."""

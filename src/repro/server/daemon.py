@@ -193,6 +193,18 @@ class OracleServer:
         Shared :class:`TraceStore`; a private one is created by default.
     max_frame:
         Per-frame byte limit enforced on reads and writes.
+    worker_id:
+        Identity of this process inside a multi-worker deployment
+        (:mod:`repro.server.supervisor`); advertised in ``ping`` /
+        ``open_session`` / ``stats`` replies so clients and tests can
+        see which worker serves them.  Setting it also allows a
+        *listener-less* server (both ``socket_path`` and
+        ``tcp_address`` ``None``) that only serves connections handed
+        to it via :meth:`adopt`.
+    reuse_port:
+        Bind the TCP listener with ``SO_REUSEPORT`` so several worker
+        processes can share one port and let the kernel balance
+        accepts (the supervisor's ``routing="kernel"`` mode).
     """
 
     def __init__(
@@ -204,14 +216,23 @@ class OracleServer:
         max_frame: int = DEFAULT_MAX_FRAME,
         max_candidates_limit: int = 4096,
         session_stats_capacity: int = DEFAULT_SESSION_CAPACITY,
+        worker_id: int | None = None,
+        reuse_port: bool = False,
     ) -> None:
-        if (socket_path is None) == (tcp_address is None):
+        if socket_path is not None and tcp_address is not None:
+            raise ValueError("socket_path and tcp_address are mutually exclusive")
+        if socket_path is None and tcp_address is None and worker_id is None:
             raise ValueError("exactly one of socket_path / tcp_address required")
+        if reuse_port and tcp_address is None:
+            raise ValueError("reuse_port requires a tcp_address")
         self.socket_path = os.fspath(socket_path) if socket_path is not None else None
         self.tcp_address = tcp_address
+        self.worker_id = worker_id
+        self.reuse_port = reuse_port
         self.store = store if store is not None else TraceStore()
         self.max_frame = max_frame
         self.max_candidates_limit = max_candidates_limit
+        self._started = False
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: set[threading.Thread] = set()
@@ -248,17 +269,23 @@ class OracleServer:
     # ------------------------------------------------------------------
 
     @property
-    def address(self) -> str | tuple[str, int]:
-        """Where clients connect (socket path, or bound (host, port))."""
+    def address(self) -> str | tuple[str, int] | None:
+        """Where clients connect (socket path, or bound (host, port)).
+
+        ``None`` for a listener-less worker (connections arrive via
+        :meth:`adopt` only).
+        """
         if self.socket_path is not None:
             return self.socket_path
-        assert self._listener is not None, "server not started"
-        return self._listener.getsockname()[:2]
+        if self._listener is not None:
+            return self._listener.getsockname()[:2]
+        return None
 
     def start(self) -> "OracleServer":
         """Bind, listen and spawn the accept loop; returns self."""
-        if self._listener is not None:
+        if self._started:
             raise RuntimeError("server already started")
+        listener: socket.socket | None = None
         if self.socket_path is not None:
             try:
                 os.unlink(self.socket_path)
@@ -266,23 +293,33 @@ class OracleServer:
                 pass
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             listener.bind(self.socket_path)
-        else:
+        elif self.tcp_address is not None:
             listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self.reuse_port:
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise RuntimeError(
+                        "SO_REUSEPORT is not available on this platform"
+                    )
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
             listener.bind(self.tcp_address)
-        listener.listen(128)
+        if listener is not None:
+            listener.listen(128)
         self._listener = listener
+        self._started = True
         self._running.set()
         self._draining.clear()
         registry = obs_metrics.get_registry()
         for name, help_text in _METRIC_CATALOGUE:
             registry.counter(name, help=help_text)
         registry.register_collector(self._collect_metrics)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="pythia-accept", daemon=True
-        )
-        self._accept_thread.start()
-        _log.info("server_started", address=str(self.address))
+        if listener is not None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="pythia-accept", daemon=True
+            )
+            self._accept_thread.start()
+        _log.info("server_started", address=str(self.address),
+                  worker=self.worker_id)
         return self
 
     @property
@@ -301,7 +338,7 @@ class OracleServer:
         Returns once idle or at the deadline; call :meth:`stop`
         afterwards to close connections and release the socket.
         """
-        if self._listener is None:
+        if not self._started:
             return
         with self._lock:
             already = self._draining.is_set()
@@ -309,10 +346,18 @@ class OracleServer:
         if already:
             return
         _log.info("server_draining", deadline=deadline)
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        if self._listener is not None:
+            # shutdown wakes a thread blocked in accept() — close alone
+            # leaves it in the syscall holding the listener alive, so
+            # new connects would still land in the backlog
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
         t0 = time.monotonic()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=deadline)
@@ -327,13 +372,18 @@ class OracleServer:
 
     def stop(self) -> None:
         """Stop accepting, close every connection, unlink the socket."""
-        if self._listener is None:
+        if not self._started:
             return
         self._running.clear()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        if self._listener is not None:
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
         with self._lock:
@@ -359,6 +409,7 @@ class OracleServer:
         obs_metrics.get_registry().unregister_collector(self._collect_metrics)
         self._listener = None
         self._accept_thread = None
+        self._started = False
         _log.info("server_stopped", requests=self.counters["requests_total"])
 
     def __enter__(self) -> "OracleServer":
@@ -375,7 +426,7 @@ class OracleServer:
         late ones with ``shutting_down``) and then :meth:`stop`.
         KeyboardInterrupt skips the drain phase — Ctrl-C means *now*.
         """
-        if self._listener is None:
+        if not self._started:
             self.start()
         stop_requested = threading.Event()
         old_handler = None
@@ -407,18 +458,43 @@ class OracleServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 break  # listener closed by stop()
-            conn_id = next(self._conn_ids)
-            with self._lock:
-                self.counters["connections_accepted"] += 1
-                self._conns[conn_id] = conn
-            t = threading.Thread(
-                target=self._serve_connection,
-                args=(conn, conn_id),
-                name=f"pythia-conn-{conn_id}",
-                daemon=True,
-            )
-            self._conn_threads.add(t)
-            t.start()
+            self._spawn_connection(conn)
+
+    def _spawn_connection(self, conn: socket.socket) -> int:
+        """Register ``conn`` and serve it on its own thread."""
+        if conn.family in (socket.AF_INET, getattr(socket, "AF_INET6", -1)):
+            # small request frame, blocking reply read: the exact shape
+            # Nagle penalizes (see PythiaClient._connect)
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        conn_id = next(self._conn_ids)
+        with self._lock:
+            self.counters["connections_accepted"] += 1
+            self._conns[conn_id] = conn
+        t = threading.Thread(
+            target=self._serve_connection,
+            args=(conn, conn_id),
+            name=f"pythia-conn-{conn_id}",
+            daemon=True,
+        )
+        self._conn_threads.add(t)
+        t.start()
+        return conn_id
+
+    def adopt(self, conn: socket.socket) -> int:
+        """Serve a connection accepted by another process.
+
+        The supervisor accepts on the shared listener, peeks the first
+        frame to pick a worker, and passes the connection's fd here via
+        ``SCM_RIGHTS``; from this point the socket behaves exactly like
+        one this server accepted itself.  Returns the connection id.
+        """
+        if not self._started or not self._running.is_set():
+            raise RuntimeError("server is not running")
+        conn.settimeout(None)  # accepted sockets are blocking
+        return self._spawn_connection(conn)
 
     def _serve_connection(self, conn: socket.socket, conn_id: int) -> None:
         """One client, fully isolated: its errors never leave this frame."""
@@ -712,6 +788,8 @@ class OracleServer:
             "meta": bundle.trace.meta,
             "event_count": bundle.trace.event_count,
         }
+        if self.worker_id is not None:
+            out["worker"] = self.worker_id
         if request.get("with_registry"):
             out["registry"] = bundle.registry.to_obj()
         return out
@@ -890,13 +968,16 @@ class OracleServer:
             with session.lock:
                 return {"session_stats": session.tracker.stats()}
         with self._lock:
-            return {
+            out = {
                 "counters": dict(self.counters),
                 "sessions_active": len(self._sessions),
                 "session_ids": sorted(self._sessions),
                 "store": self.store.snapshot(),
                 "latency": {op: _latency_view(h) for op, h in self._latency.items()},
             }
+        if self.worker_id is not None:
+            out["worker"] = self.worker_id
+        return out
 
     def _op_sessions(self, request: dict, conn_id: int) -> dict:
         """The per-client-session telemetry table, joined with live trackers.
@@ -1031,7 +1112,11 @@ class OracleServer:
                 ).set(round(aggregate_stats(reports).get("hit_rate", 0.0), 6))
 
     def _op_ping(self, request: dict, conn_id: int) -> dict:
-        return {"pong": True}
+        out: dict = {"pong": True}
+        if self.worker_id is not None:
+            out["worker"] = self.worker_id
+            out["pid"] = os.getpid()
+        return out
 
     #: ops still answered while draining: clients closing down cleanly
     #: and monitors watching the drain happen must not be locked out

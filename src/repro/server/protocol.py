@@ -147,6 +147,7 @@ def write_frame(
     *,
     max_frame: int = DEFAULT_MAX_FRAME,
     extra: str | None = None,
+    scratch: bytearray | None = None,
 ) -> None:
     """Serialize ``obj`` and send it as one frame.
 
@@ -157,14 +158,26 @@ def write_frame(
     identical to encoding the field normally.  The caller guarantees
     the fragment is valid JSON and ``obj`` is a non-empty dict (every
     protocol frame carries at least ``op`` or ``ok``).
+
+    ``scratch`` is an optional reusable send buffer: header and body
+    are assembled in place and sent as one ``sendall``, skipping the
+    per-frame ``header + body`` concatenation (a fresh allocation on
+    every request).  Frames larger than the buffer fall back to the
+    allocating path; the bytes on the wire are identical either way.
     """
     body = json.dumps(obj, separators=(",", ":"))
     if extra:
         body = body[:-1] + extra + "}"
     encoded = body.encode("utf-8")
-    if len(encoded) > max_frame:
-        raise FrameTooLarge(f"frame of {len(encoded)} bytes exceeds limit {max_frame}")
-    sock.sendall(_HEADER.pack(len(encoded)) + encoded)
+    n = len(encoded)
+    if n > max_frame:
+        raise FrameTooLarge(f"frame of {n} bytes exceeds limit {max_frame}")
+    if scratch is not None and _HEADER.size + n <= len(scratch):
+        _HEADER.pack_into(scratch, 0, n)
+        scratch[_HEADER.size : _HEADER.size + n] = encoded
+        sock.sendall(memoryview(scratch)[: _HEADER.size + n])
+    else:
+        sock.sendall(_HEADER.pack(n) + encoded)
 
 
 # ----------------------------------------------------------------------

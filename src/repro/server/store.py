@@ -14,6 +14,16 @@ Concurrency: lookups and LRU bookkeeping happen under one lock; the
 actual file load happens outside it behind a per-entry event, so two
 sessions opening the same cold trace trigger a single load and a slow
 load of one trace never blocks hits on another.
+
+With ``use_mmap=True`` the same guarantee extends across *processes*:
+instead of parsing the JSON trace, the store maps the compiled artifact
+(:mod:`repro.core.mmap_grammar`).  :func:`ensure_artifact` holds an
+exclusive file lock around compilation, so when the multi-worker daemon
+starts N workers against one cold trace exactly one process parses and
+compiles while the rest wait on the lock and map the finished file —
+the in-process ``waiters_ok`` accounting extended by the cross-process
+``artifact_compiles`` / ``artifact_waits`` / ``artifact_reuses``
+counters in :meth:`TraceStore.snapshot`.
 """
 
 from __future__ import annotations
@@ -24,6 +34,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.events import EventRegistry
+from repro.core.mmap_grammar import (
+    ArtifactFormatError,
+    ensure_artifact,
+    load_artifact,
+)
 from repro.core.predict import PythiaPredict
 from repro.core.trace_file import Trace, TraceFormatError, load_trace
 
@@ -40,6 +55,8 @@ class TraceBundle:
     path: str
     signature: _Sig
     trace: Trace
+    #: compiled artifact backing this bundle (mmap loads only)
+    artifact: str | None = None
 
     @property
     def registry(self) -> EventRegistry:
@@ -94,12 +111,18 @@ class TraceStore:
         Maximum number of cached bundles; least-recently-used bundles
         beyond it are evicted (their sessions keep a reference and stay
         valid — eviction only forgets the cache slot).
+    use_mmap:
+        Load traces through the compiled mmap artifact
+        (:mod:`repro.core.mmap_grammar`) instead of parsing the JSON
+        form.  Workers of one host then share a single on-disk compile
+        and one page-cache copy of the grammar tables.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, *, use_mmap: bool = False) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.use_mmap = use_mmap
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
         # observability counters (read via snapshot())
@@ -109,6 +132,10 @@ class TraceStore:
         self.invalidations = 0
         self.waiters_ok = 0
         self.waiters_failed = 0
+        # cross-process artifact accounting (use_mmap only)
+        self.artifact_compiles = 0
+        self.artifact_waits = 0
+        self.artifact_reuses = 0
 
     # ------------------------------------------------------------------
 
@@ -149,7 +176,7 @@ class TraceStore:
                         self.evictions += 1
         if loader:
             try:
-                bundle = TraceBundle(path, sig, load_trace(path))
+                bundle = self._load(path, sig)
                 entry.bundle = bundle
             except Exception as exc:
                 entry.error = exc
@@ -175,6 +202,30 @@ class TraceStore:
         assert entry.bundle is not None
         return entry.bundle
 
+    def _load(self, path: str, sig: _Sig) -> TraceBundle:
+        """One actual trace load (runs outside the store lock)."""
+        if not self.use_mmap:
+            return TraceBundle(path, sig, load_trace(path))
+        artifact, outcome = ensure_artifact(path)
+        try:
+            trace = load_artifact(artifact, expected_signature=sig)
+        except ArtifactFormatError:
+            # corrupt or concurrently-replaced artifact: recompile once
+            # under the lock and retry; a second failure propagates
+            artifact, outcome = ensure_artifact(path, force=True)
+            trace = load_artifact(artifact, expected_signature=sig)
+        with self._lock:
+            if outcome == "compiled":
+                self.artifact_compiles += 1
+            elif outcome == "waited":
+                # cross-process cousin of waiters_ok: we blocked while
+                # another process compiled, then mapped its output
+                self.artifact_waits += 1
+                self.waiters_ok += 1
+            else:
+                self.artifact_reuses += 1
+        return TraceBundle(path, sig, trace, artifact=artifact)
+
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -196,10 +247,10 @@ class TraceStore:
         with self._lock:
             self._entries.clear()
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict:
         """Counters for the ``stats`` endpoint."""
         with self._lock:
-            return {
+            snap: dict = {
                 "cached": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
@@ -209,3 +260,15 @@ class TraceStore:
                 "waiters_ok": self.waiters_ok,
                 "waiters_failed": self.waiters_failed,
             }
+            if self.use_mmap:
+                snap["artifact_compiles"] = self.artifact_compiles
+                snap["artifact_waits"] = self.artifact_waits
+                snap["artifact_reuses"] = self.artifact_reuses
+                snap["artifacts"] = sorted(
+                    {
+                        e.bundle.artifact
+                        for e in self._entries.values()
+                        if e.bundle is not None and e.bundle.artifact
+                    }
+                )
+            return snap

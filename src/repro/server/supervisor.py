@@ -1,0 +1,791 @@
+"""Multi-worker serving tier: one supervisor, N worker processes.
+
+The single-process :class:`~repro.server.daemon.OracleServer` is
+GIL-bound: adding sessions past one core's worth degrades aggregate
+throughput (the committed ``BENCH_server.json`` baseline).
+:class:`OracleSupervisor` runs N :mod:`repro.server.worker` processes —
+each a full ``OracleServer`` with its own GIL — and routes every client
+connection to one of them, so throughput scales with cores while each
+session's state (tracker, rid continuity, latency digests) stays on
+exactly one worker.
+
+Routing (``routing="hash"``, the default, and the fallback everywhere
+``SO_REUSEPORT`` cannot balance — Unix sockets, or platforms without
+it):
+
+- the supervisor owns the one listening socket (Unix or TCP), so its
+  address outlives any worker crash;
+- per accepted connection, a router thread ``MSG_PEEK``\\ s the first
+  frame *without consuming it*, reads the client's session id from the
+  ``ctx`` stamp, and picks a worker by consistent hash;
+- the connection's fd is passed to that worker over ``SCM_RIGHTS``
+  (:func:`socket.send_fds`); the worker adopts it and reads the byte
+  stream from its pristine start.
+
+Consistent hashing gives **sticky routing**: a client that reconnects
+(same session id) lands on the same worker, so its
+:class:`~repro.obs.sessions.SessionStats` row keeps accumulating and
+rid continuity survives.  When a worker dies, only its sessions move —
+the ring walks to the next live worker (rebalancing), and because the
+replacement worker is spawned under the same worker id, they move back
+once it is up (sticky *re*\\ binding).  Clients ride through via their
+PR-5 reconnect/resync layer; the supervisor's listener never goes away,
+so a reconnect succeeds immediately.
+
+``routing="kernel"`` (TCP only) additionally gives every worker its own
+``SO_REUSEPORT`` listener on the shared port and lets the kernel
+balance accepts — zero fd-passing hops, but no session stickiness and
+admin ops land on whichever worker the kernel picks; use it when raw
+accept rate matters more than per-worker telemetry.
+
+A connection whose first frame is an *admin* op (``metrics`` /
+``sessions`` / ``stats`` / ``ping`` / ``workers``) with no session
+context is served by the supervisor itself, which fans the request out
+to every live worker over per-worker RPC channels and merges the
+answers — ``metrics`` becomes one Prometheus exposition with a
+``worker`` label on every sample (:func:`repro.obs.metrics.
+merge_expositions`) plus the supervisor's own ``pythia_worker_*``
+gauges; ``sessions`` is the union table with a ``worker`` column;
+``stats`` sums counters across workers.  ``pythia-trace sessions`` and
+``pythia-trace top`` work unchanged against a supervisor.
+
+The monitor thread restarts crashed workers (same worker id) and
+tracks restarts per worker; grammar loads stay one-per-host because
+every worker's store maps the same compiled artifact
+(:mod:`repro.core.mmap_grammar`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_expositions,
+    render_prometheus,
+)
+from repro.server.daemon import OracleServer
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["HashRing", "OracleSupervisor"]
+
+_log = get_logger("supervisor")
+
+_HEADER = struct.Struct(">I")
+
+#: ops the supervisor answers itself (when the first frame carries no
+#: session context); everything else is routed to a worker
+SUPERVISOR_OPS = frozenset({"metrics", "sessions", "stats", "ping", "workers"})
+
+#: how much of an oversized first frame to peek before giving up on
+#: reading its session id (such connections round-robin instead)
+_PEEK_CAP = 64 * 1024
+
+
+class HashRing:
+    """Consistent hashing of session ids onto worker ids.
+
+    Each worker contributes ``replicas`` virtual points on a 64-bit
+    ring; a key routes to the first point clockwise from its own hash.
+    Properties the serving tier relies on: the same key always routes
+    to the same live worker (stickiness), and when a worker is excluded
+    (crashed) only the keys it owned move — every other session stays
+    put, and the moved ones come back when it returns (rebinding).
+    """
+
+    def __init__(self, worker_ids, *, replicas: int = 64) -> None:
+        points: list[tuple[int, int]] = []
+        for wid in worker_ids:
+            for r in range(replicas):
+                points.append((self._hash(f"{wid}:{r}"), wid))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def route(self, key: str, alive=None) -> int | None:
+        """The worker id owning ``key`` among ``alive`` (None = all)."""
+        if not self._points:
+            return None
+        i = bisect.bisect_right(self._hashes, self._hash(key))
+        n = len(self._points)
+        for step in range(n):
+            wid = self._points[(i + step) % n][1]
+            if alive is None or wid in alive:
+                return wid
+        return None
+
+
+class _Worker:
+    """Supervisor-side record of one worker process."""
+
+    __slots__ = ("wid", "proc", "conn_chan", "rpc_chan", "rpc_lock",
+                 "restarts", "routed", "started_at")
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.proc: subprocess.Popen | None = None
+        self.conn_chan: socket.socket | None = None
+        self.rpc_chan: socket.socket | None = None
+        self.rpc_lock = threading.Lock()
+        self.restarts = 0
+        self.routed = 0
+        self.started_at = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def close_channels(self) -> None:
+        for chan in (self.conn_chan, self.rpc_chan):
+            if chan is not None:
+                try:
+                    chan.close()
+                except OSError:
+                    pass
+        self.conn_chan = None
+        self.rpc_chan = None
+
+
+class OracleSupervisor:
+    """Spawn, route to, monitor and restart N oracle workers.
+
+    Parameters
+    ----------
+    socket_path / tcp_address:
+        The public address, exactly as :class:`OracleServer` takes
+        them.  The supervisor owns it; workers receive connections by
+        fd passing (or bind ``SO_REUSEPORT`` siblings under
+        ``routing="kernel"``, TCP only).
+    workers:
+        Worker process count (default: ``os.cpu_count()``).
+    routing:
+        ``"hash"`` (sticky consistent-hash fd passing, the default) or
+        ``"kernel"`` (``SO_REUSEPORT``; TCP only).
+    use_mmap:
+        Give workers mmap-artifact trace stores (one grammar compile
+        and one page-cache copy per host).  Default True.
+    cache_size:
+        Per-worker :class:`~repro.server.store.TraceStore` capacity.
+    drain_deadline:
+        Seconds each worker gets to finish in-flight requests at
+        shutdown.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike | None = None,
+        *,
+        tcp_address: tuple[str, int] | None = None,
+        workers: int | None = None,
+        routing: str = "hash",
+        use_mmap: bool = True,
+        cache_size: int = 8,
+        drain_deadline: float = 5.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        peek_deadline: float = 2.0,
+    ) -> None:
+        if (socket_path is None) == (tcp_address is None):
+            raise ValueError("exactly one of socket_path / tcp_address required")
+        if routing not in ("hash", "kernel"):
+            raise ValueError(f"unknown routing mode {routing!r}")
+        if routing == "kernel" and tcp_address is None:
+            raise ValueError("routing='kernel' needs tcp_address (SO_REUSEPORT "
+                             "balances TCP listeners, not unix sockets)")
+        if routing == "kernel" and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError("routing='kernel' needs SO_REUSEPORT support")
+        n = workers if workers is not None else (os.cpu_count() or 1)
+        if n < 1:
+            raise ValueError("workers must be >= 1")
+        self.socket_path = os.fspath(socket_path) if socket_path is not None else None
+        self.tcp_address = tcp_address
+        self.worker_count = n
+        self.routing = routing
+        self.use_mmap = use_mmap
+        self.cache_size = cache_size
+        self.drain_deadline = drain_deadline
+        self.max_frame = max_frame
+        self.peek_deadline = peek_deadline
+        self.ring = HashRing(range(n))
+        self._workers: dict[int, _Worker] = {wid: _Worker(wid) for wid in range(n)}
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._monitor_thread: threading.Thread | None = None
+        self._router_threads: set[threading.Thread] = set()
+        self._pending: set[socket.socket] = set()  # conns being routed
+        self._running = threading.Event()
+        self._draining = threading.Event()
+        self._lock = threading.Lock()
+        self._rr = 0  # round-robin cursor for sid-less connections
+        #: private registry for supervisor-side gauges: the supervisor
+        #: may share a process (tests) whose global registry belongs to
+        #: other components
+        self._registry = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> str | tuple[str, int]:
+        """Where clients connect (socket path, or bound (host, port))."""
+        if self.socket_path is not None:
+            return self.socket_path
+        assert self._listener is not None, "supervisor not started"
+        return self._listener.getsockname()[:2]
+
+    def start(self, *, ready_timeout: float = 30.0) -> "OracleSupervisor":
+        """Bind, spawn the workers, wait for them, start routing."""
+        if self._listener is not None:
+            raise RuntimeError("supervisor already started")
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self.routing == "kernel":
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            listener.bind(self.tcp_address)
+        listener.listen(256)
+        self._listener = listener
+        self._running.set()
+        self._draining.clear()
+        for wid in self._workers:
+            self._spawn_worker(wid)
+        # one blocking ping per worker: catches import/startup failures
+        # here, with a readable error, instead of at first routed request
+        deadline = time.monotonic() + ready_timeout
+        for w in self._workers.values():
+            timeout = max(0.1, deadline - time.monotonic())
+            try:
+                self._worker_rpc(w, {"op": "ping"}, timeout=timeout)
+            except (OSError, ProtocolError) as exc:
+                self.stop()
+                raise RuntimeError(
+                    f"worker {w.wid} failed to start: {exc}"
+                ) from exc
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="pythia-sup-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="pythia-sup-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+        _log.info("supervisor_started", address=str(self.address),
+                  workers=self.worker_count, routing=self.routing)
+        return self
+
+    def drain(self, deadline: float | None = None) -> None:
+        """Stop accepting; ask every worker to drain and exit."""
+        if self._listener is None or self._draining.is_set():
+            return
+        self._draining.set()
+        deadline = deadline if deadline is not None else self.drain_deadline
+        _log.info("supervisor_draining", deadline=deadline)
+        # shutdown wakes the accept thread; close alone would leave it
+        # blocked in the syscall, keeping the listener (and its backlog)
+        # alive for new connects
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for w in list(self._workers.values()):
+            if not w.alive:
+                continue
+            try:
+                self._worker_rpc(w, {"op": "drain"}, timeout=1.0)
+            except (OSError, ProtocolError):
+                pass
+        t0 = time.monotonic()
+        for w in self._workers.values():
+            if w.proc is None:
+                continue
+            left = max(0.0, deadline + 1.0 - (time.monotonic() - t0))
+            try:
+                w.proc.wait(timeout=left)
+            except subprocess.TimeoutExpired:
+                pass
+
+    def stop(self) -> None:
+        """Tear everything down: listener, routers, workers."""
+        if self._listener is None:
+            return
+        self._running.clear()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            pending = list(self._pending)
+        for conn in pending:  # unblock router threads parked in peek
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for t in (self._accept_thread, self._monitor_thread):
+            if t is not None:
+                t.join(timeout=5)
+        for t in list(self._router_threads):
+            t.join(timeout=5)
+        for w in self._workers.values():
+            if w.alive:
+                w.proc.terminate()  # SIGTERM: workers drain themselves
+        deadline = time.monotonic() + self.drain_deadline + 2.0
+        for w in self._workers.values():
+            if w.proc is None:
+                continue
+            try:
+                w.proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                w.proc.kill()
+                w.proc.wait(timeout=5)
+            w.close_channels()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+        self._listener = None
+        self._accept_thread = None
+        self._monitor_thread = None
+        _log.info("supervisor_stopped")
+
+    def __enter__(self) -> "OracleSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_forever(self, *, drain_deadline: float | None = None) -> None:
+        """Block until SIGTERM (graceful drain) or Ctrl-C (immediate)."""
+        if self._listener is None:
+            self.start()
+        stop_requested = threading.Event()
+        old_handler = None
+        in_main = threading.current_thread() is threading.main_thread()
+        if in_main:
+            old_handler = signal.signal(
+                signal.SIGTERM, lambda *_sig: stop_requested.set()
+            )
+        try:
+            while self._running.is_set() and not stop_requested.is_set():
+                time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if in_main and old_handler is not None:
+                signal.signal(signal.SIGTERM, old_handler)
+            if stop_requested.is_set():
+                self.drain(drain_deadline)
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # worker processes
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, wid: int) -> None:
+        """Start (or restart) the worker process for slot ``wid``."""
+        import repro
+
+        w = self._workers[wid]
+        w.close_channels()
+        conn_sup, conn_wk = socket.socketpair()
+        rpc_sup, rpc_wk = socket.socketpair()
+        cmd = [
+            sys.executable, "-m", "repro.server.worker",
+            "--worker-id", str(wid),
+            "--conn-fd", str(conn_wk.fileno()),
+            "--rpc-fd", str(rpc_wk.fileno()),
+            "--cache-size", str(self.cache_size),
+            "--drain-deadline", str(self.drain_deadline),
+        ]
+        if not self.use_mmap:
+            cmd.append("--no-mmap")
+        if self.routing == "kernel":
+            host, port = self.address
+            cmd += ["--tcp-listen", f"{host}:{port}"]
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + existing if existing else src_dir
+        )
+        w.proc = subprocess.Popen(
+            cmd, env=env, pass_fds=(conn_wk.fileno(), rpc_wk.fileno())
+        )
+        conn_wk.close()
+        rpc_wk.close()
+        w.conn_chan = conn_sup
+        w.rpc_chan = rpc_sup
+        w.started_at = time.monotonic()
+        _log.info("worker_spawned", worker=wid, pid=w.proc.pid)
+
+    def _monitor_loop(self) -> None:
+        """Restart crashed workers under their original worker id."""
+        while self._running.is_set():
+            if not self._draining.is_set():
+                for w in list(self._workers.values()):
+                    if w.proc is not None and w.proc.poll() is not None:
+                        _log.warning(
+                            "worker_died", worker=w.wid, pid=w.proc.pid,
+                            returncode=w.proc.returncode,
+                        )
+                        w.restarts += 1
+                        self._spawn_worker(w.wid)
+            time.sleep(0.05)
+
+    def _alive_ids(self) -> set[int]:
+        return {wid for wid, w in self._workers.items() if w.alive}
+
+    def _worker_rpc(self, w: _Worker, request: dict, *, timeout: float = 5.0) -> dict:
+        """One framed request/reply on a worker's control channel."""
+        with w.rpc_lock:
+            chan = w.rpc_chan
+            if chan is None:
+                raise OSError("worker control channel is closed")
+            chan.settimeout(timeout)
+            write_frame(chan, request)
+            response = read_frame(chan)
+        if response is None:
+            raise OSError("worker closed its control channel")
+        return response
+
+    def _fan_out(self, request: dict, *, timeout: float = 5.0) -> dict[int, dict]:
+        """The request against every live worker; dead/failed skipped."""
+        out: dict[int, dict] = {}
+        for wid in sorted(self._alive_ids()):
+            w = self._workers[wid]
+            try:
+                response = self._worker_rpc(w, request, timeout=timeout)
+            except (OSError, ProtocolError) as exc:
+                _log.warning("worker_rpc_failed", worker=wid, error=str(exc))
+                continue
+            if response.get("ok"):
+                out[wid] = response
+        return out
+
+    # ------------------------------------------------------------------
+    # connection routing
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed
+            with self._lock:
+                self._pending.add(conn)
+            t = threading.Thread(
+                target=self._route_connection, args=(conn,),
+                name="pythia-sup-router", daemon=True,
+            )
+            self._router_threads.add(t)
+            t.start()
+
+    def _peek_first_frame(self, conn: socket.socket) -> dict | None:
+        """The connection's first frame, without consuming any bytes.
+
+        Blocks indefinitely for the first byte (an idle client costs
+        nothing), then gives the rest of the frame ``peek_deadline``
+        seconds.  Returns ``None`` when the frame cannot be read (EOF,
+        timeout, too large to peek, malformed) — the caller then
+        round-robins the connection; the worker will produce the real
+        protocol error, exactly as a single-process daemon would.
+        """
+        conn.settimeout(None)
+        buf = conn.recv(_HEADER.size, socket.MSG_PEEK)
+        if not buf:
+            return None
+        deadline = time.monotonic() + self.peek_deadline
+        want = _HEADER.size
+        while True:
+            if len(buf) >= want:
+                if want == _HEADER.size:
+                    (length,) = _HEADER.unpack(buf[:_HEADER.size])
+                    if length > _PEEK_CAP:
+                        return None  # giant first frame: route blind
+                    want = _HEADER.size + length
+                    continue
+                body = buf[_HEADER.size:want]
+                try:
+                    obj = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    return None
+                return obj if isinstance(obj, dict) else None
+            if time.monotonic() >= deadline:
+                return None
+            conn.settimeout(max(0.01, deadline - time.monotonic()))
+            try:
+                more = conn.recv(want, socket.MSG_PEEK)
+            except (TimeoutError, OSError):
+                return None
+            if not more:
+                return None
+            if len(more) == len(buf):
+                time.sleep(0.001)  # peek re-reads from the front
+            buf = more
+
+    def _route_connection(self, conn: socket.socket) -> None:
+        """Pick a destination for one accepted connection."""
+        try:
+            try:
+                request = self._peek_first_frame(conn)
+            except OSError:
+                request = None
+            if request is None and not self._running.is_set():
+                return  # closed under us by stop()
+            sid = None
+            op = None
+            if request is not None:
+                op = request.get("op")
+                sid, _rid = OracleServer._request_ctx(request)
+            if request is not None and sid is None and op in SUPERVISOR_OPS:
+                with self._lock:
+                    self._pending.discard(conn)
+                self._serve_admin(conn)
+                return
+            self._hand_off(conn, sid)
+        except Exception:
+            _log.warning("router_failed", error="unexpected routing error")
+        finally:
+            with self._lock:
+                self._pending.discard(conn)
+            try:
+                conn.close()  # workers own their dup; admin conns are done
+            except OSError:
+                pass
+            self._router_threads.discard(threading.current_thread())
+
+    def _pick_worker(self, sid: str | None) -> int | None:
+        alive = self._alive_ids()
+        if not alive:
+            return None
+        if sid is not None:
+            return self.ring.route(sid, alive)
+        with self._lock:
+            self._rr += 1
+            cursor = self._rr
+        ordered = sorted(alive)
+        return ordered[cursor % len(ordered)]
+
+    def _hand_off(self, conn: socket.socket, sid: str | None) -> None:
+        """Pass the connection fd to its worker (retrying over crashes)."""
+        for _attempt in range(self.worker_count + 1):
+            wid = self._pick_worker(sid)
+            if wid is None:
+                break
+            w = self._workers[wid]
+            chan = w.conn_chan
+            if chan is None:
+                continue
+            try:
+                socket.send_fds(chan, [b"c"], [conn.fileno()])
+            except OSError:
+                # worker died between liveness check and send: the
+                # monitor will respawn it; try the next candidate
+                # (ring.route skips it once poll() notices)
+                time.sleep(0.02)
+                continue
+            w.routed += 1
+            return
+        # no live worker took it: answer retryably so the client's
+        # reconnect layer comes back once the monitor has respawned one
+        try:
+            write_frame(conn, {
+                "ok": False, "code": "shutting_down",
+                "error": "no worker available; retry",
+            })
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # supervisor-served admin connections
+    # ------------------------------------------------------------------
+
+    def _serve_admin(self, conn: socket.socket) -> None:
+        """Serve a monitoring connection entirely in the supervisor."""
+        conn.settimeout(None)
+        while self._running.is_set():
+            try:
+                request = read_frame(conn, max_frame=self.max_frame)
+            except (ProtocolError, OSError):
+                return
+            if request is None:
+                return
+            op = request.get("op")
+            try:
+                if op == "ping":
+                    response = {
+                        "ok": True, "pong": True, "role": "supervisor",
+                        "pid": os.getpid(),
+                        "workers": len(self._alive_ids()),
+                    }
+                elif op == "workers":
+                    response = {"ok": True, **self._op_workers(request)}
+                elif op == "metrics":
+                    # same reply shape as the daemon's metrics op, so
+                    # `pythia-trace metrics` works against either tier
+                    response = {"ok": True, "text": self._merged_metrics()}
+                elif op == "sessions":
+                    response = {"ok": True, **self._merged_sessions()}
+                elif op == "stats":
+                    response = {"ok": True, **self._merged_stats()}
+                else:
+                    response = {
+                        "ok": False, "code": "bad_request",
+                        "error": "this connection is bound to the supervisor; "
+                                 "open a new one for session ops",
+                    }
+            except Exception as exc:  # keep the admin loop alive
+                response = {"ok": False, "code": "internal", "error": str(exc)}
+            try:
+                write_frame(conn, response, max_frame=self.max_frame)
+            except OSError:
+                return
+
+    def _op_workers(self, request: dict) -> dict:
+        """Worker table (+ ``home`` routing answer for an offered sid)."""
+        table = {}
+        for wid, w in sorted(self._workers.items()):
+            table[str(wid)] = {
+                "pid": w.proc.pid if w.proc is not None else None,
+                "alive": w.alive,
+                "restarts": w.restarts,
+                "connections_routed": w.routed,
+                "uptime_s": round(time.monotonic() - w.started_at, 3)
+                if w.started_at else None,
+            }
+        out = {"workers": table, "routing": self.routing,
+               "worker_count": self.worker_count}
+        sid = request.get("sid")
+        if isinstance(sid, str) and sid:
+            out["home"] = self.ring.route(sid, self._alive_ids())
+        return out
+
+    def _own_metrics(self) -> str:
+        """The supervisor's ``pythia_worker_*`` gauges, as exposition."""
+        reg = self._registry
+        for wid, w in self._workers.items():
+            labels = {"worker": str(wid)}
+            reg.gauge(
+                "pythia_worker_up", labels,
+                help="1 while the worker process is alive",
+            ).set(1.0 if w.alive else 0.0)
+            reg.gauge(
+                "pythia_worker_pid", labels,
+                help="PID of the worker process",
+            ).set(float(w.proc.pid) if w.proc is not None else 0.0)
+            restarts = reg.counter(
+                "pythia_worker_restarts_total", labels,
+                help="Times the supervisor restarted this worker",
+            )
+            restarts._set_total(w.restarts)
+            routed = reg.counter(
+                "pythia_worker_connections_routed_total", labels,
+                help="Client connections handed to this worker",
+            )
+            routed._set_total(w.routed)
+        return render_prometheus(reg)
+
+    def _merged_metrics(self) -> str:
+        """One Prometheus page: every worker's registry + supervisor gauges."""
+        answers = self._fan_out({"op": "metrics"})
+        pages = {
+            wid: resp.get("metrics", "")
+            for wid, resp in answers.items()
+            if isinstance(resp.get("metrics"), str)
+        }
+        merged = merge_expositions(pages)
+        return merged + self._own_metrics()
+
+    def _merged_sessions(self) -> dict:
+        """The union session table; every row tagged with its worker."""
+        answers = self._fan_out({"op": "sessions"})
+        rows: list[dict] = []
+        tracked = evicted = 0
+        capacity = 0
+        for wid, resp in answers.items():
+            for row in resp.get("sessions", []):
+                row = dict(row)
+                row["worker"] = wid
+                rows.append(row)
+            tracked += int(resp.get("tracked", 0) or 0)
+            evicted += int(resp.get("evicted", 0) or 0)
+            capacity += int(resp.get("capacity", 0) or 0)
+        rows.sort(key=lambda r: r.get("last_seen", 0), reverse=True)
+        return {"sessions": rows, "tracked": tracked, "evicted": evicted,
+                "capacity": capacity, "workers": sorted(answers)}
+
+    def _merged_stats(self) -> dict:
+        """Cross-worker stats: summed counters + per-worker detail."""
+        answers = self._fan_out({"op": "stats"})
+        counters: dict[str, int] = {}
+        store: dict[str, int] = {}
+        artifacts: set[str] = set()
+        sessions_active = 0
+        per_worker: dict[str, dict] = {}
+        for wid, resp in answers.items():
+            for key, val in (resp.get("counters") or {}).items():
+                counters[key] = counters.get(key, 0) + int(val)
+            snap = resp.get("store") or {}
+            for key, val in snap.items():
+                if key == "artifacts":
+                    artifacts.update(val or [])
+                elif isinstance(val, (int, float)):
+                    store[key] = store.get(key, 0) + int(val)
+            sessions_active += int(resp.get("sessions_active", 0) or 0)
+            per_worker[str(wid)] = {
+                "counters": resp.get("counters"),
+                "sessions_active": resp.get("sessions_active"),
+                "store": snap,
+                "latency": resp.get("latency"),
+            }
+        if artifacts:
+            store["artifacts"] = sorted(artifacts)
+        return {
+            "role": "supervisor",
+            "routing": self.routing,
+            "counters": counters,
+            "sessions_active": sessions_active,
+            "store": store,
+            "workers": per_worker,
+            "worker_restarts": {
+                str(wid): w.restarts for wid, w in sorted(self._workers.items())
+            },
+        }

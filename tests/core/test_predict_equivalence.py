@@ -212,3 +212,83 @@ class TestExplainEquivalence:
             assert (ec is None) == (er is None)
             if ec is not None:
                 assert ec.events == er.events
+
+
+class TestMmapEquivalence:
+    """The mmap-artifact load path against the JSON load path.
+
+    The multi-worker daemon serves every prediction from an
+    :class:`~repro.core.mmap_grammar.MmapGrammar` mapped out of a
+    compiled artifact, so the two load paths must agree to the last
+    float: same observations, same candidate weights, same predictions
+    and explanations, same ``stats()``.
+    """
+
+    @staticmethod
+    def _grammars(tmp_path, seed, *, timestamps=False):
+        from repro.core.mmap_grammar import ensure_artifact, load_artifact
+        from repro.core.trace_file import load_trace
+        from tests.core.test_mmap_grammar import write_trace_file
+
+        stream = random_structured_stream(seed)
+        path = str(tmp_path / f"trace-{seed}.json")
+        write_trace_file(path, stream, timestamps=timestamps)
+        artifact, _ = ensure_artifact(path)
+        json_tt = load_trace(path).threads[0]
+        mmap_tt = load_artifact(artifact).threads[0]
+        return stream, json_tt, mmap_tt
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_predictions_byte_identical(self, tmp_path, seed):
+        stream, json_tt, mmap_tt = self._grammars(tmp_path, seed)
+        from_json = PythiaPredict(json_tt.grammar, compiled=True)
+        from_mmap = PythiaPredict(mmap_tt.grammar, compiled=True)
+        for i, terminal in enumerate(stream):
+            assert from_mmap.observe(terminal, now=float(i)) == from_json.observe(
+                terminal, now=float(i)
+            )
+            assert from_mmap.candidates == from_json.candidates
+            for distance in (1, 3, 16):
+                assert from_mmap.predict(distance) == from_json.predict(distance)
+        assert from_mmap.stats() == from_json.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_explanations_byte_identical(self, tmp_path, seed):
+        stream, json_tt, mmap_tt = self._grammars(tmp_path, seed)
+        from_json = PythiaPredict(json_tt.grammar, compiled=True)
+        from_mmap = PythiaPredict(mmap_tt.grammar, compiled=True)
+        for i, terminal in enumerate(stream):
+            from_json.observe(terminal)
+            from_mmap.observe(terminal)
+            if i % 5 == 0:
+                for distance in (1, 4):
+                    ej = from_json.explain(distance, top_k=64)
+                    em = from_mmap.explain(distance, top_k=64)
+                    assert (ej is None) == (em is None)
+                    if ej is not None:
+                        assert em.to_obj() == ej.to_obj()
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_eta_byte_identical_with_timing(self, tmp_path, seed):
+        stream, json_tt, mmap_tt = self._grammars(tmp_path, seed, timestamps=True)
+        assert mmap_tt.timing is not None
+        from_json = PythiaPredict(json_tt.grammar, json_tt.timing, compiled=True)
+        from_mmap = PythiaPredict(mmap_tt.grammar, mmap_tt.timing, compiled=True)
+        for terminal in stream:
+            assert from_mmap.observe(terminal) == from_json.observe(terminal)
+            pj = from_json.predict(2, with_time=True)
+            pm = from_mmap.predict(2, with_time=True)
+            assert pm == pj
+            if pj is not None:
+                assert pm.eta == pj.eta
+        assert from_mmap.stats() == from_json.stats()
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_mmap_also_matches_reference_traversal(self, tmp_path, seed):
+        """Transitivity check run directly: mapped grammar + uncached
+        traversal still equals the JSON compiled path."""
+        stream, json_tt, mmap_tt = self._grammars(tmp_path, seed)
+        from_json = PythiaPredict(json_tt.grammar, compiled=True)
+        from_mmap = PythiaPredict(mmap_tt.grammar, compiled=False)
+        _drive(from_mmap, from_json, stream)
+        assert from_mmap.stats() == from_json.stats()

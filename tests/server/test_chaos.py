@@ -693,3 +693,114 @@ class TestTracingUnderFaults:
         finally:
             proc.kill()
             proc.wait(timeout=10)
+
+
+class TestWorkerCrashUnderSupervisor:
+    """Tentpole chaos: kill -9 a worker of a multi-worker tier.
+
+    The supervisor's listener survives, so the client's reconnect hits
+    the same address immediately; the consistent-hash ring routes the
+    orphaned session to a live worker; the event-ring resync replays
+    recent history there — and the post-resync prediction stream must
+    be byte-identical to an uninterrupted local oracle, with zero rid
+    regressions recorded anywhere.  Meanwhile the monitor respawns the
+    dead slot under the same worker id.
+    """
+
+    @staticmethod
+    def _admin(sock_path: str, request: dict) -> dict:
+        sock = raw_connect(sock_path)
+        try:
+            write_frame(sock, request)
+            response = read_frame(sock)
+        finally:
+            sock.close()
+        assert response is not None and response.get("ok", True)
+        return response
+
+    def test_kill9_one_worker_of_four_sessions_resync(self, tmp_path, trace_path):
+        from repro.server import OracleSupervisor
+
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        sock_path = str(tmp_path / "sup.sock")
+        sup = OracleSupervisor(sock_path, workers=4, drain_deadline=1.0)
+        sup.start()
+        try:
+            local = Pythia(trace_path, mode="predict")
+            client = PythiaClient(
+                trace_path, socket=sock_path, retry=FAST_RETRY,
+                fallback="raise", session_id="chaos-victim",
+            )
+            for name, payload in events[:40]:
+                lm, lp = local.event_and_predict(name, payload, distance=4)
+                cm, cp = client.event_and_predict(name, payload, distance=4)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp))
+            # find and SIGKILL the worker hosting the session
+            info = self._admin(sock_path, {"op": "workers", "sid": "chaos-victim"})
+            home = info["home"]
+            assert client.worker == home
+            victim_pid = info["workers"][str(home)]["pid"]
+            os.kill(victim_pid, signal.SIGKILL)
+            # the stream continues byte-identical across the crash
+            for i, (name, payload) in enumerate(events[40:160]):
+                lm, lp = local.event_and_predict(name, payload, distance=4)
+                cm, cp = client.event_and_predict(name, payload, distance=4)
+                assert (lm, pred_key(lp)) == (cm, pred_key(cp)), i
+            assert client.counters["reconnects"] >= 1
+            assert not client.degraded
+            # the session rebound to a *different, live* worker
+            assert client.worker is not None and client.worker != home
+            # the monitor respawned the slot: same wid, new pid, alive
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                row = self._admin(sock_path, {"op": "workers"})["workers"][str(home)]
+                if row["alive"] and row["pid"] != victim_pid:
+                    break
+                time.sleep(0.05)
+            assert row["alive"] and row["pid"] != victim_pid
+            assert row["restarts"] == 1
+            # no rid ever regressed, on any worker's table
+            table = self._admin(sock_path, {"op": "sessions"})
+            (srow,) = [r for r in table["sessions"] if r["sid"] == "chaos-victim"]
+            assert srow["rid_regressions"] == 0
+            assert srow["worker"] == client.worker
+            # all workers served from one shared compiled artifact
+            stats = self._admin(sock_path, {"op": "stats"})
+            assert len(stats["store"]["artifacts"]) == 1
+            client.finish()
+        finally:
+            sup.stop()
+
+    def test_new_session_lands_on_respawned_worker(self, tmp_path, trace_path):
+        """Sticky REbinding: once the slot is respawned, its ring range
+        is its own again — a fresh connection for a sid homed there goes
+        to the replacement process."""
+        from repro.server import OracleSupervisor
+
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        sock_path = str(tmp_path / "sup.sock")
+        sup = OracleSupervisor(sock_path, workers=2, drain_deadline=1.0)
+        sup.start()
+        try:
+            # a sid the ring homes on worker 0
+            sid = next(
+                f"rebind-{i}" for i in range(10_000)
+                if sup.ring.route(f"rebind-{i}") == 0
+            )
+            victim_pid = sup._workers[0].proc.pid
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                w = sup._workers[0]
+                if w.alive and w.proc.pid != victim_pid:
+                    break
+                time.sleep(0.05)
+            client = PythiaClient(
+                trace_path, socket=sock_path, retry=FAST_RETRY, session_id=sid
+            )
+            for name, payload in events[:10]:
+                client.event(name, payload)
+            assert client.worker == 0  # served by the replacement
+            client.close()
+        finally:
+            sup.stop()

@@ -150,6 +150,90 @@ class TestConcurrency:
         assert store.snapshot()["misses"] == 8
 
 
+class TestMmapStore:
+    """``use_mmap=True``: bundles carry mapped grammars out of shared
+    compiled artifacts, and the compile happens once per host."""
+
+    def test_bundle_grammar_is_mapped(self, trace_path):
+        from repro.core.mmap_grammar import MmapGrammar, artifact_path_for
+
+        store = TraceStore(use_mmap=True)
+        bundle = store.get(trace_path)
+        for tt in bundle.trace.threads.values():
+            assert isinstance(tt.grammar, MmapGrammar)
+        assert bundle.artifact == artifact_path_for(trace_path)
+        snap = store.snapshot()
+        assert snap["artifact_compiles"] == 1
+        assert snap["artifact_reuses"] == 0
+        assert snap["artifacts"] == [bundle.artifact]
+
+    def test_json_store_has_no_artifact(self, trace_path):
+        bundle = TraceStore().get(trace_path)
+        assert bundle.artifact is None
+        assert "artifact_compiles" not in TraceStore().snapshot()
+
+    def test_second_store_reuses_the_host_artifact(self, trace_path):
+        """What N workers on one host do: first compiles, rest map."""
+        first = TraceStore(use_mmap=True)
+        second = TraceStore(use_mmap=True)
+        a = first.get(trace_path)
+        b = second.get(trace_path)
+        assert a.artifact == b.artifact  # same file mapped by both
+        assert first.snapshot()["artifact_compiles"] == 1
+        snap = second.snapshot()
+        assert snap["artifact_compiles"] == 0
+        assert snap["artifact_reuses"] == 1
+
+    def test_rewritten_trace_recompiles(self, trace_path):
+        store = TraceStore(use_mmap=True)
+        store.get(trace_path)
+        record(trace_path, [("x", None)] * 4)
+        os.utime(trace_path, ns=(1, 1))
+        bundle = store.get(trace_path)
+        assert len(bundle.registry) == 1
+        assert store.snapshot()["artifact_compiles"] == 2
+
+    def test_corrupt_artifact_self_heals(self, trace_path):
+        from repro.core.mmap_grammar import artifact_path_for, ensure_artifact
+
+        artifact, _ = ensure_artifact(trace_path)
+        blob = open(artifact, "rb").read()
+        # keep the (valid) header so the freshness probe passes, then
+        # truncate the body: the load fails and the store force-recompiles
+        open(artifact, "wb").write(blob[: len(blob) - 16])
+        store = TraceStore(use_mmap=True)
+        bundle = store.get(trace_path)
+        assert bundle.artifact == artifact_path_for(trace_path)
+        assert store.snapshot()["artifact_compiles"] == 1
+        assert len(open(artifact, "rb").read()) == len(blob)
+
+    def test_thread_stampede_one_compile(self, trace_path):
+        """16 threads, cold trace and cold artifact: one parse+compile
+        for the host (the rest wait on the store entry or the artifact
+        lock), and everyone shares one bundle."""
+        store = TraceStore(use_mmap=True)
+        bundles = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def worker():
+            barrier.wait()
+            b = store.get(trace_path)
+            with lock:
+                bundles.append(b)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(b is bundles[0] for b in bundles)
+        snap = store.snapshot()
+        assert snap["misses"] == 1
+        assert snap["artifact_compiles"] == 1
+        assert snap["artifact_waits"] == 0  # in-store waiters never hit disk
+
+
 class TestPerWaiterExceptions:
     """A failed load must give every waiter its *own* exception
     instance: re-raising the loader's instance lets N threads race to
