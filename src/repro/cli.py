@@ -196,7 +196,14 @@ def _cmd_top(args) -> int:
         metrics, sessions = _daemon_requests(
             args, [{"op": "metrics"}, {"op": "sessions"}]
         )
-        return {"metrics": metrics["text"], "sessions": sessions}
+        snapshot = {"metrics": metrics["text"], "sessions": sessions}
+        try:
+            (hist,) = _daemon_requests(args, [{"op": "history", "window": 120}])
+        except (OSError, RuntimeError):
+            pass  # older daemon, or history disabled: console degrades
+        else:
+            snapshot["history"] = hist.get("history")
+        return snapshot
 
     where = args.tcp or args.socket
     console = OpsConsole(
@@ -388,7 +395,22 @@ def _cmd_flight(args) -> int:
     return 0
 
 
+def _start_httpd(args, provider, registry=None):
+    """Serve the observability endpoint next to a daemon/supervisor."""
+    if args.http is None:
+        return None
+    from repro.obs.httpd import ObservabilityHTTPServer
+
+    httpd = ObservabilityHTTPServer(
+        provider, args.http_host, args.http, registry=registry
+    ).start()
+    print(f"observability endpoint on {httpd.url} "
+          f"(/metrics /healthz /ready /profile /history.json)")
+    return httpd
+
+
 def _cmd_serve(args) -> int:
+    from repro.obs.profiler import profiler_from_env
     from repro.server import OracleServer, TraceStore
 
     tcp_address = None
@@ -414,7 +436,14 @@ def _cmd_serve(args) -> int:
               f"({args.workers} workers, {args.routing} routing, "
               f"{'mmap' if not args.no_mmap else 'json'} grammars); "
               f"SIGTERM drains, Ctrl-C stops")
-        supervisor.serve_forever(drain_deadline=args.drain_deadline)
+        # scrape counts go to the supervisor's own registry so they show
+        # up (unlabeled) in the merged /metrics page
+        httpd = _start_httpd(args, supervisor, registry=supervisor._registry)
+        try:
+            supervisor.serve_forever(drain_deadline=args.drain_deadline)
+        finally:
+            if httpd is not None:
+                httpd.stop()
         return 0
     if tcp_address is not None:
         server = OracleServer(
@@ -426,18 +455,49 @@ def _cmd_serve(args) -> int:
             args.socket, store=TraceStore(capacity=args.cache_size)
         )
     server.start()
+    # long-lived daemon: continuous profiling on by default (19 Hz;
+    # PYTHIA_PROFILE_HZ=0 opts out, any other value overrides)
+    profiler_from_env(default_hz=19.0)
     addr = server.address
     where = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
     print(f"pythia oracle service listening on {where} "
           f"(trace cache: {args.cache_size} entries); "
           f"SIGTERM drains, Ctrl-C stops")
+    httpd = _start_httpd(args, server)
     try:
         server.serve_forever(drain_deadline=args.drain_deadline)
     finally:
+        if httpd is not None:
+            httpd.stop()
         stats = server.counters
         print(f"served {stats['predictions_served']:,} predictions over "
               f"{stats['sessions_opened']:,} sessions "
               f"({stats['events_observed']:,} events observed)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    fmt = args.format
+    if fmt is None:
+        fmt = "svg" if args.output.endswith(".svg") else "collapsed"
+    request: dict = {"op": "profile_dump", "seconds": args.seconds, "format": fmt}
+    if args.hz:
+        request["hz"] = args.hz
+    # the window blocks the reply; the frame timeout must outlive it
+    args.timeout = max(args.timeout, args.seconds + 10.0)
+    try:
+        (response,) = _daemon_requests(args, [request])
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = response["profile"]
+    if args.output == "-":
+        sys.stdout.write(text)
+        return 0
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    report = response.get("report") or {}
+    print(f"wrote {args.output} ({fmt}, {report.get('samples', '?')} samples)")
     return 0
 
 
@@ -495,6 +555,12 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--no-mmap", action="store_true",
                      help="multi-worker: parse JSON traces per worker "
                           "instead of sharing mmap'd artifacts")
+    srv.add_argument("--http", type=int, default=None, metavar="PORT",
+                     help="also serve the HTTP observability endpoint "
+                          "(/metrics /healthz /ready /sessions.json "
+                          "/stats.json /profile /history.json) on this port")
+    srv.add_argument("--http-host", default="127.0.0.1",
+                     help="bind address for --http (default 127.0.0.1)")
 
     def _daemon_args(p) -> None:
         p.add_argument("--socket", default="/tmp/pythia-oracle.sock",
@@ -519,6 +585,22 @@ def main(argv: list[str] | None = None) -> int:
                      help="stop after N frames (default: until Ctrl-C)")
     top.add_argument("--once", action="store_true",
                      help="render a single frame and exit (no screen clear)")
+
+    prf = sub.add_parser(
+        "profile", help="pull collapsed stacks / a flamegraph from a daemon"
+    )
+    _daemon_args(prf)
+    prf.add_argument("--seconds", type=float, default=5.0,
+                     help="profiling window (0 = the daemon's cumulative "
+                          "view; default 5)")
+    prf.add_argument("--format", default=None, choices=("collapsed", "svg"),
+                     help="output format (default: svg when the output path "
+                          "ends in .svg, else collapsed stacks)")
+    prf.add_argument("--hz", type=float, default=0.0,
+                     help="sampling rate for a temporary window when the "
+                          "daemon's profiler is off (default 19)")
+    prf.add_argument("-o", "--output", default="-",
+                     help="output file ('-' = stdout, the default)")
 
     ana = sub.add_parser(
         "analyze", help="offline report over span/flight journals"
@@ -572,7 +654,7 @@ def main(argv: list[str] | None = None) -> int:
             "dump": _cmd_dump, "predict": _cmd_predict,
             "serve": _cmd_serve, "metrics": _cmd_metrics,
             "sessions": _cmd_sessions, "top": _cmd_top,
-            "analyze": _cmd_analyze,
+            "profile": _cmd_profile, "analyze": _cmd_analyze,
             "spans": _cmd_spans, "explain": _cmd_explain,
             "flight": _cmd_flight}[args.cmd](args)
 

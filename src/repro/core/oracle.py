@@ -28,6 +28,7 @@ from repro.obs.accuracy import aggregate_stats
 from repro.obs.drift import DriftBaseline, DriftMonitor
 from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
+from repro.obs.profiler import tag_op
 
 __all__ = ["Pythia"]
 
@@ -333,7 +334,7 @@ class Pythia:
         trace = Trace(registry=self.registry, meta=self.meta)
         for tid, rec in sorted(self._recorders.items()):
             trace.threads[tid] = rec.finish()
-        with span("oracle.save_trace", path=self.trace_path):
+        with span("oracle.save_trace", path=self.trace_path), tag_op("save_trace"):
             trace.save(self.trace_path)
         _log.info(
             "trace_recorded",

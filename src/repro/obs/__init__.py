@@ -24,7 +24,19 @@ Four independent, dependency-free pieces:
   filter/groupby/percentile and wire/queue/handler decomposition
   (``pythia-trace analyze``);
 - :mod:`repro.obs.top` — the live ANSI ops console behind
-  ``pythia-trace top``.
+  ``pythia-trace top``;
+- :mod:`repro.obs.profiler` — a continuous sampling profiler over
+  ``sys._current_frames()`` (``PYTHIA_PROFILE_HZ``), exporting
+  collapsed stacks and self-contained flamegraph SVGs with per-op
+  attribution (``pythia-trace profile``);
+- :mod:`repro.obs.history` — a bounded ring of periodic registry
+  snapshots with delta/rate/percentile queries and JSONL persistence
+  (``PYTHIA_HISTORY*``), powering the ``history`` op;
+- :mod:`repro.obs.process` — ``pythia_process_*`` CPU/RSS/fd/thread
+  gauges from ``/proc`` with graceful off-Linux fallback;
+- :mod:`repro.obs.httpd` — the zero-dependency HTTP observability
+  endpoint (``/metrics``, ``/healthz``, ``/ready``, ``/profile``,
+  ``/history.json``) behind ``pythia-trace serve --http``.
 
 The metric name catalogue lives in the README's "Observability" section.
 """
@@ -41,6 +53,8 @@ from repro.obs.drift import (
     baseline_from_replay,
 )
 from repro.obs.flight import FlightRecorder, active_recorders, dump_active
+from repro.obs.history import MetricsHistory, history_from_env
+from repro.obs.httpd import ObservabilityHTTPServer
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -55,6 +69,16 @@ from repro.obs.metrics import (
     parse_prometheus_text,
     render_prometheus,
     set_registry,
+)
+from repro.obs.process import register_process_metrics
+from repro.obs.profiler import (
+    SamplingProfiler,
+    disable_profiler,
+    enable_profiler,
+    get_profiler,
+    profile_window,
+    render_flamegraph,
+    tag_op,
 )
 from repro.obs.sessions import SessionEntry, SessionStats
 from repro.obs.spans import (
@@ -80,10 +104,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_S",
+    "MetricsHistory",
     "MetricsRegistry",
     "NullRegistry",
     "OK",
+    "ObservabilityHTTPServer",
     "ParsedMetrics",
+    "SamplingProfiler",
     "SessionEntry",
     "SessionStats",
     "Span",
@@ -91,18 +118,26 @@ __all__ = [
     "TraceTable",
     "active_recorders",
     "baseline_from_replay",
+    "disable_profiler",
     "disable_spans",
     "dump_active",
+    "enable_profiler",
     "enable_spans",
+    "get_profiler",
     "get_recorder",
     "get_registry",
+    "history_from_env",
     "log",
     "merge_reports",
     "metrics_enabled",
     "parse_prometheus_text",
+    "profile_window",
+    "register_process_metrics",
+    "render_flamegraph",
     "render_prometheus",
     "set_registry",
     "span",
     "span_recording",
     "spans_enabled",
+    "tag_op",
 ]

@@ -779,7 +779,9 @@ def parse_prometheus_text(text: str) -> ParsedMetrics:
     return parsed
 
 
-def merge_expositions(pages: Mapping[str, str], *, label: str = "worker") -> str:
+def merge_expositions(
+    pages: Mapping[str, str], *, label: str = "worker", own: str | None = None
+) -> str:
     """Merge per-process Prometheus pages into one labeled exposition.
 
     ``pages`` maps an instance key (e.g. a worker id) to that
@@ -792,11 +794,19 @@ def merge_expositions(pages: Mapping[str, str], *, label: str = "worker") -> str
     grouped under their family.  A sample that already carries the
     label is overridden — the merger is the authority on instance
     identity.
+
+    ``own`` is an optional extra page merged *without* label injection:
+    the merging process's own metrics (the supervisor's
+    ``pythia_worker_*`` gauges, its process stats).  Running it through
+    the merge — instead of concatenating text — keeps a family that
+    exists on both sides (``pythia_process_cpu_seconds_total`` in every
+    worker *and* the supervisor) announced by exactly one ``# HELP`` /
+    ``# TYPE`` pair, which strict scrapers require.
     """
     families: dict[str, dict[str, str]] = {}
     by_family: dict[str, list[tuple[str, dict[str, str], float]]] = {}
-    for key in sorted(pages, key=str):
-        parsed = parse_prometheus_text(pages[key])
+
+    def _ingest(parsed: ParsedMetrics, inject: str | None) -> None:
         for fam, meta in parsed.families.items():
             cur = families.setdefault(fam, {"type": "", "help": ""})
             for part in ("type", "help"):
@@ -810,8 +820,14 @@ def merge_expositions(pages: Mapping[str, str], *, label: str = "worker") -> str
                     fam = base
                     break
             labeled = dict(labels)
-            labeled[label] = str(key)
+            if inject is not None:
+                labeled[label] = inject
             by_family.setdefault(fam, []).append((sname, labeled, value))
+
+    for key in sorted(pages, key=str):
+        _ingest(parse_prometheus_text(pages[key]), str(key))
+    if own:
+        _ingest(parse_prometheus_text(own), None)
     lines: list[str] = []
     for fam in sorted(by_family):
         meta = families.get(fam)

@@ -1,0 +1,132 @@
+"""Process-level metrics: CPU, RSS, fds, threads, start time.
+
+Standard ``process_*``-style gauges every Prometheus setup expects,
+published under the ``pythia_process_`` prefix by a scrape-time
+collector (:func:`register_process_metrics`), so hot paths pay nothing
+and values are fresh at every scrape:
+
+- ``pythia_process_cpu_seconds_total`` — user + system CPU consumed;
+- ``pythia_process_resident_memory_bytes`` — RSS;
+- ``pythia_process_virtual_memory_bytes`` — VSZ;
+- ``pythia_process_open_fds`` — open file descriptors;
+- ``pythia_process_threads`` — OS threads;
+- ``pythia_process_start_time_seconds`` — unix epoch start time.
+
+Values come from ``/proc/self`` when available.  Off Linux (or in a
+container hiding procfs) the collector degrades gracefully: CPU falls
+back to :func:`os.times`, threads to :func:`threading.active_count`,
+start time to import time, and memory/fd gauges are simply omitted —
+never an exception at scrape time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["read_process_stats", "register_process_metrics"]
+
+try:
+    _CLK_TCK = os.sysconf("SC_CLK_TCK")
+except (AttributeError, OSError, ValueError):
+    _CLK_TCK = 100
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, OSError, ValueError):
+    _PAGE_SIZE = 4096
+
+#: fallback start time when /proc is unavailable: module import
+_IMPORT_TIME = time.time()
+
+_PROC = "/proc"
+
+
+def _boot_time() -> float | None:
+    try:
+        with open(f"{_PROC}/stat", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("btime "):
+                    return float(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def read_process_stats(proc: str = _PROC) -> dict[str, float]:
+    """Read this process's stats, preferring ``/proc``, degrading off it.
+
+    Returns whichever of ``cpu_seconds`` / ``rss_bytes`` / ``vsize_bytes``
+    / ``open_fds`` / ``threads`` / ``start_time`` could be determined —
+    possibly only the portable fallbacks, never raising.
+    """
+    out: dict[str, float] = {}
+    try:
+        with open(f"{proc}/self/stat", encoding="ascii") as fh:
+            raw = fh.read()
+        # comm may contain spaces/parens: split after the *last* ')'
+        _, _, rest = raw.rpartition(")")
+        fields = rest.split()
+        # rest[0] is field 3 ("state"); /proc(5) field numbers are 1-based
+        utime, stime = float(fields[11]), float(fields[12])  # fields 14, 15
+        out["cpu_seconds"] = (utime + stime) / _CLK_TCK
+        out["threads"] = float(fields[17])  # field 20
+        starttime_ticks = float(fields[19])  # field 22, since boot
+        out["vsize_bytes"] = float(fields[20])  # field 23
+        out["rss_bytes"] = float(fields[21]) * _PAGE_SIZE  # field 24, pages
+        btime = _boot_time()
+        if btime is not None:
+            out["start_time"] = btime + starttime_ticks / _CLK_TCK
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        out["open_fds"] = float(len(os.listdir(f"{proc}/self/fd")))
+    except OSError:
+        pass
+    if "cpu_seconds" not in out:
+        times = os.times()
+        out["cpu_seconds"] = times.user + times.system
+    out.setdefault("threads", float(threading.active_count()))
+    out.setdefault("start_time", _IMPORT_TIME)
+    return out
+
+
+def _collect_process_metrics(registry: MetricsRegistry) -> None:
+    stats = read_process_stats()
+    registry.counter(
+        "pythia_process_cpu_seconds_total",
+        help="Total user and system CPU time spent in seconds",
+    )._set_total(stats["cpu_seconds"])
+    registry.gauge(
+        "pythia_process_threads", help="OS threads in this process"
+    ).set(stats["threads"])
+    registry.gauge(
+        "pythia_process_start_time_seconds",
+        help="Start time of the process since unix epoch in seconds",
+    ).set(stats["start_time"])
+    if "rss_bytes" in stats:
+        registry.gauge(
+            "pythia_process_resident_memory_bytes",
+            help="Resident memory size in bytes",
+        ).set(stats["rss_bytes"])
+    if "vsize_bytes" in stats:
+        registry.gauge(
+            "pythia_process_virtual_memory_bytes",
+            help="Virtual memory size in bytes",
+        ).set(stats["vsize_bytes"])
+    if "open_fds" in stats:
+        registry.gauge(
+            "pythia_process_open_fds", help="Open file descriptors"
+        ).set(stats["open_fds"])
+
+
+def register_process_metrics(registry: MetricsRegistry | None = None) -> None:
+    """Install the process collector on ``registry`` (default: process one).
+
+    Idempotent — collector registration dedups by function identity, so
+    every daemon/supervisor in a process can call this at start.
+    """
+    registry = registry if registry is not None else get_registry()
+    registry.register_collector(_collect_process_metrics)

@@ -10,8 +10,12 @@ and renders one frame per interval:
 - request latency split by component — dispatch **queue**
   (``pythia_server_queue_seconds``) and per-op **handler** time
   (``pythia_server_request_seconds{op=...}``) — as p50/p99;
-- one row per tracked client session: requests, errors, last rid,
-  rid regressions, hit rate, drift flag, handler p50/p99 and age.
+- when the daemon keeps a metrics history ring
+  (:mod:`repro.obs.history`), one sparkline row per tracked counter —
+  per-interval increase over the window, with the ring's own rate();
+- one row per tracked client session: requests, errors, req/s (diffed
+  between successive frames), last rid, rid regressions, hit rate,
+  drift flag, handler p50/p99 and age.
 
 The renderer is a pure function of two successive snapshots, so tests
 drive it with a fake ``poll`` and a ``StringIO`` — no TTY, daemon or
@@ -30,6 +34,23 @@ __all__ = ["OpsConsole"]
 
 #: ANSI clear-screen + cursor-home, prepended to frames on a TTY
 _CLEAR = "\x1b[2J\x1b[H"
+
+#: eight-level block characters for sparklines
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 30) -> str:
+    """Render a list of samples as a fixed-width unicode sparkline."""
+    if not values:
+        return ""
+    values = values[-width:]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / span * len(_SPARK)))] for v in values
+    )
 
 
 def _fmt_us(value: float | None) -> str:
@@ -82,6 +103,8 @@ class OpsConsole:
         self.title = title
         self._prev: ParsedMetrics | None = None
         self._prev_t: float | None = None
+        #: sid -> request count at the previous frame (per-session req/s)
+        self._prev_requests: dict[str, int] = {}
 
     # -- rendering ------------------------------------------------------
 
@@ -123,6 +146,25 @@ class OpsConsole:
             f"predictions {_fmt_rate(pred)}   events {_fmt_rate(obs)}"
         )
 
+        history = snapshot.get("history") or {}
+        series = history.get("series") or {}
+        rates = history.get("rates") or {}
+        if series or rates:
+            lines.append("")
+            for key in sorted(set(series) | set(rates)):
+                points = series.get(key) or []
+                values = [v for _t, v in points]
+                # counters: sparkline the per-interval increase, so the
+                # row shows load over time rather than a ramp to the max
+                steps = [
+                    b - a for a, b in zip(values, values[1:]) if b >= a
+                ] or values
+                rate = rates.get(key)
+                short = key.removeprefix("pythia_").removesuffix("_total")
+                lines.append(
+                    f"{short[:24]:24s} {_sparkline(steps):30s} {_fmt_rate(rate):>10s}"
+                )
+
         lines.append("")
         lines.append(f"{'latency':24s} {'p50':>10s} {'p99':>10s}")
         q50 = cur.quantile("pythia_server_queue_seconds", 0.50)
@@ -150,10 +192,11 @@ class OpsConsole:
             )
 
         rows = table.get("sessions") or []
+        next_requests: dict[str, int] = {}
         if rows:
             lines.append("")
             lines.append(
-                f"{'session':16s} {'reqs':>7s} {'err':>5s} {'rid':>8s} "
+                f"{'session':16s} {'reqs':>7s} {'req/s':>8s} {'err':>5s} {'rid':>8s} "
                 f"{'dup':>4s} {'hit%':>6s} {'drift':>8s} "
                 f"{'p50':>9s} {'p99':>9s} {'age':>7s}"
             )
@@ -163,9 +206,17 @@ class OpsConsole:
                 handler = row.get("handler_us") or {}
                 flag = "!" if drift in ("drifting", "diverged") else ""
                 hit_text = f"{100 * hit:5.1f}%" if hit is not None else f"{'-':>6s}"
+                sid = str(row.get("sid", "?"))
+                requests = row.get("requests", 0)
+                next_requests[sid] = requests
+                before = self._prev_requests.get(sid)
+                srate = None
+                if before is not None and dt and dt > 0:
+                    srate = max(0, requests - before) / dt
                 lines.append(
-                    f"{str(row.get('sid', '?'))[:16]:16s} "
-                    f"{row.get('requests', 0):>7d} "
+                    f"{sid[:16]:16s} "
+                    f"{requests:>7d} "
+                    f"{_fmt_rate(srate):>8s} "
                     f"{row.get('errors', 0):>5d} "
                     f"{row.get('last_rid', 0):>8d} "
                     f"{row.get('rid_regressions', 0):>4d} "
@@ -176,6 +227,7 @@ class OpsConsole:
                     f"{row.get('age_s', 0):>6.1f}s"
                 )
         self._prev = cur
+        self._prev_requests = next_requests
         return "\n".join(lines) + "\n"
 
     # -- driving --------------------------------------------------------
@@ -194,6 +246,7 @@ class OpsConsole:
             self.out.flush()
             self._prev = None
             self._prev_t = None
+            self._prev_requests = {}
             return False
         frame = self.frame(snapshot, dt)
         self._prev_t = now

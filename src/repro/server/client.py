@@ -979,6 +979,54 @@ class PythiaClient:
         return {**self.counters, "degraded": self._degraded,
                 "fallback": self.fallback}
 
+    def profile_dump(
+        self, *, seconds: float = 0.0, format: str = "collapsed", hz: float = 0.0
+    ) -> dict:
+        """Pull collapsed stacks (or a flamegraph SVG) from the daemon.
+
+        ``seconds > 0`` collects a fresh window — the reply blocks for
+        the window, so the request timeout is stretched to cover it.
+        """
+        request: dict = {"seconds": seconds, "format": format}
+        if hz:
+            request["hz"] = hz
+        old_timeout = self._timeout
+        stretch = old_timeout is not None and seconds > 0
+        try:
+            if stretch:
+                self._timeout = max(old_timeout, seconds + 10.0)
+                if self._sock is not None:
+                    self._sock.settimeout(self._timeout)
+            return self._request("profile_dump", **request)
+        except _UseFallback:
+            raise OracleServiceError(
+                "unavailable", "daemon unreachable: client is in degraded mode"
+            ) from None
+        finally:
+            if stretch:
+                self._timeout = old_timeout
+                if self._sock is not None:
+                    try:
+                        self._sock.settimeout(old_timeout)
+                    except OSError:
+                        pass
+
+    def history(
+        self, *, window: float | None = None, keys: list[str] | None = None
+    ) -> dict:
+        """The daemon's metrics-history view (series + per-second rates)."""
+        request: dict = {}
+        if window is not None:
+            request["window"] = window
+        if keys is not None:
+            request["keys"] = keys
+        try:
+            return self._request("history", **request)
+        except _UseFallback:
+            raise OracleServiceError(
+                "unavailable", "daemon unreachable: client is in degraded mode"
+            ) from None
+
     def sessions(self) -> dict:
         """The daemon's per-client-session telemetry table."""
         try:

@@ -88,13 +88,16 @@ from dataclasses import dataclass, field
 from repro.core.events import Event
 from repro.core.predict import PythiaPredict
 from repro.core.trace_file import TraceFormatError
+from repro.obs import history as obs_history
 from repro.obs import metrics as obs_metrics
+from repro.obs import profiler as obs_profiler
 from repro.obs import spans as obs_spans
 from repro.obs.accuracy import aggregate_stats
 from repro.obs.drift import DriftMonitor
 from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, render_prometheus
+from repro.obs.process import register_process_metrics
 from repro.obs.sessions import DEFAULT_SESSION_CAPACITY, SessionEntry, SessionStats
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
@@ -263,6 +266,10 @@ class OracleServer:
         #: labeled pythia_session_* cardinality tracks the table
         self.session_stats = SessionStats(session_stats_capacity)
         self.session_stats.on_evict(self._drop_session_metrics)
+        #: bounded ring of periodic registry snapshots (the ``history``
+        #: op and ``/history.json``); built from the environment at
+        #: :meth:`start`, None while disabled via ``PYTHIA_HISTORY=0``
+        self.history: obs_history.MetricsHistory | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -313,6 +320,10 @@ class OracleServer:
         for name, help_text in _METRIC_CATALOGUE:
             registry.counter(name, help=help_text)
         registry.register_collector(self._collect_metrics)
+        register_process_metrics(registry)
+        self.history = obs_history.history_from_env()
+        if self.history is not None:
+            self.history.start()
         if listener is not None:
             self._accept_thread = threading.Thread(
                 target=self._accept_loop, name="pythia-accept", daemon=True
@@ -407,6 +418,18 @@ class OracleServer:
             except FileNotFoundError:
                 pass
         obs_metrics.get_registry().unregister_collector(self._collect_metrics)
+        if self.history is not None:
+            self.history.stop()
+            dump_dir = os.environ.get(obs_history.HISTORY_DIR_ENV)
+            if dump_dir and len(self.history):
+                tag = f"w{self.worker_id}" if self.worker_id is not None else "daemon"
+                path = os.path.join(dump_dir, f"history-{tag}-{os.getpid()}.jsonl")
+                try:
+                    os.makedirs(dump_dir, exist_ok=True)
+                    self.history.dump(path)
+                except OSError:
+                    pass  # post-mortem aid only; never blocks shutdown
+            self.history = None
         self._listener = None
         self._accept_thread = None
         self._started = False
@@ -646,7 +669,9 @@ class OracleServer:
         try:
             if handler is None:
                 raise RequestError("unknown_op", f"unknown request op {op!r}")
-            response = handler(self, request, conn_id)
+            # free while no profiler runs; attributes samples to the op
+            with obs_profiler.tag_op(op):
+                response = handler(self, request, conn_id)
             response["ok"] = True
         except RequestError as exc:
             with self._lock:
@@ -1045,6 +1070,99 @@ class OracleServer:
     def _op_metrics(self, request: dict, conn_id: int) -> dict:
         return {"text": render_prometheus(obs_metrics.get_registry())}
 
+    def _op_profile_dump(self, request: dict, conn_id: int) -> dict:
+        """Collapsed stacks / flamegraph SVG from the sampling profiler.
+
+        ``seconds > 0`` collects a fresh window (snapshot-diffed against
+        the running profiler, or on a temporary one while profiling is
+        off); ``seconds == 0`` returns the running profiler's cumulative
+        view.  Capped at 60 s — the window holds a request thread.
+        """
+        fmt = request.get("format", "collapsed")
+        if fmt not in ("collapsed", "svg"):
+            raise RequestError("bad_request", "'format' must be 'collapsed' or 'svg'")
+        seconds = request.get("seconds", 0)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)) \
+                or not 0 <= seconds <= 60:
+            raise RequestError("bad_request", "'seconds' must be a number in [0, 60]")
+        hz = request.get("hz", 0)
+        if isinstance(hz, bool) or not isinstance(hz, (int, float)) or hz < 0:
+            raise RequestError("bad_request", "'hz' must be a number >= 0")
+        prof = obs_profiler.get_profiler()
+        if seconds > 0:
+            stacks, report = obs_profiler.profile_window(
+                float(seconds), float(hz) or obs_profiler.DEFAULT_HZ
+            )
+        elif prof is not None:
+            stacks, report = prof.snapshot(), prof.report()
+        else:
+            raise RequestError(
+                "profiler_off",
+                "no profiler running (PYTHIA_PROFILE_HZ=0); pass seconds > 0 "
+                "to collect a temporary window",
+            )
+        title = "pythia oracle daemon"
+        if self.worker_id is not None:
+            title += f" (worker {self.worker_id})"
+        out: dict = {"format": fmt, "report": report}
+        if fmt == "svg":
+            out["profile"] = obs_profiler.render_flamegraph(stacks, title=title)
+        else:
+            out["profile"] = obs_profiler.render_collapsed(stacks)
+        return out
+
+    def _op_history(self, request: dict, conn_id: int) -> dict:
+        """Metrics history view: series + per-second rates over a window."""
+        hist = self.history
+        if hist is None:
+            raise RequestError(
+                "history_off", "metrics history is disabled (PYTHIA_HISTORY=0)"
+            )
+        window = request.get("window")
+        if window is not None and (
+            isinstance(window, bool) or not isinstance(window, (int, float))
+            or window <= 0
+        ):
+            raise RequestError("bad_request", "'window' must be a number > 0")
+        keys = request.get("keys")
+        if keys is not None and not (
+            isinstance(keys, list) and all(isinstance(k, str) for k in keys)
+        ):
+            raise RequestError("bad_request", "'keys' must be a list of strings")
+        return {"history": hist.view(keys, window)}
+
+    # ------------------------------------------------------------------
+    # HTTP observability provider (the obs.httpd duck interface)
+    # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` page (same exposition as the ``metrics`` op)."""
+        return render_prometheus(obs_metrics.get_registry())
+
+    def readiness(self) -> tuple[bool, str]:
+        """``/ready``: False (503) while draining or stopped."""
+        if self._draining.is_set():
+            return False, "draining"
+        if not self._running.is_set():
+            return False, "stopped"
+        return True, "ready"
+
+    def sessions_view(self) -> dict:
+        return self._op_sessions({}, 0)
+
+    def stats_view(self) -> dict:
+        return self._op_stats({}, 0)
+
+    def profile_view(self, seconds: float, fmt: str, hz: float = 0.0) -> dict:
+        return self._op_profile_dump(
+            {"seconds": seconds, "format": fmt, "hz": hz}, 0
+        )
+
+    def history_view(self, window_s: float | None, keys: list[str] | None) -> dict:
+        if self.history is None:
+            return {"error": "history_off"}
+        return self.history.view(keys, window_s)
+
     def _collect_metrics(self, registry: obs_metrics.MetricsRegistry) -> None:
         """Scrape-time collector: daemon counters, store and live trackers."""
         with self._lock:
@@ -1120,7 +1238,8 @@ class OracleServer:
 
     #: ops still answered while draining: clients closing down cleanly
     #: and monitors watching the drain happen must not be locked out
-    _DRAIN_OPS = frozenset({"close_session", "ping", "stats", "sessions", "metrics"})
+    _DRAIN_OPS = frozenset({"close_session", "ping", "stats", "sessions", "metrics",
+                            "history", "profile_dump"})
 
     _HANDLERS = {
         "open_session": _op_open_session,
@@ -1136,5 +1255,7 @@ class OracleServer:
         "stats": _op_stats,
         "sessions": _op_sessions,
         "metrics": _op_metrics,
+        "profile_dump": _op_profile_dump,
+        "history": _op_history,
         "ping": _op_ping,
     }

@@ -69,12 +69,14 @@ import sys
 import threading
 import time
 
+from repro.obs import profiler as obs_profiler
 from repro.obs.log import get_logger
 from repro.obs.metrics import (
     MetricsRegistry,
     merge_expositions,
     render_prometheus,
 )
+from repro.obs.process import register_process_metrics
 from repro.server.daemon import OracleServer
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME,
@@ -91,7 +93,8 @@ _HEADER = struct.Struct(">I")
 
 #: ops the supervisor answers itself (when the first frame carries no
 #: session context); everything else is routed to a worker
-SUPERVISOR_OPS = frozenset({"metrics", "sessions", "stats", "ping", "workers"})
+SUPERVISOR_OPS = frozenset({"metrics", "sessions", "stats", "ping", "workers",
+                            "profile_dump", "history"})
 
 #: how much of an oversized first frame to peek before giving up on
 #: reading its session id (such connections round-robin instead)
@@ -241,6 +244,7 @@ class OracleSupervisor:
         #: may share a process (tests) whose global registry belongs to
         #: other components
         self._registry = MetricsRegistry()
+        register_process_metrics(self._registry)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -498,6 +502,39 @@ class OracleSupervisor:
                 out[wid] = response
         return out
 
+    def _fan_out_parallel(
+        self, request: dict, *, timeout: float = 5.0
+    ) -> dict[int, dict]:
+        """Like :meth:`_fan_out`, but concurrently.
+
+        Windowed ``profile`` requests block each worker for the window;
+        running them serially would turn a 5-second profile of 4
+        workers into 20 wall seconds.
+        """
+        out: dict[int, dict] = {}
+        lock = threading.Lock()
+
+        def one(wid: int) -> None:
+            w = self._workers[wid]
+            try:
+                response = self._worker_rpc(w, request, timeout=timeout)
+            except (OSError, ProtocolError) as exc:
+                _log.warning("worker_rpc_failed", worker=wid, error=str(exc))
+                return
+            if response.get("ok"):
+                with lock:
+                    out[wid] = response
+
+        threads = [
+            threading.Thread(target=one, args=(wid,), daemon=True)
+            for wid in sorted(self._alive_ids())
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout + 1.0)
+        return out
+
     # ------------------------------------------------------------------
     # connection routing
     # ------------------------------------------------------------------
@@ -666,6 +703,10 @@ class OracleSupervisor:
                     response = {"ok": True, **self._merged_sessions()}
                 elif op == "stats":
                     response = {"ok": True, **self._merged_stats()}
+                elif op == "profile_dump":
+                    response = {"ok": True, **self._merged_profile(request)}
+                elif op == "history":
+                    response = {"ok": True, **self._merged_history(request)}
                 else:
                     response = {
                         "ok": False, "code": "bad_request",
@@ -724,15 +765,20 @@ class OracleSupervisor:
         return render_prometheus(reg)
 
     def _merged_metrics(self) -> str:
-        """One Prometheus page: every worker's registry + supervisor gauges."""
+        """One Prometheus page: every worker's registry + supervisor gauges.
+
+        The supervisor's own page goes through the merge (``own=``)
+        rather than being concatenated, so a family living on both
+        sides — every process has ``pythia_process_*`` — keeps exactly
+        one ``# HELP`` / ``# TYPE`` announcement.
+        """
         answers = self._fan_out({"op": "metrics"})
         pages = {
             wid: resp.get("metrics", "")
             for wid, resp in answers.items()
             if isinstance(resp.get("metrics"), str)
         }
-        merged = merge_expositions(pages)
-        return merged + self._own_metrics()
+        return merge_expositions(pages, own=self._own_metrics())
 
     def _merged_sessions(self) -> dict:
         """The union session table; every row tagged with its worker."""
@@ -789,3 +835,108 @@ class OracleSupervisor:
                 str(wid): w.restarts for wid, w in sorted(self._workers.items())
             },
         }
+
+    def _merged_profile(self, request: dict) -> dict:
+        """Fan a profile window out to every worker; merge the stacks.
+
+        Each worker's stacks come back rooted under ``worker N`` so one
+        flamegraph shows the whole tier with per-worker attribution.
+        Workers collect concurrently (:meth:`_fan_out_parallel`) — the
+        wall time is one window, not N.
+        """
+        fmt = request.get("format", "collapsed")
+        if fmt not in ("collapsed", "svg"):
+            return {"ok": False, "code": "bad_request",
+                    "error": "'format' must be 'collapsed' or 'svg'"}
+        seconds = request.get("seconds", 0)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)) \
+                or not 0 <= seconds <= 60:
+            return {"ok": False, "code": "bad_request",
+                    "error": "'seconds' must be a number in [0, 60]"}
+        rpc = {"op": "profile", "seconds": seconds, "hz": request.get("hz", 0)}
+        answers = self._fan_out_parallel(rpc, timeout=float(seconds) + 10.0)
+        stacks: dict[str, int] = {}
+        reports: dict[str, dict] = {}
+        for wid, resp in sorted(answers.items()):
+            text = resp.get("profile")
+            if not isinstance(text, str):
+                continue
+            for stack, count in obs_profiler.parse_collapsed(text).items():
+                key = f"worker {wid};{stack}"
+                stacks[key] = stacks.get(key, 0) + count
+            if isinstance(resp.get("report"), dict):
+                reports[str(wid)] = resp["report"]
+        title = f"pythia oracle tier ({len(answers)} workers)"
+        out: dict = {
+            "format": fmt,
+            "report": {
+                "samples": sum(stacks.values()),
+                "workers": reports,
+            },
+        }
+        if fmt == "svg":
+            out["profile"] = obs_profiler.render_flamegraph(stacks, title=title)
+        else:
+            out["profile"] = obs_profiler.render_collapsed(stacks)
+        return out
+
+    def _merged_history(self, request: dict) -> dict:
+        """Per-worker history views + tier-wide rates (summed per key)."""
+        rpc = {"op": "history"}
+        for field in ("window", "keys"):
+            if request.get(field) is not None:
+                rpc[field] = request[field]
+        answers = self._fan_out(rpc)
+        workers: dict[str, dict] = {}
+        rates: dict[str, float] = {}
+        interval = None
+        for wid, resp in sorted(answers.items()):
+            view = resp.get("history")
+            if not isinstance(view, dict):
+                continue
+            workers[str(wid)] = view
+            if interval is None:
+                interval = view.get("interval")
+            for key, rate in (view.get("rates") or {}).items():
+                if rate is not None:
+                    rates[key] = rates.get(key, 0.0) + rate
+        return {"history": {
+            "role": "supervisor",
+            "interval": interval,
+            "rates": rates,
+            "workers": workers,
+        }}
+
+    # ------------------------------------------------------------------
+    # HTTP observability provider (the obs.httpd duck interface)
+    # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` page (same exposition as the ``metrics`` op)."""
+        return self._merged_metrics()
+
+    def readiness(self) -> tuple[bool, str]:
+        """``/ready``: 503 while draining, stopped, or fully worker-less."""
+        if self._draining.is_set():
+            return False, "draining"
+        if not self._running.is_set():
+            return False, "stopped"
+        alive = len(self._alive_ids())
+        if alive == 0:
+            return False, "no live workers"
+        return True, f"ready ({alive}/{self.worker_count} workers)"
+
+    def sessions_view(self) -> dict:
+        return self._merged_sessions()
+
+    def stats_view(self) -> dict:
+        return self._merged_stats()
+
+    def profile_view(self, seconds: float, fmt: str, hz: float = 0.0) -> dict:
+        out = self._merged_profile({"seconds": seconds, "format": fmt, "hz": hz})
+        if out.get("ok") is False:
+            raise ValueError(out.get("error", "profile failed"))
+        return out
+
+    def history_view(self, window_s: float | None, keys: list[str] | None) -> dict:
+        return self._merged_history({"window": window_s, "keys": keys})["history"]

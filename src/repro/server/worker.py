@@ -42,14 +42,16 @@ import threading
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import render_prometheus
-from repro.server.daemon import OracleServer
+from repro.obs.profiler import profiler_from_env
+from repro.server.daemon import OracleServer, RequestError
 from repro.server.protocol import ProtocolError, read_frame, write_frame
 from repro.server.store import TraceStore
 
 _log = get_logger("worker")
 
 #: ops the supervisor may issue over the RPC channel
-RPC_OPS = frozenset({"metrics", "sessions", "stats", "ping", "drain"})
+RPC_OPS = frozenset({"metrics", "sessions", "stats", "ping", "drain",
+                     "profile", "history"})
 
 
 def _handle_rpc(server: OracleServer, request: dict, stop: threading.Event) -> dict:
@@ -61,6 +63,14 @@ def _handle_rpc(server: OracleServer, request: dict, stop: threading.Event) -> d
             return {"ok": True, **server._op_sessions(request, 0)}
         if op == "stats":
             return {"ok": True, **server._op_stats({}, 0)}
+        if op == "profile":
+            # collapsed text only: the supervisor merges per-worker
+            # stacks itself before rendering a tier-wide flamegraph
+            return {"ok": True, **server._op_profile_dump(
+                {"seconds": request.get("seconds", 0), "format": "collapsed",
+                 "hz": request.get("hz", 0)}, 0)}
+        if op == "history":
+            return {"ok": True, **server._op_history(request, 0)}
         if op == "ping":
             return {"ok": True, "pong": True, "worker": server.worker_id,
                     "pid": os.getpid()}
@@ -68,6 +78,8 @@ def _handle_rpc(server: OracleServer, request: dict, stop: threading.Event) -> d
             stop.set()
             return {"ok": True, "draining": True}
         return {"ok": False, "code": "bad_request", "error": f"unknown rpc op {op!r}"}
+    except RequestError as exc:
+        return {"ok": False, "code": exc.code, "error": str(exc)}
     except Exception as exc:  # never let one RPC kill the channel
         return {"ok": False, "code": "internal", "error": str(exc)}
 
@@ -114,6 +126,9 @@ def main(argv=None) -> int:
         reuse_port=tcp_address is not None,
     )
     server.start()
+    # long-lived daemon process: continuous profiling on by default
+    # (19 Hz; PYTHIA_PROFILE_HZ=0 opts out, any other value overrides)
+    profiler_from_env(default_hz=19.0)
 
     conn_chan = socket.socket(fileno=args.conn_fd)
     rpc_chan = socket.socket(fileno=args.rpc_fd)

@@ -17,6 +17,7 @@ EXAMPLES = [
     "observability.py",
     "fault_tolerance.py",
     "ops_console.py",
+    "http_observability.py",
 ]
 ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -89,3 +90,24 @@ def test_ops_console_decomposes_and_correlates():
     # a rendered ops-console frame and the offline analyze report
     assert "throughput" in out
     assert "traced requests from sessions" in out
+
+
+def test_http_observability_scrapes_and_profiles(tmp_path):
+    out = run_example(
+        "http_observability.py", "--out-dir", str(tmp_path),
+        "--load-seconds", "1.5", "--profile-seconds", "0.8",
+    )
+    assert "scrape endpoint http://127.0.0.1:" in out
+    assert "/ready: 200 'ready (2/2 workers)'" in out
+    assert "workers ['0', '1']" in out
+    assert "scrape validated" in out
+    assert "history rates" in out and "requests_total" in out
+    # the CI artifacts landed and the flamegraph is a real SVG
+    svg = (tmp_path / "flamegraph.svg").read_text()
+    assert svg.startswith("<svg") and "samples" in svg
+    assert (tmp_path / "metrics.prom").read_text().count(
+        "# TYPE pythia_worker_up gauge") == 1
+    import json
+
+    history = json.loads((tmp_path / "history.json").read_text())
+    assert history["role"] == "supervisor"

@@ -1,0 +1,210 @@
+"""Metrics history ring: rates, deltas, windows, persistence."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.history import (
+    DEFAULT_RATE_KEYS,
+    MetricsHistory,
+    history_from_env,
+    sample_key,
+)
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+
+def filled(points, key="pythia_server_requests_total"):
+    """A ring pre-loaded with ``(t, value)`` points for one key."""
+    hist = MetricsHistory(MetricsRegistry(), capacity=1000)
+    for t, v in points:
+        hist.record_values({key: float(v)}, now=float(t))
+    return hist
+
+
+class TestSampleKey:
+    def test_bare_name(self):
+        assert sample_key("x_total") == "x_total"
+
+    def test_labels_sorted_and_quoted(self):
+        key = sample_key("x_total", {"b": "2", "a": "1"})
+        assert key == 'x_total{a="1",b="2"}'
+
+
+class TestRecording:
+    def test_record_flattens_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("r_total").inc(5)
+        reg.gauge("g", {"sid": "a"}).set(2)
+        hist = MetricsHistory(reg)
+        hist.record(now=100.0)
+        keys = hist.keys()
+        assert "r_total" in keys
+        assert 'g{sid="a"}' in keys
+
+    def test_record_histograms_as_sum_and_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds").observe(0.5)
+        hist = MetricsHistory(reg)
+        hist.record(now=1.0)
+        assert hist.series("lat_seconds_sum") == [(1.0, 0.5)]
+        assert hist.series("lat_seconds_count") == [(1.0, 1.0)]
+
+    def test_record_page_skips_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds").observe(0.5)
+        reg.counter("r_total").inc(3)
+        hist = MetricsHistory(None)
+        hist.record_page(render_prometheus(reg), now=1.0)
+        keys = hist.keys()
+        assert "r_total" in keys
+        assert "lat_seconds_sum" in keys
+        assert not any("_bucket" in k for k in keys)
+
+    def test_ring_is_bounded(self):
+        hist = MetricsHistory(MetricsRegistry(), capacity=3)
+        for i in range(10):
+            hist.record_values({"x": float(i)}, now=float(i))
+        assert len(hist) == 3
+        assert hist.series("x") == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(MetricsRegistry(), capacity=1)
+
+
+class TestQueries:
+    def test_delta_and_rate(self):
+        hist = filled([(0, 100), (10, 150), (20, 300)])
+        key = "pythia_server_requests_total"
+        assert hist.delta(key) == 200
+        assert hist.rate(key) == pytest.approx(10.0)  # 200 over 20s
+
+    def test_rate_clamps_counter_resets(self):
+        # process restart at t=20: counter drops 300 -> 5
+        hist = filled([(0, 100), (10, 300), (20, 5), (30, 105)])
+        key = "pythia_server_requests_total"
+        # positive increases only: 200 + 100 over 30s
+        assert hist.rate(key) == pytest.approx(300 / 30)
+
+    def test_window_clips_old_entries(self):
+        hist = filled([(0, 0), (100, 100), (110, 160)])
+        key = "pythia_server_requests_total"
+        assert hist.rate(key, window_s=15) == pytest.approx(6.0)
+        assert hist.delta(key, window_s=15) == 60
+
+    def test_insufficient_points_is_none(self):
+        hist = filled([(0, 100)])
+        key = "pythia_server_requests_total"
+        assert hist.rate(key) is None
+        assert hist.delta(key) is None
+        assert hist.rate("absent") is None
+
+    def test_percentiles_over_gauge(self):
+        hist = MetricsHistory(MetricsRegistry())
+        for i, v in enumerate([1, 2, 3, 4, 100]):
+            hist.record_values({"g": float(v)}, now=float(i))
+        pcts = hist.percentiles("g", (0.5, 1.0))
+        assert pcts[0.5] == 3
+        assert pcts[1.0] == 100
+        assert hist.percentiles("absent") is None
+        with pytest.raises(ValueError):
+            hist.percentiles("g", (1.5,))
+
+    def test_view_shape(self):
+        hist = filled([(0, 0), (1, 60), (2, 120)])
+        view = hist.view()
+        key = "pythia_server_requests_total"
+        assert view["entries"] == 3
+        assert view["span_seconds"] == 2.0
+        assert view["rates"][key] == pytest.approx(60.0)
+        assert view["series"][key] == [[0.0, 0.0], [1.0, 60.0], [2.0, 120.0]]
+
+    def test_view_decimates_to_max_points(self):
+        hist = filled([(float(i), float(i)) for i in range(500)])
+        view = hist.view(max_points=50)
+        series = view["series"]["pythia_server_requests_total"]
+        assert len(series) == 50
+        assert series[-1] == [499.0, 499.0]  # newest kept
+
+    def test_view_explicit_keys(self):
+        hist = filled([(0, 0), (1, 5)], key="custom_total")
+        view = hist.view(keys=["custom_total"])
+        assert list(view["series"]) == ["custom_total"]
+
+    def test_default_rate_keys_match_exported_names(self):
+        # the daemon exports counters under these exact spellings; a
+        # typo here would silently produce empty default views
+        assert "pythia_server_requests_total" in DEFAULT_RATE_KEYS
+        assert "pythia_server_events_observed" in DEFAULT_RATE_KEYS
+
+
+class TestBackgroundThread:
+    def test_start_stop_records(self):
+        reg = MetricsRegistry()
+        reg.counter("r_total").inc(1)
+        hist = MetricsHistory(reg, interval=0.05)
+        hist.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(hist) < 2:
+                assert time.monotonic() < deadline, "ring never filled"
+                time.sleep(0.02)
+        finally:
+            hist.stop()
+        assert not hist.running
+        assert hist.series("r_total")
+
+    def test_bad_collector_does_not_kill_the_thread(self):
+        reg = MetricsRegistry()
+
+        def boom(_reg):
+            raise RuntimeError("collector bug")
+
+        reg.register_collector(boom)
+        hist = MetricsHistory(reg, interval=0.05)
+        hist.start()
+        try:
+            time.sleep(0.2)
+            assert hist.running
+        finally:
+            hist.stop()
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        hist = filled([(1.5, 10), (2.5, 30)])
+        path = str(tmp_path / "history.jsonl")
+        assert hist.dump(path) == 2
+        loaded = MetricsHistory.load(path)
+        key = "pythia_server_requests_total"
+        assert loaded.series(key) == [(1.5, 10.0), (2.5, 30.0)]
+        assert loaded.rate(key) == pytest.approx(20.0)
+
+    def test_to_jsonl_one_line_per_entry(self):
+        hist = filled([(1, 1), (2, 2)])
+        lines = hist.to_jsonl().strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestEnv:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("PYTHIA_HISTORY", "0")
+        assert history_from_env() is None
+
+    def test_defaults(self, monkeypatch):
+        for var in ("PYTHIA_HISTORY", "PYTHIA_HISTORY_INTERVAL",
+                    "PYTHIA_HISTORY_CAP"):
+            monkeypatch.delenv(var, raising=False)
+        hist = history_from_env()
+        assert hist is not None
+        assert hist.interval == 1.0
+        assert hist.capacity == 600
+
+    def test_tuned(self, monkeypatch):
+        monkeypatch.setenv("PYTHIA_HISTORY_INTERVAL", "0.5")
+        monkeypatch.setenv("PYTHIA_HISTORY_CAP", "10")
+        hist = history_from_env()
+        assert hist.interval == 0.5
+        assert hist.capacity == 10

@@ -16,6 +16,7 @@ from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     Histogram,
     MetricsRegistry,
+    merge_expositions,
     parse_prometheus_text,
     quantile_from_buckets,
     render_prometheus,
@@ -149,6 +150,77 @@ class TestHistogramMerge:
         b = Histogram("h", buckets=(1.0, 3.0))
         with pytest.raises(ValueError):
             a.merge(b)
+
+
+class TestMergeExpositions:
+    """The supervisor's merged scrape must stay a valid exposition."""
+
+    @staticmethod
+    def worker_page(cpu: float) -> str:
+        reg = MetricsRegistry()
+        reg.counter("pythia_server_requests_total", help="total requests").inc(10)
+        reg.counter(
+            "pythia_process_cpu_seconds_total", help="cpu seconds"
+        )._set_total(cpu)
+        return render_prometheus(reg)
+
+    @staticmethod
+    def own_page() -> str:
+        reg = MetricsRegistry()
+        reg.gauge("pythia_worker_up", {"worker": "0"}, help="worker alive").set(1)
+        reg.counter(
+            "pythia_process_cpu_seconds_total", help="cpu seconds"
+        )._set_total(0.5)
+        return render_prometheus(reg)
+
+    def test_worker_label_injected(self):
+        merged = merge_expositions({0: self.worker_page(1.0),
+                                    1: self.worker_page(2.0)})
+        parsed = parse_prometheus_text(merged)
+        per_worker = {
+            labels["worker"]: v
+            for labels, v in parsed.series("pythia_process_cpu_seconds_total")
+        }
+        assert per_worker == {"0": 1.0, "1": 2.0}
+
+    def test_headers_once_per_family_across_workers(self):
+        merged = merge_expositions({0: self.worker_page(1.0),
+                                    1: self.worker_page(2.0)})
+        for family in ("pythia_server_requests_total",
+                       "pythia_process_cpu_seconds_total"):
+            assert merged.count(f"# TYPE {family} ") == 1
+            assert merged.count(f"# HELP {family} ") == 1
+
+    def test_own_page_family_overlap_stays_deduped(self):
+        # pythia_process_* exists in every worker AND the supervisor:
+        # the merged page must still announce each family exactly once
+        merged = merge_expositions(
+            {0: self.worker_page(1.0), 1: self.worker_page(2.0)},
+            own=self.own_page(),
+        )
+        assert merged.count("# TYPE pythia_process_cpu_seconds_total ") == 1
+        assert merged.count("# HELP pythia_process_cpu_seconds_total ") == 1
+        parsed = parse_prometheus_text(merged)
+        series = parsed.series("pythia_process_cpu_seconds_total")
+        assert len(series) == 3  # two workers + the supervisor itself
+
+    def test_own_page_labels_preserved_not_injected(self):
+        merged = merge_expositions({1: self.worker_page(1.0)},
+                                   own=self.own_page())
+        parsed = parse_prometheus_text(merged)
+        # the supervisor's own sample carries no injected worker label...
+        assert parsed.value("pythia_process_cpu_seconds_total") == 0.5
+        # ...and its pre-labeled series survive verbatim
+        assert parsed.value("pythia_worker_up", {"worker": "0"}) == 1
+
+    def test_every_noncomment_line_parses(self):
+        merged = merge_expositions(
+            {0: self.worker_page(1.0)}, own=self.own_page()
+        )
+        parsed = parse_prometheus_text(merged)
+        samples = sum(1 for line in merged.splitlines()
+                      if line and not line.startswith("#"))
+        assert samples == len(parsed.samples)
 
 
 class TestRegistryRemove:

@@ -1,0 +1,71 @@
+"""Process metrics: /proc parsing and off-Linux degradation."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.process import read_process_stats, register_process_metrics
+
+
+class TestReadProcessStats:
+    def test_portable_fields_always_present(self):
+        stats = read_process_stats()
+        assert stats["cpu_seconds"] >= 0
+        assert stats["threads"] >= 1
+        assert stats["start_time"] > 0
+
+    def test_proc_fields_on_linux(self):
+        if not os.path.exists("/proc/self/stat"):
+            return  # nothing /proc-specific to check here
+        stats = read_process_stats()
+        assert stats["rss_bytes"] > 0
+        assert stats["vsize_bytes"] > stats["rss_bytes"] / 1000
+        assert stats["open_fds"] >= 3  # stdin/stdout/stderr at least
+        # started after the 2020 epoch, not in the future
+        import time
+
+        assert 1.6e9 < stats["start_time"] <= time.time() + 1
+
+    def test_graceful_without_proc(self):
+        stats = read_process_stats(proc="/nonexistent-proc")
+        assert "cpu_seconds" in stats  # os.times fallback
+        assert "threads" in stats
+        assert "start_time" in stats
+        assert "rss_bytes" not in stats  # memory honestly omitted
+        assert "open_fds" not in stats
+
+
+class TestRegisterProcessMetrics:
+    def test_exposition_carries_process_family(self):
+        reg = MetricsRegistry()
+        register_process_metrics(reg)
+        text = render_prometheus(reg)
+        assert "pythia_process_cpu_seconds_total" in text
+        assert "pythia_process_threads" in text
+        assert "pythia_process_start_time_seconds" in text
+        assert "# TYPE pythia_process_cpu_seconds_total counter" in text
+
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        register_process_metrics(reg)
+        register_process_metrics(reg)
+        text = render_prometheus(reg)
+        assert text.count("# TYPE pythia_process_cpu_seconds_total") == 1
+
+    def test_values_fresh_at_scrape_time(self):
+        reg = MetricsRegistry()
+        register_process_metrics(reg)
+        render_prometheus(reg)
+        # burn a little CPU between scrapes
+        sum(i * i for i in range(200_000))
+        first = _cpu(render_prometheus(reg))
+        sum(i * i for i in range(2_000_000))
+        second = _cpu(render_prometheus(reg))
+        assert second >= first
+
+
+def _cpu(text: str) -> float:
+    from repro.obs.metrics import parse_prometheus_text
+
+    return parse_prometheus_text(text).value("pythia_process_cpu_seconds_total")

@@ -1,0 +1,264 @@
+"""Sampling profiler: stack collection, op tagging, rendering."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiler as prof_mod
+from repro.obs.profiler import (
+    SamplingProfiler,
+    disable_profiler,
+    enable_profiler,
+    get_profiler,
+    parse_collapsed,
+    profile_window,
+    profiler_from_env,
+    render_collapsed,
+    render_flamegraph,
+    tag_op,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_profiler():
+    """Each test starts and ends with the process profiler off."""
+    disable_profiler()
+    yield
+    disable_profiler()
+
+
+def busy_thread(stop: threading.Event, name: str = "busy-loop"):
+    def spin():
+        while not stop.is_set():
+            sum(range(200))
+
+    thread = threading.Thread(target=spin, name=name, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestSampling:
+    def test_sample_once_sees_live_threads(self):
+        stop = threading.Event()
+        busy_thread(stop)
+        try:
+            prof = SamplingProfiler(hz=50)
+            sampled = prof.sample_once()
+            assert sampled >= 1
+            stacks = prof.snapshot()
+            assert any("busy-loop" in stack for stack in stacks)
+            # root first: the thread name leads, frames follow
+            busy = next(s for s in stacks if s.startswith("busy-loop;"))
+            assert "test_profiler.spin" in busy
+        finally:
+            stop.set()
+
+    def test_background_thread_accumulates(self):
+        stop = threading.Event()
+        busy_thread(stop)
+        prof = SamplingProfiler(hz=200).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while prof.report()["samples"] < 10:
+                assert time.monotonic() < deadline, "profiler never sampled"
+                time.sleep(0.02)
+        finally:
+            prof.stop()
+            stop.set()
+        report = prof.report()
+        assert report["samples"] >= 10
+        assert report["distinct_stacks"] >= 1
+        assert not report["running"]
+        assert report["active_seconds"] > 0
+
+    def test_sampler_skips_its_own_thread(self):
+        prof = SamplingProfiler(hz=200).start()
+        try:
+            time.sleep(0.1)
+        finally:
+            prof.stop()
+        assert not any(
+            "pythia-profiler" in stack for stack in prof.snapshot()
+        )
+
+    def test_diff_since_isolates_a_window(self):
+        prof = SamplingProfiler(hz=50)
+        prof.sample_once()
+        before = prof.snapshot()
+        prof.sample_once()
+        prof.sample_once()
+        diff = prof.diff_since(before)
+        assert sum(diff.values()) >= 1
+        # cumulative view undisturbed
+        assert sum(prof.snapshot().values()) >= sum(before.values())
+
+    def test_reset_clears_counts(self):
+        prof = SamplingProfiler(hz=50)
+        prof.sample_once()
+        prof.reset()
+        assert prof.snapshot() == {}
+        assert prof.report()["samples"] == 0
+
+    def test_hz_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+
+class TestTagging:
+    def test_tag_op_is_noop_without_profiler(self):
+        tag = tag_op("anything")
+        assert tag is prof_mod._NULL_TAG
+        with tag:
+            pass  # no state mutated, no error
+
+    def test_tagged_samples_carry_op_frame(self):
+        enable_profiler(hz=50)
+        prof = get_profiler()
+        stop = threading.Event()
+        seen = threading.Event()
+
+        def work():
+            with tag_op("observe_predict"):
+                seen.set()
+                while not stop.is_set():
+                    sum(range(100))
+
+        thread = threading.Thread(target=work, name="tagged", daemon=True)
+        thread.start()
+        try:
+            assert seen.wait(2.0)
+            deadline = time.monotonic() + 5.0
+            while not any(
+                "tagged;op:observe_predict;" in s for s in prof.snapshot()
+            ):
+                assert time.monotonic() < deadline, "op tag never sampled"
+                time.sleep(0.02)
+        finally:
+            stop.set()
+            thread.join(timeout=2.0)
+
+    def test_tags_nest_and_restore(self):
+        enable_profiler(hz=50)
+        ident = threading.get_ident()
+        with tag_op("outer"):
+            assert prof_mod._tags[ident] == "outer"
+            with tag_op("inner"):
+                assert prof_mod._tags[ident] == "inner"
+            assert prof_mod._tags[ident] == "outer"
+        assert ident not in prof_mod._tags
+
+
+class TestProcessProfiler:
+    def test_enable_disable_round_trip(self):
+        assert get_profiler() is None
+        prof = enable_profiler(hz=50)
+        assert get_profiler() is prof
+        assert prof.running
+        assert enable_profiler() is prof  # idempotent
+        disable_profiler()
+        assert get_profiler() is None
+        assert not prof.running
+
+    def test_profiler_from_env_default_off(self, monkeypatch):
+        monkeypatch.delenv("PYTHIA_PROFILE_HZ", raising=False)
+        assert profiler_from_env() is None
+
+    def test_profiler_from_env_daemon_default(self, monkeypatch):
+        monkeypatch.delenv("PYTHIA_PROFILE_HZ", raising=False)
+        prof = profiler_from_env(default_hz=19.0)
+        assert prof is not None
+        assert prof.hz == 19.0
+
+    def test_profiler_from_env_zero_opts_out(self, monkeypatch):
+        monkeypatch.setenv("PYTHIA_PROFILE_HZ", "0")
+        assert profiler_from_env(default_hz=19.0) is None
+
+    def test_profiler_from_env_override(self, monkeypatch):
+        monkeypatch.setenv("PYTHIA_PROFILE_HZ", "37")
+        prof = profiler_from_env()
+        assert prof is not None
+        assert prof.hz == 37.0
+
+    def test_profile_window_with_temporary_profiler(self):
+        stop = threading.Event()
+        busy_thread(stop)
+        try:
+            stacks, report = profile_window(0.15, hz=100)
+        finally:
+            stop.set()
+        assert sum(stacks.values()) >= 1
+        assert report["window_seconds"] == 0.15
+        assert get_profiler() is None  # temporary profiler discarded
+
+    def test_profile_window_uses_running_profiler(self):
+        running = enable_profiler(hz=100)
+        stacks, _report = profile_window(0.1)
+        assert get_profiler() is running  # not replaced
+        assert isinstance(stacks, dict)
+
+    def test_profile_window_boosts_above_running_rate(self):
+        running = enable_profiler(hz=10)
+        _stacks, report = profile_window(0.1, hz=200)
+        assert get_profiler() is running  # booster was temporary
+        assert report["hz"] == 200.0
+        assert not report["running"]  # ... and is stopped again
+
+    def test_profiler_lowers_and_restores_switch_interval(self):
+        before = sys.getswitchinterval()
+        assert before > prof_mod.SWITCH_INTERVAL_S
+        enable_profiler(hz=50)
+        assert sys.getswitchinterval() == pytest.approx(
+            prof_mod.SWITCH_INTERVAL_S
+        )
+        disable_profiler()
+        assert sys.getswitchinterval() == pytest.approx(before)
+
+    def test_boosted_window_keeps_switch_interval_until_stop(self):
+        before = sys.getswitchinterval()
+        enable_profiler(hz=10)
+        profile_window(0.05, hz=100)
+        # the booster's exit must not restore the interval early
+        assert sys.getswitchinterval() == pytest.approx(
+            prof_mod.SWITCH_INTERVAL_S
+        )
+        disable_profiler()
+        assert sys.getswitchinterval() == pytest.approx(before)
+
+
+class TestRendering:
+    def test_collapsed_round_trip(self):
+        stacks = {"main;op:save_trace;trace_file.save": 7, "main;idle": 3}
+        text = render_collapsed(stacks)
+        assert "main;op:save_trace;trace_file.save 7" in text
+        assert parse_collapsed(text) == stacks
+
+    def test_parse_collapsed_merges_and_skips_garbage(self):
+        text = "a;b 2\na;b 3\nnot-a-count x\n\n"
+        assert parse_collapsed(text) == {"a;b": 5}
+
+    def test_flamegraph_contains_frames_and_counts(self):
+        stacks = {
+            "main;op:observe_predict;daemon._dispatch": 60,
+            "main;op:save_trace;trace_file.save": 40,
+        }
+        svg = render_flamegraph(stacks, title="test graph")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "op:observe_predict" in svg
+        assert "op:save_trace" in svg
+        assert "test graph" in svg
+        assert "100 samples" in svg
+
+    def test_flamegraph_escapes_markup(self):
+        svg = render_flamegraph({"main;<evil>&frame": 1})
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+    def test_flamegraph_empty_profile(self):
+        svg = render_flamegraph({})
+        assert svg.startswith("<svg")
+        assert "0 samples" in svg

@@ -106,6 +106,69 @@ class TestFrame:
         assert "[DRAINING]" in frame
 
 
+class TestHistoryRows:
+    def test_sparkline_and_rate_from_history(self):
+        history = {
+            "series": {
+                "pythia_server_requests_total": [
+                    [float(t), float(t * 60)] for t in range(10)
+                ]
+            },
+            "rates": {"pythia_server_requests_total": 60.0},
+        }
+        frame = OpsConsole(lambda: {}, out=io.StringIO(), clear=False).frame(
+            {"metrics": metrics_text(), "history": history}
+        )
+        line = next(
+            ln for ln in frame.splitlines() if "server_requests" in ln
+        )
+        assert "60/s" in line
+        assert any(ch in line for ch in "▁▂▃▄▅▆▇█")
+
+    def test_no_history_no_sparkline_rows(self):
+        frame = OpsConsole(lambda: {}, out=io.StringIO(), clear=False).frame(
+            {"metrics": metrics_text()}
+        )
+        assert not any(ch in frame for ch in "▁▂▃▄▅▆▇█")
+
+    def test_supervisor_history_rates_without_series(self):
+        # the supervisor's merged history has rates but no series
+        frame = OpsConsole(lambda: {}, out=io.StringIO(), clear=False).frame(
+            {
+                "metrics": metrics_text(),
+                "history": {"rates": {"pythia_server_requests_total": 12.0}},
+            }
+        )
+        assert "12/s" in frame
+
+    def test_per_session_rate_diffs_successive_frames(self):
+        console = OpsConsole(lambda: {}, out=io.StringIO(), clear=False)
+        console.frame(
+            {
+                "metrics": metrics_text(),
+                "sessions": sessions_table([session_row(requests=100)]),
+            }
+        )
+        frame = console.frame(
+            {
+                "metrics": metrics_text(),
+                "sessions": sessions_table([session_row(requests=150)]),
+            },
+            dt=2.0,
+        )
+        line = next(ln for ln in frame.splitlines() if "cAAA" in ln)
+        assert "25/s" in line  # 50 requests over 2 s
+
+    def test_first_frame_session_rate_is_dash(self):
+        frame = OpsConsole(lambda: {}, out=io.StringIO(), clear=False).frame(
+            {
+                "metrics": metrics_text(),
+                "sessions": sessions_table([session_row()]),
+            }
+        )
+        assert "req/s" in frame  # column present, value still unknown
+
+
 class TestRun:
     def test_run_bounded_iterations(self):
         out = io.StringIO()

@@ -163,12 +163,16 @@ class TestRoutedServing:
     def test_merged_metrics_label_every_sample_by_worker(self, tier):
         page = admin(tier.sock, {"op": "metrics"})["text"]
         parsed = parse_prometheus_text(page)
-        workers_seen = {
-            labels["worker"]
-            for name, labels, _value in parsed.samples
-            if name.startswith("pythia_")
-        }
-        assert workers_seen == {"0", "1"}  # no unlabeled pythia sample
+        # every sample is worker-labeled except the supervisor's own
+        # process gauges (they describe the supervisor process itself)
+        workers_seen = set()
+        for name, labels, _value in parsed.samples:
+            if not name.startswith("pythia_"):
+                continue
+            if name.startswith("pythia_process_") and "worker" not in labels:
+                continue
+            workers_seen.add(labels["worker"])
+        assert workers_seen == {"0", "1"}  # no other unlabeled sample
         up = {
             labels["worker"]: value
             for name, labels, value in parsed.samples
