@@ -46,6 +46,12 @@ STEPS = 150  # observe/predict pairs per session
 #: not)
 MIN_SCALING = 0.8
 
+#: the protocol-v2 acceptance floor: ``observe_predict`` p99 over the
+#: binary pipelined path must be at least this many times better than
+#: the JSON synchronous baseline (ROADMAP item 1's "10x+ on the table"
+#: claim, enforced at 2x so CI noise cannot flake it)
+MIN_BINARY_PIPELINE_SPEEDUP = 2.0
+
 
 @pytest.fixture(scope="module")
 def service(recorded_traces, tmp_path_factory):
@@ -425,6 +431,136 @@ def _bench_multi_worker(trace_path: str, tmp: str, workers: int, steps: int,
 
 
 # ----------------------------------------------------------------------
+# protocol comparison (json sync vs binary sync vs binary pipelined)
+# ----------------------------------------------------------------------
+
+
+def _pctl(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def _op_stats(samples_s: list[float]) -> dict:
+    return {
+        "count": len(samples_s),
+        "p50_us": round(_pctl(samples_s, 0.50) * 1e6, 1),
+        "p99_us": round(_pctl(samples_s, 0.99) * 1e6, 1),
+        "mean_us": round(sum(samples_s) / len(samples_s) * 1e6, 1),
+    }
+
+
+def _sync_round(trace_path: str, sock: str, events, protocol: str,
+                rounds: int) -> dict:
+    """Per-op round-trip latencies of one synchronous client."""
+    samples: dict[str, list[float]] = {
+        "observe": [], "observe_predict": [], "predict": [],
+    }
+    client = PythiaClient(trace_path, socket=sock, protocol=protocol)
+    try:
+        for _ in range(rounds):
+            for name, payload in events:
+                t0 = time.perf_counter()
+                client.event_and_predict(name, payload)
+                samples["observe_predict"].append(time.perf_counter() - t0)
+            for name, payload in events:
+                t0 = time.perf_counter()
+                client.event(name, payload)
+                samples["observe"].append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                client.predict(4)
+                samples["predict"].append(time.perf_counter() - t0)
+        assert not client.degraded, "client fell back mid-benchmark"
+    finally:
+        client.finish()
+    return {op: _op_stats(vals) for op, vals in samples.items() if vals}
+
+
+def _pipelined_round(trace_path: str, sock: str, events, rounds: int,
+                     window: int = 32) -> dict:
+    """Amortized per-op completion times over the pipelined path.
+
+    Pipelining has no per-request round trip, so each op is charged
+    its window's wall time divided by the window size — submit
+    encoding, the single send, daemon service and the reply reads all
+    included.  That is the time a runtime actually waits per fused op
+    when it batches ``window`` events ahead.
+    """
+    samples: list[float] = []
+    client = PythiaClient(trace_path, socket=sock)
+    try:
+        for _ in range(rounds):
+            with client.pipeline(window=window) as pipe:
+                for start in range(0, len(events), window):
+                    chunk = events[start:start + window]
+                    t0 = time.perf_counter()
+                    for name, payload in chunk:
+                        pipe.submit(name, payload)
+                    pipe.drain()
+                    per_op = (time.perf_counter() - t0) / len(chunk)
+                    samples.extend([per_op] * len(chunk))
+        assert client._proto_state == "binary", "daemon did not negotiate v2"
+        assert not client.degraded, "client fell back mid-benchmark"
+    finally:
+        client.finish()
+    return {"observe_predict": _op_stats(samples), "window": window}
+
+
+def _bench_protocols(trace_path: str, tmp: str, events,
+                     protocol: str) -> tuple[dict, list[str]]:
+    """The ``protocols`` section of the report (+ its floor failures).
+
+    Measures the framings ``--protocol`` selects against one fresh
+    daemon: synchronous JSON, synchronous binary, and the pipelined
+    binary path; enforces the v2 acceptance floor when both framings
+    were measured.
+    """
+    import os
+
+    failures: list[str] = []
+    # enough samples for a meaningful p99 even with the default steps
+    rounds = max(1, 600 // max(1, len(events)))
+    sock = os.path.join(tmp, "proto.sock")
+    section: dict = {"io_mode": "eventloop", "rounds": rounds}
+    with OracleServer(sock, store=TraceStore(capacity=4)):
+        if protocol in ("json", "both"):
+            section["json_sync"] = _sync_round(
+                trace_path, sock, events, "json", rounds
+            )
+        if protocol in ("binary", "both"):
+            section["binary_sync"] = _sync_round(
+                trace_path, sock, events, "binary", rounds
+            )
+            section["binary_pipelined"] = _pipelined_round(
+                trace_path, sock, events, rounds
+            )
+    for mode in ("json_sync", "binary_sync", "binary_pipelined"):
+        stats = section.get(mode, {}).get("observe_predict")
+        if stats:
+            print(f"  {mode:>17s}.observe_predict "
+                  f"p50 {stats['p50_us']:7.1f}us  p99 {stats['p99_us']:7.1f}us  "
+                  f"(n={stats['count']})")
+    if "json_sync" in section and "binary_pipelined" in section:
+        json_p99 = section["json_sync"]["observe_predict"]["p99_us"]
+        pipe_p99 = section["binary_pipelined"]["observe_predict"]["p99_us"]
+        speedup = json_p99 / pipe_p99 if pipe_p99 else float("inf")
+        section["pipelined_p99_speedup_vs_json_sync"] = round(speedup, 2)
+        print(f"  binary pipelined p99 is {speedup:.2f}x better than "
+              f"JSON sync")
+        if speedup < MIN_BINARY_PIPELINE_SPEEDUP:
+            failures.append(
+                f"binary pipelined observe_predict p99 is only {speedup:.2f}x "
+                f"better than JSON sync (< {MIN_BINARY_PIPELINE_SPEEDUP}x floor)"
+            )
+        bin_p99 = section.get("binary_sync", {}).get(
+            "observe_predict", {}).get("p99_us")
+        if bin_p99:
+            section["binary_sync_p99_speedup_vs_json_sync"] = round(
+                json_p99 / bin_p99, 2
+            )
+    return section, failures
+
+
+# ----------------------------------------------------------------------
 # standalone mode (CI: emits BENCH_server.json)
 # ----------------------------------------------------------------------
 
@@ -439,6 +575,12 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the merged per-worker metrics "
                              "exposition after the multi-worker rounds")
+    parser.add_argument("--protocol", default="both",
+                        choices=("json", "binary", "both"),
+                        help="which wire framings the protocol-comparison "
+                             "section measures (sync JSON, sync binary, "
+                             "pipelined binary); 'both' also enforces the "
+                             "binary-vs-JSON p99 floor")
     # internal: subprocess load-generator mode
     parser.add_argument("--loadgen", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--socket", default=None, help=argparse.SUPPRESS)
@@ -497,6 +639,12 @@ def main(argv=None) -> int:
                 f"16-session aggregate is {scaling:.2f}x the 1-session rate "
                 f"(< {MIN_SCALING}x floor)"
             )
+        print("protocol comparison (one session, fresh daemon):")
+        proto_section, proto_failures = _bench_protocols(
+            trace_path, tmp, events, args.protocol
+        )
+        report["protocols"] = proto_section
+        failures.extend(proto_failures)
         if args.workers and args.workers > 0:
             section, multi_failures = _bench_multi_worker(
                 trace_path, tmp, args.workers, args.steps, args.metrics_out

@@ -410,6 +410,8 @@ def _start_httpd(args, provider, registry=None):
 
 
 def _cmd_serve(args) -> int:
+    import os
+
     from repro.obs.profiler import profiler_from_env
     from repro.server import OracleServer, TraceStore
 
@@ -417,6 +419,10 @@ def _cmd_serve(args) -> int:
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")
         tcp_address = (host or "127.0.0.1", int(port))
+    if args.io:
+        # single-process daemons take io_mode directly; supervisor
+        # workers are subprocesses and pick it up from the environment
+        os.environ["PYTHIA_SERVER_IO"] = args.io
     if args.workers and args.workers > 0:
         from repro.server import OracleSupervisor
 
@@ -449,10 +455,12 @@ def _cmd_serve(args) -> int:
         server = OracleServer(
             tcp_address=tcp_address,
             store=TraceStore(capacity=args.cache_size),
+            io_mode=args.io,
         )
     else:
         server = OracleServer(
-            args.socket, store=TraceStore(capacity=args.cache_size)
+            args.socket, store=TraceStore(capacity=args.cache_size),
+            io_mode=args.io,
         )
     server.start()
     # long-lived daemon: continuous profiling on by default (19 Hz;
@@ -555,6 +563,10 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--no-mmap", action="store_true",
                      help="multi-worker: parse JSON traces per worker "
                           "instead of sharing mmap'd artifacts")
+    srv.add_argument("--io", default=None, choices=("eventloop", "threads"),
+                     help="data-connection I/O model: 'eventloop' (one "
+                          "selectors loop, the default) or 'threads' "
+                          "(thread per connection); also PYTHIA_SERVER_IO")
     srv.add_argument("--http", type=int, default=None, metavar="PORT",
                      help="also serve the HTTP observability endpoint "
                           "(/metrics /healthz /ready /sessions.json "

@@ -107,7 +107,16 @@ def _flatten_page(text: str) -> dict[str, float]:
 
 
 class MetricsHistory:
-    """Bounded ring of ``(t, {sample_key: value})`` snapshots."""
+    """Bounded ring of ``(t, {sample_key: value})`` snapshots.
+
+    Internally every entry carries *two* clocks: ``time.monotonic()``
+    drives all windowing, rates and spans (an NTP step or a backwards
+    wall-clock jump must not corrupt ``rate()``/``delta()`` windows or
+    ``top`` sparklines), while ``time.time()`` is kept purely for
+    display and JSONL persistence — :meth:`entries` and :meth:`series`
+    expose the wall timestamp, exactly as before.  Tests that pass an
+    explicit ``now`` pin both clocks to that value.
+    """
 
     def __init__(
         self,
@@ -122,7 +131,10 @@ class MetricsHistory:
         self.capacity = capacity
         self.interval = float(interval)
         self._lock = threading.Lock()
-        self._ring: deque[tuple[float, dict[str, float]]] = deque(maxlen=capacity)
+        # (t_monotonic, t_wall, values) — mono windows, wall displays
+        self._ring: deque[tuple[float, float, dict[str, float]]] = deque(
+            maxlen=capacity
+        )
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -139,9 +151,12 @@ class MetricsHistory:
         self.record_values(_flatten_page(text), now=now)
 
     def record_values(self, values: dict[str, float], now: float | None = None) -> None:
-        t = time.time() if now is None else now
+        if now is None:
+            t_mono, t_wall = time.monotonic(), time.time()
+        else:
+            t_mono = t_wall = now
         with self._lock:
-            self._ring.append((t, values))
+            self._ring.append((t_mono, t_wall, values))
 
     # -- background collection ------------------------------------------
 
@@ -180,35 +195,53 @@ class MetricsHistory:
         with self._lock:
             return len(self._ring)
 
-    def entries(self, window_s: float | None = None) -> list[tuple[float, dict]]:
-        """Ring contents, oldest first, optionally clipped to a window."""
+    def _window(
+        self, window_s: float | None
+    ) -> list[tuple[float, float, dict[str, float]]]:
+        """Ring triples, oldest first, clipped on the *monotonic* clock."""
         with self._lock:
             items = list(self._ring)
         if window_s is not None and items:
             cutoff = items[-1][0] - window_s
-            items = [(t, v) for t, v in items if t >= cutoff]
+            items = [e for e in items if e[0] >= cutoff]
         return items
+
+    def entries(self, window_s: float | None = None) -> list[tuple[float, dict]]:
+        """Ring contents as ``(t_wall, values)``, oldest first, optionally
+        clipped to a window (windowing runs on the monotonic clock)."""
+        return [(t_wall, v) for _, t_wall, v in self._window(window_s)]
 
     def keys(self) -> list[str]:
         """Every sample key present in the newest snapshot."""
         with self._lock:
             if not self._ring:
                 return []
-            return sorted(self._ring[-1][1])
+            return sorted(self._ring[-1][2])
 
     def series(
         self, key: str, window_s: float | None = None
     ) -> list[tuple[float, float]]:
-        """``(t, value)`` points for one sample key (absent points skipped)."""
+        """``(t_wall, value)`` points for one sample key (absent points
+        skipped) — wall timestamps, for display only."""
         return [
-            (t, values[key])
-            for t, values in self.entries(window_s)
+            (t_wall, values[key])
+            for _, t_wall, values in self._window(window_s)
+            if key in values
+        ]
+
+    def _points(
+        self, key: str, window_s: float | None = None
+    ) -> list[tuple[float, float]]:
+        """``(t_monotonic, value)`` points — the time base for math."""
+        return [
+            (t_mono, values[key])
+            for t_mono, _, values in self._window(window_s)
             if key in values
         ]
 
     def delta(self, key: str, window_s: float | None = None) -> float | None:
         """Increase of ``key`` over the window (last - first), or None."""
-        pts = self.series(key, window_s)
+        pts = self._points(key, window_s)
         if len(pts) < 2:
             return None
         return pts[-1][1] - pts[0][1]
@@ -218,9 +251,11 @@ class MetricsHistory:
 
         A counter reset (process restart) shows as a negative delta;
         like PromQL's ``rate()``, the drop is clamped by summing only
-        the positive per-step increases.
+        the positive per-step increases.  Spans come from the monotonic
+        clock, so a wall-clock step cannot produce a negative or
+        inflated span.
         """
-        pts = self.series(key, window_s)
+        pts = self._points(key, window_s)
         if len(pts) < 2:
             return None
         span = pts[-1][0] - pts[0][0]
@@ -239,7 +274,7 @@ class MetricsHistory:
         window_s: float | None = None,
     ) -> dict[float, float] | None:
         """Percentiles of a sampled value (gauges) over the window."""
-        values = sorted(v for _, v in self.series(key, window_s))
+        values = sorted(v for _, v in self._points(key, window_s))
         if not values:
             return None
         out: dict[float, float] = {}
@@ -275,12 +310,12 @@ class MetricsHistory:
                 pts = pts[-max_points:]
             series[key] = [[round(t, 3), v] for t, v in pts]
             rates[key] = self.rate(key, window_s)
-        entries = self.entries(window_s)
+        entries = self._window(window_s)
         return {
             "interval": self.interval,
             "capacity": self.capacity,
             "entries": len(entries),
-            "span_seconds": (
+            "span_seconds": (  # monotonic span: NTP-step proof
                 round(entries[-1][0] - entries[0][0], 3) if len(entries) > 1 else 0.0
             ),
             "series": series,

@@ -174,20 +174,25 @@ class OpsConsole:
                 f"{'queue (dispatch)':24s} "
                 f"{_fmt_us(q50 * 1e6):>10s} {_fmt_us(q99 * 1e6):>10s}"
             )
-        ops = sorted(
+        pairs = sorted(
             {
-                labels.get("op")
+                (labels.get("op"), labels.get("proto", ""))
                 for labels, _count in cur.series("pythia_server_request_seconds_count")
                 if labels.get("op")
             }
         )
-        for op in ops:
-            p50 = cur.quantile("pythia_server_request_seconds", 0.50, {"op": op})
-            p99 = cur.quantile("pythia_server_request_seconds", 0.99, {"op": op})
+        for op, proto in pairs:
+            labels = {"op": op, "proto": proto} if proto else {"op": op}
+            p50 = cur.quantile("pythia_server_request_seconds", 0.50, labels)
+            p99 = cur.quantile("pythia_server_request_seconds", 0.99, labels)
             if p50 is None:
                 continue
+            # JSON is the default framing; only non-JSON protos suffix
+            row = "handler:" + op
+            if proto and proto != "json":
+                row += "/" + proto
             lines.append(
-                f"{'handler:' + op:24s} "
+                f"{row:24s} "
                 f"{_fmt_us(p50 * 1e6):>10s} {_fmt_us(p99 * 1e6):>10s}"
             )
 

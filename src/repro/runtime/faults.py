@@ -54,28 +54,44 @@ class ErrorInjector:
 
 
 _HEADER = struct.Struct(">I")
+_BIN_HEADER = struct.Struct(">BBHI")  # v2 framing: magic 0xA7, op, flags, len
+_BIN_MAGIC = 0xA7
 
 
 def _read_raw_frame(sock: socket.socket) -> bytes | None:
-    """One length-prefixed frame as raw bytes (header included).
+    """One frame as raw bytes (header included), either framing.
 
-    ``None`` on EOF at a frame boundary; raises :class:`OSError` (via
-    ``ConnectionResetError``) on EOF mid-frame — either way the bridge
-    is over.
+    A first byte of ``0xA7`` is a v2 binary frame (8-byte header, u32
+    body length at offset 4); anything else is a length-prefixed JSON
+    frame.  ``None`` on EOF at a frame boundary; raises
+    :class:`OSError` (via ``ConnectionResetError``) on EOF mid-frame —
+    either way the bridge is over.
     """
     chunks: list[bytes] = []
-    need = _HEADER.size
+    header_size = _HEADER.size
+    need = 1
     got = 0
     while got < need:
         chunk = sock.recv(need - got)
         if not chunk:
-            if got == 0 and need == _HEADER.size and not chunks:
+            if got == 0:
                 return None
             raise ConnectionResetError("peer closed mid-frame")
         chunks.append(chunk)
         got += len(chunk)
-        if got == _HEADER.size and need == _HEADER.size:
-            (length,) = _HEADER.unpack(b"".join(chunks))
+        if need == 1 and got >= 1:
+            head = b"".join(chunks)
+            chunks = [head]
+            if head[0] == _BIN_MAGIC:
+                header_size = _BIN_HEADER.size
+            need = header_size
+        if got == need == header_size:
+            head = b"".join(chunks)
+            chunks = [head]
+            if header_size == _BIN_HEADER.size:
+                length = struct.unpack_from(">I", head, 4)[0]
+            else:
+                (length,) = _HEADER.unpack(head)
             need += length
     return b"".join(chunks)
 

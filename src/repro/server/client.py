@@ -90,7 +90,7 @@ from dataclasses import dataclass
 from time import monotonic, perf_counter, sleep
 from typing import Hashable
 
-from repro.core.events import EventRegistry
+from repro.core.events import Event, EventRegistry
 from repro.core.explain import Explanation
 from repro.core.predict import Prediction
 from repro.core.trace_file import TraceFormatError
@@ -101,16 +101,43 @@ from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_S
 from repro.server.protocol import (
+    BIN_REQ,
     DEFAULT_MAX_FRAME,
+    F_HAS_SRV,
+    F_MATCHED,
+    F_REQUIRE_MATCH,
+    F_UNKNOWN_EVENT,
+    F_WITH_TIME,
+    OP_OBSERVE,
+    OP_OBSERVE_PREDICT,
+    OP_PREDICT,
+    OP_REPLY_ERROR,
+    OP_REPLY_MATCHED,
+    OP_REPLY_PREDICT,
     RETRYABLE_CODES,
+    SRV_PAIR,
     ProtocolError,
+    decode_bin_error,
+    decode_bin_prediction,
+    decode_payload,
     decode_prediction,
+    encode_bin_frame,
+    encode_json_frame,
     encode_payload,
     read_frame,
+    read_frame_any,
     write_frame,
 )
 
-__all__ = ["OracleServiceError", "PythiaClient", "RetryPolicy"]
+__all__ = ["OraclePipeline", "OracleServiceError", "PythiaClient", "RetryPolicy"]
+
+#: JSON op name -> binary opcode for the requests that have a binary
+#: spelling (protocol v2 hot path)
+_BIN_OPCODES = {
+    "observe": OP_OBSERVE,
+    "observe_predict": OP_OBSERVE_PREDICT,
+    "predict": OP_PREDICT,
+}
 
 _log = get_logger("client")
 
@@ -242,6 +269,16 @@ class PythiaClient:
     session_id:
         Override the generated client session id (at most 128 chars;
         useful when an outer system owns correlation ids).
+    protocol:
+        ``"auto"`` (default) negotiates protocol v2 with one ``hello``
+        per connection and uses the compact binary framing for hot
+        requests when the daemon supports it, falling back to JSON
+        against old daemons.  ``"json"`` skips negotiation and stays on
+        JSON (the pre-v2 wire format); ``"binary"`` demands v2 and
+        raises :class:`OracleServiceError` (code ``protocol``) when the
+        daemon cannot speak it.  Predictions are byte-identical across
+        framings — the binary path resolves ``(name, payload)`` against
+        the same registry the daemon would use.
     """
 
     mode = "predict"
@@ -259,9 +296,12 @@ class PythiaClient:
         fallback: str = "local",
         context: bool = True,
         session_id: str | None = None,
+        protocol: str = "auto",
     ) -> None:
         if fallback not in ("local", "lost", "raise"):
             raise ValueError(f"unknown fallback {fallback!r}")
+        if protocol not in ("auto", "json", "binary"):
+            raise ValueError(f"unknown protocol {protocol!r}")
         if resync_window is not None and resync_window < 1:
             raise ValueError("resync_window must be >= 1 or None")
         if session_id is not None and not 0 < len(session_id) <= 128:
@@ -276,6 +316,16 @@ class PythiaClient:
         self._timeout = timeout
         self._lock = threading.Lock()
         self._sessions: dict[int, str] = {}
+        #: daemon session id -> its numeric spelling (the ``snum`` the
+        #: open_session reply advertised; what binary frames carry)
+        self._snums: dict[str, int] = {}
+        #: requested protocol ("auto"/"json"/"binary") vs the per-run
+        #: negotiated state: None before the first hello, then "binary"
+        #: or "json".  A daemon that answers hello with unknown_op is
+        #: old — the state pins to "json" and is never re-negotiated.
+        self._protocol = protocol
+        self._proto_state: str | None = "json" if protocol == "json" else None
+        self._hello_done = protocol == "json"
         self._rings: dict[int, deque] = {}
         self._registry: EventRegistry | None = None
         self._finished = False
@@ -392,7 +442,12 @@ class PythiaClient:
                 pass
             self._sock = None
         self._sessions.clear()
+        self._snums.clear()
         self._sid_bound = False  # a fresh connection starts unbound
+        # negotiation is per connection (a restarted daemon may have
+        # been up- or downgraded) — but a pinned "json" state stays
+        if self._protocol != "json":
+            self._hello_done = False
 
     def _timing_hist(self, op: str, component: str):
         """The (op, component) latency digest, created on first use."""
@@ -495,6 +550,12 @@ class PythiaClient:
         assert self._sock is not None
         traced = self._ctx
         extra = None
+        bin_frame = None
+        if self._proto_state == "binary" and (not traced or self._sid_bound):
+            # a binary frame carries no ctx: while unbound, a traced
+            # client keeps stamping JSON so the daemon binds (and the
+            # supervisor routes) its identity first
+            bin_frame = self._bin_encode_request(request)
         if traced:
             self._rid += 1
             if not self._sid_bound:
@@ -504,11 +565,21 @@ class PythiaClient:
             # order, so both counters stay in lockstep)
         t0 = perf_counter()
         try:
-            write_frame(self._sock, request, max_frame=self.max_frame,
-                        extra=extra, scratch=self._send_buf)
-            response = read_frame(self._sock, max_frame=self.max_frame)
-            if response is None:
-                raise ProtocolError("daemon closed the connection")
+            if bin_frame is not None:
+                self._sock.sendall(bin_frame)
+                reply = read_frame_any(self._sock, max_frame=self.max_frame)
+                if reply is None:
+                    raise ProtocolError("daemon closed the connection")
+                response = (
+                    reply[1] if reply[0] == "json"
+                    else self._bin_decode_reply(reply)
+                )
+            else:
+                write_frame(self._sock, request, max_frame=self.max_frame,
+                            extra=extra, scratch=self._send_buf)
+                response = read_frame(self._sock, max_frame=self.max_frame)
+                if response is None:
+                    raise ProtocolError("daemon closed the connection")
         except (OSError, ProtocolError) as exc:
             self._invalidate_connection()
             raise _RetryableFailure(exc) from exc
@@ -564,6 +635,7 @@ class PythiaClient:
             # our session evaporated while the connection survived
             # (shouldn't happen, but a restarted daemon behind a proxy
             # looks exactly like this): reopen and resync, then retry
+            self._snums.pop(request.get("session"), None)
             self._sessions = {
                 t: s for t, s in self._sessions.items()
                 if s != request.get("session")
@@ -578,6 +650,126 @@ class PythiaClient:
             raise TraceFormatError(message)
         raise OracleServiceError(code, message)
 
+    # -- protocol v2: negotiation, binary encode/decode ------------------
+
+    def _do_hello(self) -> None:
+        """Negotiate protocol v2 on a fresh connection (one round trip).
+
+        An old daemon answers ``unknown_op`` — the client pins itself
+        to JSON and never asks again; a v2 daemon advertises ``binary``
+        and hot requests switch framing.  Transport errors propagate as
+        :class:`_RetryableFailure` into the normal retry machinery.
+        """
+        if self._hello_done:
+            return
+        if self._proto_state == "json":
+            self._hello_done = True
+            return
+        try:
+            response = self._roundtrip({"op": "hello", "proto": 2})
+        except OracleServiceError as exc:
+            if exc.code != "unknown_op":
+                raise
+            if self._protocol == "binary":
+                raise OracleServiceError(
+                    "protocol", "daemon does not speak the binary protocol"
+                ) from exc
+            self._proto_state = "json"  # old daemon: pinned for good
+            self._hello_done = True
+            return
+        self._proto_state = "binary" if response.get("binary") else "json"
+        if self._protocol == "binary" and self._proto_state != "binary":
+            raise OracleServiceError(
+                "protocol", "daemon does not speak the binary protocol"
+            )
+        self._hello_done = True
+
+    def _bin_encode_request(self, request: dict) -> bytes | None:
+        """The binary frame for ``request``, or None when it has no
+        binary spelling (batches, unknown snum, missing registry,
+        out-of-range fields) — the caller then sends JSON as before."""
+        opcode = _BIN_OPCODES.get(request.get("op"))
+        if opcode is None or "events" in request:
+            return None
+        snum = self._snums.get(request.get("session"))
+        if snum is None or not 0 <= snum <= 0xFFFFFFFF:
+            return None
+        distance = request.get("distance", 1)
+        if not isinstance(distance, int) or not 1 <= distance <= 0xFFFF:
+            return None
+        flags = 0
+        if request.get("with_time"):
+            flags |= F_WITH_TIME
+        if request.get("require_match"):
+            flags |= F_REQUIRE_MATCH
+        terminal = 0
+        if opcode != OP_PREDICT:
+            registry = self._registry
+            name = request.get("name")
+            if registry is None or not isinstance(name, str):
+                return None
+            # event-id interning: the exact lookup the daemon's observe
+            # handler would run, against the registry it handed us at
+            # open_session — so predictions stay byte-identical.  A miss
+            # sets F_UNKNOWN_EVENT and the daemon runs observe_unknown.
+            try:
+                term = registry.lookup(
+                    Event(name, decode_payload(request.get("payload")))
+                )
+            except ValueError:
+                return None
+            if term is None:
+                flags |= F_UNKNOWN_EVENT
+            elif 0 <= term <= 0xFFFFFFFF:
+                terminal = term
+            else:
+                return None
+        return encode_bin_frame(
+            opcode, flags, BIN_REQ.pack(snum, terminal, distance)
+        )
+
+    @staticmethod
+    def _bin_decode_reply(reply: tuple) -> dict:
+        """A binary reply frame -> the JSON-shaped response dict.
+
+        ``_pred_decoded`` marks an already-materialized
+        :class:`Prediction` so the facade skips ``decode_prediction``;
+        ``srv`` is rebuilt from the :data:`F_HAS_SRV` prefix so the
+        timing decomposition path is framing-blind.
+        """
+        _kind, opcode, flags, body = reply
+        offset = 0
+        srv = None
+        if flags & F_HAS_SRV:
+            q_us, h_us = SRV_PAIR.unpack_from(body, 0)
+            srv = [q_us, h_us]
+            offset = SRV_PAIR.size
+        if opcode == OP_REPLY_ERROR:
+            code, message = decode_bin_error(body, offset)
+            out: dict = {"ok": False, "code": code, "error": message}
+        elif opcode == OP_REPLY_MATCHED:
+            out = {"ok": True, "matched": bool(flags & F_MATCHED)}
+        elif opcode == OP_REPLY_PREDICT:
+            out = {
+                "ok": True,
+                "matched": bool(flags & F_MATCHED),
+                "prediction": decode_bin_prediction(flags, body, offset),
+                "_pred_decoded": True,
+            }
+        else:
+            raise ProtocolError(f"unexpected binary reply opcode 0x{opcode:02x}")
+        if srv is not None:
+            out["srv"] = srv
+        return out
+
+    @staticmethod
+    def _pred(response: dict) -> Prediction | None:
+        """The reply's prediction, whichever framing delivered it."""
+        pred = response.get("prediction")
+        if response.get("_pred_decoded"):
+            return pred
+        return decode_prediction(pred)
+
     def _open_session(self, thread: int) -> str:
         """Open a daemon session for ``thread`` and replay its ring."""
         response = self._roundtrip({
@@ -588,6 +780,9 @@ class PythiaClient:
             "with_registry": self._registry is None,
         })
         sid = response["session"]
+        snum = response.get("snum")
+        if isinstance(snum, int) and not isinstance(snum, bool):
+            self._snums[sid] = snum
         self._worker = response.get("worker")
         if self._registry is None and "registry" in response:
             self._registry = EventRegistry.from_obj(response["registry"])
@@ -621,6 +816,8 @@ class PythiaClient:
                 try:
                     if self._sock is None:
                         self._reconnect(attempts)
+                    if not self._hello_done:
+                        self._do_hello()
                     if thread is not None:
                         sid = self._sessions.get(thread)
                         if sid is None:
@@ -813,7 +1010,7 @@ class PythiaClient:
                 with_time=with_time,
                 require_match=require_match,
             )
-            result = response["matched"], decode_prediction(response["prediction"])
+            result = response["matched"], self._pred(response)
         except _UseFallback:
             result = self._fallback_oracle.event_and_predict(
                 name, payload, distance=distance, thread=thread,
@@ -845,7 +1042,7 @@ class PythiaClient:
                 with_time=with_time,
                 require_match=require_match,
             )
-            result = response["matched"], decode_prediction(response["prediction"])
+            result = response["matched"], self._pred(response)
         except _UseFallback:
             oracle = self._fallback_oracle
             matched = [oracle.event(n, p, thread=thread) for n, p in events[:-1]]
@@ -856,6 +1053,36 @@ class PythiaClient:
             result = matched + [last], pred
         self._observed(thread, list(events))
         return result
+
+    def pipeline(self, *, thread: int = 0, window: int = 64) -> "OraclePipeline":
+        """Pipelined fused observe+predict over ``thread``'s session.
+
+        Returns a context manager::
+
+            with client.pipeline() as pipe:
+                for name, payload in events:
+                    pipe.submit(name, payload)
+            results = pipe.results   # [(matched, prediction) | error, ...]
+
+        ``submit`` buffers requests and ships them in windows of
+        ``window`` frames — one ``sendall`` instead of one round trip
+        each — then reads the replies back in stream order (the same
+        ordering guarantee the implicit-rid ctx scheme already relies
+        on).  Replies correlate by position; a daemon-side error (e.g.
+        the retryable ``shutting_down`` during a drain) becomes an
+        :class:`OracleServiceError` entry at its position instead of a
+        tuple.  The resync ring advances only on confirmed replies, so
+        a reconnect after a mid-pipeline failure resynchronises to
+        exactly the daemon's tracker state.
+
+        The client's lock is held for the duration of the ``with``
+        block: do not call other methods of this client from inside it
+        (other threads simply wait).  In degraded mode submissions are
+        served inline from the fallback oracle.
+        """
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        return OraclePipeline(self, thread, window)
 
     def predict(
         self, distance: int = 1, *, thread: int = 0, with_time: bool = False
@@ -869,7 +1096,7 @@ class PythiaClient:
             return self._fallback_oracle.predict(
                 distance, thread=thread, with_time=with_time
             )
-        return decode_prediction(response["prediction"])
+        return self._pred(response)
 
     def predict_duration(self, distance: int = 1, *, thread: int = 0) -> float | None:
         """Predict the delay until the event ``distance`` steps ahead."""
@@ -1113,3 +1340,173 @@ class PythiaClient:
     def __exit__(self, *exc) -> None:
         if not self._finished:
             self.finish()
+
+
+class OraclePipeline:
+    """Window-pipelined ``observe_predict`` stream (see
+    :meth:`PythiaClient.pipeline`).
+
+    ``submit`` order is result order.  :attr:`results` holds, per
+    submission, either ``(matched, prediction)`` or an
+    :class:`OracleServiceError` (daemon-side refusal — the request was
+    delivered and answered, the connection stays usable).  A transport
+    failure mid-window raises instead: the replies already read stay in
+    :attr:`results`, unanswered submissions are gone, and the client's
+    resync ring holds exactly the confirmed prefix.
+    """
+
+    #: flush the send buffer early once it holds this many bytes, even
+    #: below the window count (keeps frames moving for fat payloads)
+    FLUSH_BYTES = 16384
+
+    def __init__(self, client: PythiaClient, thread: int, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._client = client
+        self._thread = thread
+        self.window = int(window)
+        self._buf = bytearray()
+        self._inflight: list[tuple[str, Hashable]] = []
+        self._submitted = 0
+        #: per-submission outcomes, in submit order
+        self.results: list = []
+        #: ``perf_counter()`` at each reply decode (bench instrumentation)
+        self.times: list[float] = []
+        self._entered = False
+
+    def __enter__(self) -> "OraclePipeline":
+        client = self._client
+        for _ in range(3):
+            if not client._degraded:
+                try:
+                    # runs hello/open_session/ring-replay through the
+                    # normal retry machinery, before we take the lock
+                    client._session(self._thread)
+                except _UseFallback:
+                    pass
+            client._lock.acquire()
+            if client._degraded or client._sessions.get(self._thread) is not None:
+                self._entered = True
+                return self
+            client._lock.release()  # session died in the gap; reopen
+        raise OracleServiceError(
+            "unavailable", "could not establish a session to pipeline on"
+        )
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self._cycle()
+        finally:
+            if self._entered:
+                self._entered = False
+                self._client._lock.release()
+
+    def submit(
+        self,
+        name: str,
+        payload: Hashable = None,
+        *,
+        distance: int = 1,
+        with_time: bool = False,
+        require_match: bool = False,
+    ) -> int:
+        """Queue one fused observe+predict; returns its result index."""
+        assert self._entered, "submit() outside the pipeline's with-block"
+        client = self._client
+        index = self._submitted
+        self._submitted += 1
+        if client._degraded:
+            self.results.append(client._fallback_oracle.event_and_predict(
+                name, payload, distance=distance, thread=self._thread,
+                with_time=with_time, require_match=require_match,
+            ))
+            self.times.append(perf_counter())
+            client._ring(self._thread).append((name, payload))
+            return index
+        request = {
+            "op": "observe_predict",
+            "session": client._sessions.get(self._thread),
+            "name": name,
+            "payload": encode_payload(payload),
+            "distance": distance,
+            "with_time": with_time,
+            "require_match": require_match,
+        }
+        traced = client._ctx
+        frame = None
+        if client._proto_state == "binary" and (not traced or client._sid_bound):
+            frame = client._bin_encode_request(request)
+        extra = None
+        if traced:
+            client._rid += 1
+            if not client._sid_bound:
+                extra = client._ctx_prefix + str(client._rid) + "}"
+        if frame is None:
+            frame = encode_json_frame(
+                request, max_frame=client.max_frame, extra=extra
+            )
+        self._buf += frame
+        self._inflight.append((name, payload))
+        if len(self._inflight) >= self.window or len(self._buf) >= self.FLUSH_BYTES:
+            self._cycle()
+        return index
+
+    def drain(self) -> list:
+        """Flush and read every outstanding reply; returns the results."""
+        assert self._entered, "drain() outside the pipeline's with-block"
+        self._cycle()
+        return list(self.results)
+
+    def _cycle(self) -> None:
+        """Ship the buffered window, then read its replies in order."""
+        client = self._client
+        if not self._inflight:
+            return
+        sock = client._sock
+        if sock is None:
+            self._inflight.clear()
+            self._buf.clear()
+            raise OracleServiceError(
+                "unavailable", "connection lost mid-pipeline"
+            )
+        confirmed: list[tuple[str, Hashable]] = []
+        try:
+            sock.sendall(self._buf)
+            self._buf.clear()
+            for item in self._inflight:
+                reply = read_frame_any(sock, max_frame=client.max_frame)
+                if reply is None:
+                    raise ProtocolError("daemon closed the connection")
+                response = (
+                    reply[1] if reply[0] == "json"
+                    else client._bin_decode_reply(reply)
+                )
+                self.times.append(perf_counter())
+                if response.get("srv") is not None:
+                    client._sid_bound = True
+                if response.get("ok"):
+                    self.results.append(
+                        (response["matched"], client._pred(response))
+                    )
+                    # the reply confirms the daemon observed this event
+                    confirmed.append(item)
+                else:
+                    # a refused op (bad_request, shutting_down) was NOT
+                    # observed — it must not enter the resync ring
+                    self.results.append(OracleServiceError(
+                        response.get("code", "error"),
+                        response.get("error", "unknown error"),
+                    ))
+        except (OSError, ProtocolError) as exc:
+            client._invalidate_connection()
+            # the ring advances by the confirmed prefix only, so a
+            # reconnect replays exactly what the daemon observed
+            client._ring(self._thread).extend(confirmed)
+            self._inflight.clear()
+            self._buf.clear()
+            raise OracleServiceError(
+                "unavailable", f"pipeline transport error: {exc}"
+            ) from exc
+        client._ring(self._thread).extend(confirmed)
+        self._inflight.clear()

@@ -81,6 +81,7 @@ import itertools
 import os
 import signal
 import socket
+import struct
 import threading
 import time
 from dataclasses import dataclass, field
@@ -100,12 +101,32 @@ from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, render_prometheus
 from repro.obs.process import register_process_metrics
 from repro.obs.sessions import DEFAULT_SESSION_CAPACITY, SessionEntry, SessionStats
 from repro.server.protocol import (
+    BIN_OPS,
+    BIN_REQ,
     DEFAULT_MAX_FRAME,
+    F_HAS_SRV,
+    F_MATCHED,
+    F_REQUIRE_MATCH,
+    F_UNKNOWN_EVENT,
+    F_WITH_TIME,
+    OP_JSON,
+    OP_OBSERVE,
+    OP_OBSERVE_PREDICT,
+    OP_PREDICT,
+    OP_REPLY_ERROR,
+    OP_REPLY_MATCHED,
+    OP_REPLY_PREDICT,
+    SRV_PAIR,
     ConnectionClosed,
     ProtocolError,
+    _parse_json_body,
     decode_payload,
+    encode_bin_error,
+    encode_bin_frame,
+    encode_bin_prediction,
+    encode_json_body,
     encode_prediction,
-    read_frame,
+    read_frame_any,
     write_frame,
 )
 from repro.server.store import TraceBundle, TraceStore
@@ -155,6 +176,9 @@ class _Session:
     thread: int
     tracker: PythiaPredict
     owner: int  # connection id, for cleanup when the connection dies
+    #: numeric spelling of ``session_id`` (``sN`` -> ``N``): what a
+    #: binary hot request carries instead of the string
+    num: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
     #: the client-side session id from the opening request's ``ctx``,
     #: joining this daemon session to the SessionStats table row
@@ -208,6 +232,12 @@ class OracleServer:
         Bind the TCP listener with ``SO_REUSEPORT`` so several worker
         processes can share one port and let the kernel balance
         accepts (the supervisor's ``routing="kernel"`` mode).
+    io_mode:
+        ``"eventloop"`` (default) serves data connections from one
+        ``selectors``-based loop (:mod:`repro.server.eventloop`);
+        ``"threads"`` keeps the original thread-per-connection model.
+        ``PYTHIA_SERVER_IO`` sets the default; both modes speak both
+        framings and behave identically.
     """
 
     def __init__(
@@ -221,6 +251,7 @@ class OracleServer:
         session_stats_capacity: int = DEFAULT_SESSION_CAPACITY,
         worker_id: int | None = None,
         reuse_port: bool = False,
+        io_mode: str | None = None,
     ) -> None:
         if socket_path is not None and tcp_address is not None:
             raise ValueError("socket_path and tcp_address are mutually exclusive")
@@ -228,10 +259,16 @@ class OracleServer:
             raise ValueError("exactly one of socket_path / tcp_address required")
         if reuse_port and tcp_address is None:
             raise ValueError("reuse_port requires a tcp_address")
+        if io_mode is None:
+            io_mode = os.environ.get("PYTHIA_SERVER_IO", "eventloop")
+        if io_mode not in ("eventloop", "threads"):
+            raise ValueError("io_mode must be 'eventloop' or 'threads'")
         self.socket_path = os.fspath(socket_path) if socket_path is not None else None
         self.tcp_address = tcp_address
         self.worker_id = worker_id
         self.reuse_port = reuse_port
+        self.io_mode = io_mode
+        self._loop = None  # ConnectionLoop while io_mode == "eventloop"
         self.store = store if store is not None else TraceStore()
         self.max_frame = max_frame
         self.max_candidates_limit = max_candidates_limit
@@ -245,6 +282,7 @@ class OracleServer:
         self._inflight = 0
         self._lock = threading.Lock()
         self._sessions: dict[str, _Session] = {}
+        self._sessions_by_num: dict[int, _Session] = {}
         self._session_ids = itertools.count(1)
         self._conn_ids = itertools.count(1)
         self.counters = {
@@ -258,8 +296,9 @@ class OracleServer:
             "requests_failed": 0,
             "requests_rejected_draining": 0,
         }
-        #: per-op request latency, shared with the metrics registry
-        self._latency: dict[str, Histogram] = {}
+        #: per-(op, proto) request latency, shared with the metrics
+        #: registry as ``pythia_server_request_seconds{op=...,proto=...}``
+        self._latency: dict[tuple[str, str], Histogram] = {}
         self._queue_latency: Histogram | None = None
         #: bounded per-client-session telemetry (the ``sessions`` op);
         #: evicting an LRU entry also drops its metric series, so the
@@ -324,6 +363,10 @@ class OracleServer:
         self.history = obs_history.history_from_env()
         if self.history is not None:
             self.history.start()
+        if self.io_mode == "eventloop":
+            from repro.server.eventloop import ConnectionLoop
+
+            self._loop = ConnectionLoop(self).start()
         if listener is not None:
             self._accept_thread = threading.Thread(
                 target=self._accept_loop, name="pythia-accept", daemon=True
@@ -397,6 +440,11 @@ class OracleServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
+        if self._loop is not None:
+            # the loop owns its sockets: it unregisters, closes and
+            # reaps them itself before the generic sweep below
+            self._loop.stop()
+            self._loop = None
         with self._lock:
             conns = list(self._conns.values())
         for conn in conns:
@@ -496,6 +544,9 @@ class OracleServer:
         with self._lock:
             self.counters["connections_accepted"] += 1
             self._conns[conn_id] = conn
+        if self._loop is not None:
+            self._loop.add(conn, conn_id)
+            return conn_id
         t = threading.Thread(
             target=self._serve_connection,
             args=(conn, conn_id),
@@ -528,10 +579,11 @@ class OracleServer:
         try:
             while self._running.is_set():
                 try:
-                    request = read_frame(conn, max_frame=self.max_frame)
+                    frame = read_frame_any(conn, max_frame=self.max_frame)
                 except ProtocolError as exc:
                     # bad framing is unrecoverable on a byte stream:
-                    # answer if possible, then drop only this connection
+                    # one final error frame if possible, then drop only
+                    # this connection — never keep reading garbage
                     with self._lock:
                         self.counters["connections_dropped"] += 1
                     if not isinstance(exc, ConnectionClosed):
@@ -539,40 +591,85 @@ class OracleServer:
                             conn, {"ok": False, "code": "protocol", "error": str(exc)}
                         )
                     return
-                if request is None:
+                if frame is None:
                     return  # clean EOF
                 recv_ts = time.perf_counter()
+                request: dict | None = None
+                wrap = False  # reply inside an OP_JSON binary frame
+                if frame[0] == "json":
+                    request = frame[1]
+                else:
+                    _kind, opcode, bin_flags, bin_body = frame
+                    if opcode == OP_JSON:
+                        try:
+                            request = _parse_json_body(bin_body)
+                        except ProtocolError as exc:
+                            with self._lock:
+                                self.counters["connections_dropped"] += 1
+                            self._try_send(
+                                conn,
+                                {"ok": False, "code": "protocol", "error": str(exc)},
+                            )
+                            return
+                        wrap = True
                 with self._lock:
-                    rejected = (
-                        self._draining.is_set()
-                        and request.get("op") not in self._DRAIN_OPS
+                    rejected = self._draining.is_set() and (
+                        request is None
+                        or request.get("op") not in self._DRAIN_OPS
                     )
                     if rejected:
                         self.counters["requests_rejected_draining"] += 1
                     else:
                         self._inflight += 1
                 if rejected:
-                    # late request during drain: refuse retryably, keep
-                    # the connection so the client can close sessions
-                    self._try_send(
-                        conn,
-                        {
-                            "ok": False,
-                            "code": "shutting_down",
-                            "error": "daemon is draining; reconnect and retry",
-                        },
-                    )
+                    # late request during drain: refuse retryably (in
+                    # the request's own framing), keep the connection
+                    # so the client can close sessions
+                    reply = {
+                        "ok": False,
+                        "code": "shutting_down",
+                        "error": "daemon is draining; reconnect and retry",
+                    }
+                    if request is None:
+                        self._try_send_raw(
+                            conn, encode_bin_error(reply["code"], reply["error"])
+                        )
+                    elif wrap:
+                        self._try_send_raw(
+                            conn,
+                            encode_bin_frame(OP_JSON, 0, encode_json_body(reply)),
+                        )
+                    else:
+                        self._try_send(conn, reply)
                     continue
                 try:
-                    response, extra = self._dispatch(
-                        request, conn_id, recv_ts, conn_ctx
-                    )
-                    try:
-                        write_frame(
-                            conn, response, max_frame=self.max_frame, extra=extra
+                    if request is None:
+                        _kind, opcode, bin_flags, bin_body = frame
+                        reply_bytes = self._dispatch_binary(
+                            opcode, bin_flags, bin_body, conn_id, recv_ts, conn_ctx
                         )
-                    except OSError:
-                        return
+                        try:
+                            conn.sendall(reply_bytes)
+                        except OSError:
+                            return
+                    else:
+                        response, extra = self._dispatch(
+                            request, conn_id, recv_ts, conn_ctx
+                        )
+                        try:
+                            if wrap:
+                                conn.sendall(encode_bin_frame(
+                                    OP_JSON, 0,
+                                    encode_json_body(response, extra=extra),
+                                    max_frame=self.max_frame,
+                                ))
+                            else:
+                                write_frame(
+                                    conn, response,
+                                    max_frame=self.max_frame, extra=extra,
+                                )
+                        except OSError:
+                            return
                 finally:
                     with self._lock:
                         self._inflight -= 1
@@ -598,11 +695,19 @@ class OracleServer:
         except OSError:
             pass
 
+    @staticmethod
+    def _try_send_raw(conn: socket.socket, data: bytes) -> None:
+        try:
+            conn.sendall(data)
+        except OSError:
+            pass
+
     def _close_owned_sessions(self, conn_id: int) -> None:
         with self._lock:
             dead = [s for s in self._sessions.values() if s.owner == conn_id]
             for s in dead:
                 del self._sessions[s.session_id]
+                self._sessions_by_num.pop(s.num, None)
                 self.counters["sessions_closed"] += 1
 
     # ------------------------------------------------------------------
@@ -696,19 +801,7 @@ class OracleServer:
         # bucket unknown ops together: op names are client-controlled
         # and must not grow the latency table without bound
         key = op if isinstance(op, str) and op in self._HANDLERS else "<unknown>"
-        with self._lock:
-            self.counters["requests_total"] += 1
-            hist = self._latency.get(key)
-        if hist is None:
-            hist = obs_metrics.get_registry().histogram(
-                "pythia_server_request_seconds",
-                {"op": key},
-                buckets=LATENCY_BUCKETS_S,
-                help="Request handling latency per op",
-            )
-            with self._lock:
-                self._latency.setdefault(key, hist)
-        hist.observe(handler_s)
+        self._observe_latency(key, "json", handler_s)
         if recv_ts is not None:
             qhist = self._queue_latency
             if qhist is None:
@@ -754,6 +847,208 @@ class OracleServer:
             rec.emit(f"server.{key}", t0, handler_s, **attrs)
         return response, extra
 
+    def _observe_latency(self, op_key: str, proto: str, handler_s: float) -> None:
+        """Record handler latency under ``{op=..., proto=...}``.
+
+        ``requests_total`` rides along: every dispatch, either framing,
+        lands here exactly once.
+        """
+        with self._lock:
+            self.counters["requests_total"] += 1
+            hist = self._latency.get((op_key, proto))
+        if hist is None:
+            hist = obs_metrics.get_registry().histogram(
+                "pythia_server_request_seconds",
+                {"op": op_key, "proto": proto},
+                buckets=LATENCY_BUCKETS_S,
+                help="Request handling latency per op and framing",
+            )
+            with self._lock:
+                self._latency.setdefault((op_key, proto), hist)
+        hist.observe(handler_s)
+
+    def _observe_queue(self, queue_s: float) -> None:
+        qhist = self._queue_latency
+        if qhist is None:
+            qhist = obs_metrics.get_registry().histogram(
+                "pythia_server_queue_seconds",
+                buckets=LATENCY_BUCKETS_S,
+                help="Frame arrival to handler start (dispatch queue time)",
+            )
+            self._queue_latency = qhist
+        qhist.observe(queue_s)
+
+    # ------------------------------------------------------------------
+    # binary dispatch (protocol v2 hot ops)
+    # ------------------------------------------------------------------
+
+    def _dispatch_binary(
+        self,
+        opcode: int,
+        flags: int,
+        body: bytes,
+        conn_id: int,
+        recv_ts: float | None = None,
+        conn_ctx: list | None = None,
+    ) -> bytes:
+        """Handle one binary hot request; returns the reply frame bytes.
+
+        The binary spelling of ``observe`` / ``observe_predict`` /
+        ``predict``: the client already resolved ``(name, payload)`` to
+        a terminal id against the registry it fetched at
+        ``open_session`` (or set :data:`F_UNKNOWN_EVENT` when the
+        lookup missed), so the handler is the same tracker call the
+        JSON path makes — predictions are byte-identical.  Accounting
+        mirrors :meth:`_dispatch` exactly: counters, per-(op, proto)
+        latency, queue time, implicit-rid session telemetry, spans, and
+        the traced-reply timing pair (:data:`F_HAS_SRV` + a
+        ``(queue_us, handler_us)`` body prefix, the binary ``srv``).
+        """
+        op = BIN_OPS.get(opcode)
+        if conn_ctx is not None and conn_ctx[0] is not None:
+            # binary frames never carry ctx: on a bound connection they
+            # are "bare" requests and inherit the next consecutive rid
+            sid = conn_ctx[0]
+            rid = conn_ctx[1] = conn_ctx[1] + 1
+        else:
+            sid = rid = None
+        t0 = time.perf_counter()
+        queue_s = max(0.0, t0 - recv_ts) if recv_ts is not None else 0.0
+        failed = False
+        try:
+            if op is None:
+                raise RequestError(
+                    "unknown_op", f"unknown binary opcode 0x{opcode:02x}"
+                )
+            try:
+                snum, terminal, distance = BIN_REQ.unpack(body)
+            except struct.error as exc:
+                raise RequestError(
+                    "bad_request", f"binary request body must be >IIH: {exc}"
+                ) from exc
+            with self._lock:
+                session = self._sessions_by_num.get(snum)
+            if session is None:
+                raise RequestError(
+                    "no_such_session", f"unknown session s{snum}"
+                )
+            with obs_profiler.tag_op(op):
+                if opcode == OP_PREDICT:
+                    if distance < 1:
+                        raise RequestError(
+                            "bad_request", "'distance' must be a positive integer"
+                        )
+                    with session.lock:
+                        pred = session.tracker.predict(
+                            distance, with_time=bool(flags & F_WITH_TIME)
+                        )
+                    with self._lock:
+                        self.counters["predictions_served"] += 1
+                    pred_flags, pred_body = encode_bin_prediction(pred)
+                    reply = (OP_REPLY_PREDICT, pred_flags, pred_body)
+                else:
+                    # observe / observe_predict share the observe half
+                    unknown = bool(flags & F_UNKNOWN_EVENT)
+                    if not unknown and not (
+                        0 <= terminal < len(session.bundle.registry)
+                    ):
+                        raise RequestError(
+                            "bad_request", f"terminal {terminal} not in registry"
+                        )
+                    if opcode == OP_OBSERVE:
+                        with session.lock:
+                            matched = (
+                                session.tracker.observe_unknown()
+                                if unknown
+                                else session.tracker.observe(terminal)
+                            )
+                        with self._lock:
+                            self.counters["events_observed"] += 1
+                        reply = (
+                            OP_REPLY_MATCHED,
+                            F_MATCHED if matched else 0,
+                            b"",
+                        )
+                    else:  # OP_OBSERVE_PREDICT
+                        if distance < 1:
+                            raise RequestError(
+                                "bad_request",
+                                "'distance' must be a positive integer",
+                            )
+                        require_match = bool(flags & F_REQUIRE_MATCH)
+                        with session.lock:
+                            matched = (
+                                session.tracker.observe_unknown()
+                                if unknown
+                                else session.tracker.observe(terminal)
+                            )
+                            predicted = not (require_match and not matched)
+                            pred = (
+                                session.tracker.predict(
+                                    distance,
+                                    with_time=bool(flags & F_WITH_TIME),
+                                )
+                                if predicted
+                                else None
+                            )
+                        with self._lock:
+                            self.counters["events_observed"] += 1
+                            if predicted:
+                                self.counters["predictions_served"] += 1
+                        pred_flags, pred_body = encode_bin_prediction(pred)
+                        if matched:
+                            pred_flags |= F_MATCHED
+                        reply = (OP_REPLY_PREDICT, pred_flags, pred_body)
+        except RequestError as exc:
+            failed = True
+            with self._lock:
+                self.counters["requests_failed"] += 1
+            reply = None
+            err = (exc.code, str(exc))
+        except Exception as exc:  # defensive: never leak an exception
+            failed = True
+            with self._lock:
+                self.counters["requests_failed"] += 1
+            reply = None
+            err = ("internal", f"{type(exc).__name__}: {exc}")
+        handler_s = time.perf_counter() - t0
+        key = op if op is not None else "<unknown>"
+        self._observe_latency(key, "binary", handler_s)
+        if recv_ts is not None:
+            self._observe_queue(queue_s)
+        srv_prefix = b""
+        if sid is not None:
+            srv_prefix = SRV_PAIR.pack(
+                min(int(queue_s * 1e6), 0xFFFFFFFF),
+                min(int(handler_s * 1e6), 0xFFFFFFFF),
+            )
+            pending = self.session_stats.pending
+            pending.append((sid, key, rid, queue_s, handler_s, failed))
+            if len(pending) >= 64:
+                self.session_stats.fold()
+        rec = obs_spans._recorder  # inlined get_recorder(): per-request path
+        if rec is not None:
+            attrs: dict = {"op": key, "proto": "binary",
+                           "queue_us": int(queue_s * 1e6),
+                           "handler_us": int(handler_s * 1e6)}
+            if sid is not None:
+                attrs["sid"] = sid
+            if rid is not None:
+                attrs["rid"] = rid
+            rec.emit(f"server.{key}", t0, handler_s, **attrs)
+        if reply is None:
+            # error frames carry the timing prefix too; F_HAS_SRV tells
+            # the decoder where the JSON error body starts
+            reply = (
+                OP_REPLY_ERROR, 0,
+                encode_json_body({"code": err[0], "error": err[1]}),
+            )
+        opcode_out, flags_out, body_out = reply
+        if srv_prefix:
+            flags_out |= F_HAS_SRV
+            body_out = srv_prefix + body_out
+        return encode_bin_frame(opcode_out, flags_out, body_out)
+
     def _session(self, request: dict) -> _Session:
         sid = request.get("session")
         with self._lock:
@@ -788,10 +1083,13 @@ class OracleServer:
         tracker = bundle.tracker(thread, max_candidates=max_candidates)
         ctx_sid, _ctx_rid = self._request_ctx(request)
         with self._lock:
-            sid = f"s{next(self._session_ids)}"
-            self._sessions[sid] = _Session(
-                sid, bundle, thread, tracker, conn_id, ctx_sid=ctx_sid
+            num = next(self._session_ids)
+            sid = f"s{num}"
+            session = _Session(
+                sid, bundle, thread, tracker, conn_id, num=num, ctx_sid=ctx_sid
             )
+            self._sessions[sid] = session
+            self._sessions_by_num[num] = session
             self.counters["sessions_opened"] += 1
         if flight_capacity:
             # fold the client's session id into the recorder name so
@@ -807,6 +1105,9 @@ class OracleServer:
         _log.debug("session_opened", session=sid, trace=bundle.path, thread=thread)
         out = {
             "session": sid,
+            # numeric spelling for binary hot requests (protocol v2);
+            # old clients ignore the extra key
+            "snum": num,
             "trace": bundle.path,
             "thread": thread,
             "threads": bundle.threads(),
@@ -823,6 +1124,7 @@ class OracleServer:
         session = self._session(request)
         with self._lock:
             self._sessions.pop(session.session_id, None)
+            self._sessions_by_num.pop(session.num, None)
             self.counters["sessions_closed"] += 1
         return {"session": session.session_id}
 
@@ -993,12 +1295,25 @@ class OracleServer:
             with session.lock:
                 return {"session_stats": session.tracker.stats()}
         with self._lock:
+            # the stats view stays keyed by op (its pre-v2 shape):
+            # per-proto histograms of one op merge into a detached
+            # aggregate — metrics keep the proto split, stats callers
+            # keep their keys
+            merged: dict[str, Histogram] = {}
+            for (op_key, _proto), h in self._latency.items():
+                agg = merged.get(op_key)
+                if agg is None:
+                    merged[op_key] = agg = Histogram(
+                        "pythia_server_request_seconds_view",
+                        buckets=LATENCY_BUCKETS_S,
+                    )
+                agg.merge(h)
             out = {
                 "counters": dict(self.counters),
                 "sessions_active": len(self._sessions),
                 "session_ids": sorted(self._sessions),
                 "store": self.store.snapshot(),
-                "latency": {op: _latency_view(h) for op, h in self._latency.items()},
+                "latency": {op: _latency_view(h) for op, h in merged.items()},
             }
         if self.worker_id is not None:
             out["worker"] = self.worker_id
@@ -1236,6 +1551,17 @@ class OracleServer:
             out["pid"] = os.getpid()
         return out
 
+    def _op_hello(self, request: dict, conn_id: int) -> dict:
+        """Protocol negotiation (v2).
+
+        A client sends ``{"op": "hello", "proto": 2}`` once per
+        connection; this daemon advertises the binary framing and
+        pipelining.  An old daemon answers ``unknown_op`` instead, and
+        the client stays on JSON for good — the whole fallback matrix
+        hangs off this one exchange.
+        """
+        return {"hello": True, "binary": True, "pipeline": True, "version": 2}
+
     #: ops still answered while draining: clients closing down cleanly
     #: and monitors watching the drain happen must not be locked out
     _DRAIN_OPS = frozenset({"close_session", "ping", "stats", "sessions", "metrics",
@@ -1258,4 +1584,5 @@ class OracleServer:
         "profile_dump": _op_profile_dump,
         "history": _op_history,
         "ping": _op_ping,
+        "hello": _op_hello,
     }

@@ -1,0 +1,446 @@
+"""``selectors``-based connection serving for the oracle daemon.
+
+Thread-per-connection was fine while a handful of applications talked
+to the daemon, but protocol v2's pipelining changes the shape of the
+load: one client may keep dozens of requests in flight, and a runtime
+host can hold hundreds of mostly-idle connections open.  A parked
+thread per connection costs a stack and a scheduler slot for nothing;
+an event loop costs one registered fd.
+
+:class:`ConnectionLoop` serves every *data* connection of an
+:class:`~repro.server.daemon.OracleServer` from a single selector
+thread:
+
+- sockets are non-blocking; raw chunks feed a per-connection
+  :class:`~repro.server.protocol.FrameParser`, which yields complete
+  frames of either framing (JSON or binary) in arrival order;
+- fast ops dispatch inline on the loop thread — the tracker work behind
+  ``observe_predict`` is microseconds, far below the cost of a thread
+  handoff;
+- ops that may block for real time (``open_session`` compiles a trace,
+  ``profile_dump`` can sample a window for seconds) are offloaded to a
+  sidecar thread.  While one is in flight the connection's parser is
+  paused (its ``busy`` flag), so replies stay in request order — the
+  ordering the implicit-rid tracing scheme and pipelined clients both
+  rely on;
+- replies are buffered and flushed as the socket allows; the loop
+  registers for writability only while a buffer is non-empty
+  (backpressure without threads);
+- a framing violation gets one final error frame and then the
+  connection is closed: after a bad length announcement the byte
+  stream has no resync point, and the parser stays poisoned so the
+  loop can never read garbage as frames.
+
+Accounting — counters, ``_inflight`` for drain, drain-time rejection
+with the retryable ``shutting_down`` code, per-(op, proto) latency
+histograms, session telemetry — goes through the server's own
+``_dispatch`` / ``_dispatch_binary``, so both io modes are
+behaviorally identical; ``PYTHIA_SERVER_IO=threads`` brings the old
+mode back.
+"""
+
+from __future__ import annotations
+
+import queue
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.obs.log import get_logger
+from repro.server.protocol import (
+    OP_JSON,
+    ConnectionClosed,
+    FrameParser,
+    ProtocolError,
+    encode_bin_error,
+    encode_bin_frame,
+    encode_json_body,
+    encode_json_frame,
+    _parse_json_body,
+)
+
+__all__ = ["ConnectionLoop", "SLOW_OPS"]
+
+_log = get_logger("server.loop")
+
+#: ops whose handlers may block for wall-clock time (trace compile,
+#: profiler windows); they run on the sidecar thread so the loop keeps
+#: serving every other connection meanwhile
+SLOW_OPS = frozenset({"open_session", "profile_dump"})
+
+_DRAIN_REPLY = {
+    "ok": False,
+    "code": "shutting_down",
+    "error": "daemon is draining; reconnect and retry",
+}
+
+_RECV_CHUNK = 1 << 16
+
+
+class _Conn:
+    """Per-connection loop state."""
+
+    __slots__ = (
+        "sock", "conn_id", "parser", "out", "ctx",
+        "busy", "eof", "closing", "closed", "want_write",
+    )
+
+    def __init__(self, sock: socket.socket, conn_id: int, max_frame: int) -> None:
+        self.sock = sock
+        self.conn_id = conn_id
+        self.parser = FrameParser(max_frame)
+        self.out = bytearray()
+        #: tracing binding ``[sid, last_rid]`` — same shape the threaded
+        #: serve loop passes to ``_dispatch``
+        self.ctx: list = [None, 0]
+        self.busy = False  # a slow op is in flight on the sidecar
+        self.eof = False  # peer EOF seen; close once idle and flushed
+        self.closing = False  # close as soon as ``out`` drains
+        self.closed = False
+        self.want_write = False
+
+
+class ConnectionLoop:
+    """One selector thread serving all of a server's data connections."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self._sel = selectors.DefaultSelector()
+        self._conns: dict[int, _Conn] = {}
+        self._pending_add: deque[tuple[socket.socket, int]] = deque()
+        self._completions: deque[tuple[_Conn, bytes, bool]] = deque()
+        self._slow_q: queue.SimpleQueue = queue.SimpleQueue()
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self._slow_thread: threading.Thread | None = None
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ConnectionLoop":
+        if self._running:
+            return self
+        self._running = True
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._sel.register(self._wake_r, selectors.EVENT_READ, None)
+        self._slow_thread = threading.Thread(
+            target=self._slow_run, name="pythia-loop-slow", daemon=True
+        )
+        self._slow_thread.start()
+        self._thread = threading.Thread(
+            target=self._run, name="pythia-loop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._slow_q.put(None)
+        if self._slow_thread is not None:
+            self._slow_thread.join(timeout=5)
+        # the loop thread is gone; reap anything it still held
+        for conn in list(self._conns.values()):
+            self._close(conn)
+        self._conns.clear()
+        try:
+            self._sel.close()
+        except OSError:
+            pass
+        for sock in (self._wake_r, self._wake_w):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._thread = None
+        self._slow_thread = None
+
+    def add(self, conn: socket.socket, conn_id: int) -> None:
+        """Hand a freshly accepted (or adopted) connection to the loop."""
+        conn.setblocking(False)
+        self._pending_add.append((conn, conn_id))
+        self._wake()
+
+    # -- loop body ------------------------------------------------------
+
+    def _wake(self) -> None:
+        w = self._wake_w
+        if w is None:
+            return
+        try:
+            w.send(b"\0")
+        except OSError:
+            pass
+
+    def _run(self) -> None:
+        while self._running:
+            try:
+                events = self._sel.select(timeout=0.5)
+            except OSError:
+                break
+            self._admit_pending()
+            self._drain_completions()
+            for key, mask in events:
+                conn = key.data
+                if conn is None:
+                    self._drain_wakeup()
+                    continue
+                if conn.closed:
+                    continue
+                if mask & selectors.EVENT_READ:
+                    self._on_readable(conn)
+                if mask & selectors.EVENT_WRITE and not conn.closed:
+                    self._flush(conn)
+
+    def _drain_wakeup(self) -> None:
+        assert self._wake_r is not None
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass
+
+    def _admit_pending(self) -> None:
+        while self._pending_add:
+            sock, conn_id = self._pending_add.popleft()
+            if not self._running:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            conn = _Conn(sock, conn_id, self._server.max_frame)
+            self._conns[conn_id] = conn
+            self._sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _drain_completions(self) -> None:
+        server = self._server
+        while self._completions:
+            conn, reply, ok = self._completions.popleft()
+            conn.busy = False
+            if conn.closed:
+                # the connection died while its slow op ran; a session
+                # the op just opened would otherwise leak with a dead
+                # owner, so sweep again
+                server._close_owned_sessions(conn.conn_id)
+                continue
+            if not ok:
+                with server._lock:
+                    server.counters["connections_dropped"] += 1
+                conn.closing = True
+                self._flush(conn)
+                continue
+            conn.out += reply
+            self._pump(conn)
+
+    # -- per-connection events ------------------------------------------
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not data:
+            conn.eof = True
+            self._pump(conn)
+            return
+        conn.parser.feed(data)
+        self._pump(conn)
+
+    def _pump(self, conn: _Conn) -> None:
+        """Dispatch every complete frame buffered for ``conn``."""
+        while not (conn.closed or conn.closing or conn.busy):
+            try:
+                frame = conn.parser.next_frame()
+            except ProtocolError as exc:
+                self._protocol_error(conn, exc)
+                return
+            if frame is None:
+                break
+            self._handle_frame(conn, frame)
+        if conn.closed:
+            return
+        if conn.out:
+            self._flush(conn)
+        if conn.eof and not (conn.busy or conn.closed or conn.closing):
+            if conn.out:
+                conn.closing = True
+            else:
+                self._close(conn)
+
+    def _protocol_error(self, conn: _Conn, exc: ProtocolError) -> None:
+        """Bad framing: one final error frame, then close (no resync)."""
+        server = self._server
+        with server._lock:
+            server.counters["connections_dropped"] += 1
+        if not isinstance(exc, ConnectionClosed):
+            conn.out += encode_json_frame(
+                {"ok": False, "code": "protocol", "error": str(exc)}
+            )
+        conn.closing = True
+        self._flush(conn)
+
+    def _handle_frame(self, conn: _Conn, frame: tuple) -> None:
+        server = self._server
+        recv_ts = time.perf_counter()
+        wrap = False
+        if frame[0] == "json":
+            request = frame[1]
+        else:
+            _kind, opcode, _flags, body = frame
+            if opcode == OP_JSON:
+                try:
+                    request = _parse_json_body(body)
+                except ProtocolError as exc:
+                    self._protocol_error(conn, exc)
+                    return
+                wrap = True
+            else:
+                request = None
+        op = request.get("op") if request is not None else None
+        with server._lock:
+            rejected = server._draining.is_set() and (
+                request is None or op not in server._DRAIN_OPS
+            )
+            if rejected:
+                server.counters["requests_rejected_draining"] += 1
+            else:
+                server._inflight += 1
+        if rejected:
+            # late request during drain: refuse retryably in the
+            # request's own framing, keep the connection alive
+            if request is None:
+                conn.out += encode_bin_error(
+                    _DRAIN_REPLY["code"], _DRAIN_REPLY["error"]
+                )
+            elif wrap:
+                conn.out += encode_bin_frame(
+                    OP_JSON, 0, encode_json_body(_DRAIN_REPLY)
+                )
+            else:
+                conn.out += encode_json_frame(_DRAIN_REPLY)
+            return
+        if request is not None and op in SLOW_OPS:
+            conn.busy = True
+            self._slow_q.put((conn, request, wrap, recv_ts))
+            return  # _inflight is released by the sidecar
+        try:
+            reply = self._execute(conn, request, frame, wrap, recv_ts)
+        except Exception:
+            # mirrors the threaded loop's last-ditch isolation (e.g. a
+            # reply that outgrew max_frame): drop only this connection
+            with server._lock:
+                server.counters["connections_dropped"] += 1
+            conn.closing = True
+            reply = b""
+        finally:
+            with server._lock:
+                server._inflight -= 1
+        conn.out += reply
+
+    def _execute(
+        self, conn: _Conn, request: dict | None, frame: tuple | None,
+        wrap: bool, recv_ts: float,
+    ) -> bytes:
+        """One request -> its reply frame bytes (either framing)."""
+        server = self._server
+        if request is not None:
+            response, extra = server._dispatch(
+                request, conn.conn_id, recv_ts, conn.ctx
+            )
+            if wrap:
+                return encode_bin_frame(
+                    OP_JSON, 0, encode_json_body(response, extra=extra),
+                    max_frame=server.max_frame,
+                )
+            return encode_json_frame(
+                response, max_frame=server.max_frame, extra=extra
+            )
+        assert frame is not None
+        _kind, opcode, flags, body = frame
+        return server._dispatch_binary(
+            opcode, flags, body, conn.conn_id, recv_ts, conn.ctx
+        )
+
+    # -- sidecar for slow ops -------------------------------------------
+
+    def _slow_run(self) -> None:
+        server = self._server
+        while True:
+            item = self._slow_q.get()
+            if item is None:
+                return
+            conn, request, wrap, recv_ts = item
+            try:
+                reply = self._execute(conn, request, None, wrap, recv_ts)
+                ok = True
+            except Exception:
+                reply, ok = b"", False
+            finally:
+                with server._lock:
+                    server._inflight -= 1
+            self._completions.append((conn, reply, ok))
+            self._wake()
+
+    # -- writes / teardown ----------------------------------------------
+
+    def _flush(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        sock = conn.sock
+        while conn.out:
+            try:
+                n = sock.send(conn.out)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close(conn)
+                return
+            if n <= 0:
+                break
+            del conn.out[:n]
+        if conn.out:
+            if not conn.want_write:
+                conn.want_write = True
+                self._sel.modify(
+                    sock, selectors.EVENT_READ | selectors.EVENT_WRITE, conn
+                )
+        else:
+            if conn.want_write:
+                conn.want_write = False
+                self._sel.modify(sock, selectors.EVENT_READ, conn)
+            if conn.closing:
+                self._close(conn)
+
+    def _close(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._conns.pop(conn.conn_id, None)
+        server = self._server
+        server._close_owned_sessions(conn.conn_id)
+        with server._lock:
+            server._conns.pop(conn.conn_id, None)

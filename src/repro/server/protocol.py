@@ -44,6 +44,43 @@ Tracing context (optional, both directions):
   in request order, so the client correlates replies itself.  Clients
   that predate ``srv`` ignore it.  Neither field changes any existing
   key, so the formats are forward- and backward-compatible.
+
+Binary framing (protocol v2)
+----------------------------
+Steady-state ``observe_predict`` spends more time in the JSON encoder
+and on the wire than in the tracker, so v2 adds a second, compact
+framing that coexists with JSON *per frame* on one connection:
+
+- a binary frame starts with the magic byte ``0xA7`` followed by a
+  fixed ``>BBHI`` header (magic, opcode, flags, body length).  A JSON
+  frame's first byte is the high byte of its length, which is always
+  ``0x00`` while ``max_frame`` stays below 16 MiB — so the first byte
+  of every frame says which framing follows, no connection state
+  needed, and replies mirror the request's framing;
+- hot requests (:data:`OP_OBSERVE` / :data:`OP_OBSERVE_PREDICT` /
+  :data:`OP_PREDICT`) carry a ``>IIH`` body — numeric session id,
+  interned terminal id, distance — instead of strings: the client
+  resolves ``(name, payload)`` against the registry it fetched at
+  ``open_session`` (event-id interning), exactly the lookup the daemon
+  would have done, so predictions stay byte-identical across framings
+  (an event absent from the registry sets :data:`F_UNKNOWN_EVENT` and
+  the daemon runs the same ``observe_unknown`` path);
+- replies pack matched/prediction into flags + a fixed-layout body
+  (IEEE-754 doubles travel exactly); traced replies prepend the same
+  ``(queue_us, handler_us)`` pair ``srv`` carries in JSON;
+- ``OP_JSON`` wraps a regular JSON object in a binary frame (used by
+  peers that want one framing for everything — the supervisor's
+  router understands it);
+- everything else — negotiation (``hello``), ``open_session``,
+  batches, admin ops — stays length-prefixed JSON, so old clients,
+  ``socat`` debugging and the admin/HTTP surfaces work unchanged.
+
+Negotiation is one JSON ``hello`` request: a v2 daemon answers
+``{"ok": true, "binary": true}``, an old daemon answers ``unknown_op``
+and the client stays on JSON for good.  A binary frame reaching an old
+daemon reads as a length >= ``0xA7000000`` and is refused as
+:class:`FrameTooLarge` — loud, immediate, and impossible after a
+completed ``hello``.
 """
 
 from __future__ import annotations
@@ -56,17 +93,44 @@ from typing import Hashable
 from repro.core.predict import Prediction
 
 __all__ = [
+    "BIN_MAGIC",
+    "BIN_OPS",
+    "BIN_REQ",
     "DEFAULT_MAX_FRAME",
     "RETRYABLE_CODES",
     "ProtocolError",
     "FrameTooLarge",
     "ConnectionClosed",
+    "FrameParser",
+    "OP_JSON",
+    "OP_OBSERVE",
+    "OP_OBSERVE_PREDICT",
+    "OP_PREDICT",
+    "OP_REPLY_ERROR",
+    "OP_REPLY_MATCHED",
+    "OP_REPLY_PREDICT",
+    "F_WITH_TIME",
+    "F_REQUIRE_MATCH",
+    "F_UNKNOWN_EVENT",
+    "F_MATCHED",
+    "F_HAS_PRED",
+    "F_HAS_ETA",
+    "F_HAS_SRV",
+    "SRV_PAIR",
     "read_frame",
+    "read_frame_any",
     "write_frame",
+    "encode_json_body",
+    "encode_json_frame",
+    "encode_bin_frame",
+    "encode_bin_error",
+    "decode_bin_error",
     "encode_payload",
     "decode_payload",
     "encode_prediction",
     "decode_prediction",
+    "encode_bin_prediction",
+    "decode_bin_prediction",
 ]
 
 _HEADER = struct.Struct(">I")
@@ -74,6 +138,57 @@ _HEADER = struct.Struct(">I")
 #: refuse frames beyond this many bytes (a batch of ~100k events fits
 #: comfortably; anything larger is a bug or an attack, not a request)
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+# -- binary framing (protocol v2) --------------------------------------
+
+#: first byte of every binary frame.  A JSON frame's first byte is its
+#: length's high byte — 0x00 for any frame under 16 MiB — so one peek
+#: at the first byte decides the framing.
+BIN_MAGIC = 0xA7
+
+#: (magic, opcode, flags, body length)
+_BIN_HEADER = struct.Struct(">BBHI")
+
+# request opcodes
+OP_JSON = 0x00  # body is a UTF-8 JSON object (request or reply)
+OP_OBSERVE = 0x01
+OP_OBSERVE_PREDICT = 0x02
+OP_PREDICT = 0x03
+# reply opcodes
+OP_REPLY_MATCHED = 0x10
+OP_REPLY_PREDICT = 0x11
+OP_REPLY_ERROR = 0x1F  # body: JSON {"code": ..., "error": ...}
+
+#: binary request opcode -> the JSON op name it is equivalent to
+BIN_OPS = {
+    OP_OBSERVE: "observe",
+    OP_OBSERVE_PREDICT: "observe_predict",
+    OP_PREDICT: "predict",
+}
+
+# request flags
+F_WITH_TIME = 0x01
+F_REQUIRE_MATCH = 0x02
+F_UNKNOWN_EVENT = 0x04  # event absent from the registry: observe_unknown
+# reply flags
+F_MATCHED = 0x01
+F_HAS_PRED = 0x02
+F_HAS_ETA = 0x04
+F_HAS_SRV = 0x08
+
+#: hot-request body: (session number, terminal id, distance)
+BIN_REQ = struct.Struct(">IIH")
+
+#: traced-reply timing prefix: (queue_us, handler_us) — the binary
+#: spelling of the JSON ``srv`` pair
+SRV_PAIR = struct.Struct(">II")
+
+# prediction body: terminal (i64, -1 = None), probability (f64),
+# [eta f64 when F_HAS_ETA], count (u32), then count x (terminal, weight)
+_PRED_HEAD = struct.Struct(">qd")
+_PRED_ETA = struct.Struct(">d")
+_PRED_COUNT = struct.Struct(">I")
+_PRED_ITEM = struct.Struct(">qd")
 
 #: error codes that mean "the request was fine, the daemon just cannot
 #: take it right now" — a client may retry them (against the same daemon
@@ -141,6 +256,168 @@ def read_frame(sock: socket.socket, *, max_frame: int = DEFAULT_MAX_FRAME) -> di
     return obj
 
 
+def _parse_json_body(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def read_frame_any(
+    sock: socket.socket, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple | None:
+    """Read one frame of either framing; ``None`` on clean EOF.
+
+    Returns ``("json", obj)`` for a length-prefixed JSON frame or
+    ``("bin", opcode, flags, body)`` for a binary one — the first byte
+    decides (see :data:`BIN_MAGIC`).  Raises the same errors as
+    :func:`read_frame`.
+    """
+    first = _recv_exact(sock, 1)
+    if first is None:
+        return None
+    if first[0] != BIN_MAGIC:
+        rest = _recv_exact(sock, _HEADER.size - 1)
+        if rest is None:
+            raise ConnectionClosed("connection closed mid-frame", partial=True)
+        (length,) = _HEADER.unpack(first + rest)
+        if length > max_frame:
+            raise FrameTooLarge(f"frame of {length} bytes exceeds limit {max_frame}")
+        body = _recv_exact(sock, length) if length else b""
+        if body is None:
+            raise ConnectionClosed("connection closed mid-frame", partial=True)
+        return "json", _parse_json_body(body)
+    rest = _recv_exact(sock, _BIN_HEADER.size - 1)
+    if rest is None:
+        raise ConnectionClosed("connection closed mid-frame", partial=True)
+    _magic, opcode, flags, length = _BIN_HEADER.unpack(first + rest)
+    if length > max_frame:
+        raise FrameTooLarge(f"frame of {length} bytes exceeds limit {max_frame}")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ConnectionClosed("connection closed mid-frame", partial=True)
+    return "bin", opcode, flags, body
+
+
+class FrameParser:
+    """Incremental parser over a fed byte buffer, both framings.
+
+    The event-loop daemon reads sockets non-blockingly and feeds raw
+    chunks here; :meth:`next_frame` yields complete frames in arrival
+    order (same return shapes as :func:`read_frame_any`) or ``None``
+    when more bytes are needed.  A framing violation — oversized length
+    announcement, non-JSON body — poisons the parser permanently: the
+    byte stream has no recoverable resync point after a bad header, so
+    every later call re-raises and the connection must be closed.
+    """
+
+    __slots__ = ("max_frame", "_buf", "_dead")
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        self._dead: ProtocolError | None = None
+
+    def feed(self, data: bytes) -> None:
+        if data:
+            self._buf += data
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def next_frame(self) -> tuple | None:
+        if self._dead is not None:
+            raise self._dead
+        try:
+            return self._next()
+        except ProtocolError as exc:
+            self._dead = exc
+            raise
+
+    def _next(self) -> tuple | None:
+        buf = self._buf
+        if not buf:
+            return None
+        if buf[0] != BIN_MAGIC:
+            if len(buf) < _HEADER.size:
+                return None
+            (length,) = _HEADER.unpack_from(buf)
+            if length > self.max_frame:
+                raise FrameTooLarge(
+                    f"frame of {length} bytes exceeds limit {self.max_frame}"
+                )
+            end = _HEADER.size + length
+            if len(buf) < end:
+                return None
+            body = bytes(buf[_HEADER.size:end])
+            del buf[:end]
+            return "json", _parse_json_body(body)
+        if len(buf) < _BIN_HEADER.size:
+            return None
+        _magic, opcode, flags, length = _BIN_HEADER.unpack_from(buf)
+        if length > self.max_frame:
+            raise FrameTooLarge(
+                f"frame of {length} bytes exceeds limit {self.max_frame}"
+            )
+        end = _BIN_HEADER.size + length
+        if len(buf) < end:
+            return None
+        body = bytes(buf[_BIN_HEADER.size:end])
+        del buf[:end]
+        return "bin", opcode, flags, body
+
+
+def encode_json_body(obj: dict, *, extra: str | None = None) -> bytes:
+    """Serialize ``obj`` (+ optional pre-serialized ``extra`` splice)."""
+    body = json.dumps(obj, separators=(",", ":"))
+    if extra:
+        body = body[:-1] + extra + "}"
+    return body.encode("utf-8")
+
+
+def encode_json_frame(
+    obj: dict,
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    extra: str | None = None,
+) -> bytes:
+    """A length-prefixed JSON frame as bytes (socketless write_frame).
+
+    Same ``extra`` splice as :func:`write_frame`; used where frames are
+    buffered instead of written — the event-loop daemon's reply queue
+    and the client's pipelined sends.
+    """
+    encoded = encode_json_body(obj, extra=extra)
+    if len(encoded) > max_frame:
+        raise FrameTooLarge(f"frame of {len(encoded)} bytes exceeds limit {max_frame}")
+    return _HEADER.pack(len(encoded)) + encoded
+
+
+def encode_bin_frame(
+    opcode: int, flags: int = 0, body: bytes = b"",
+    *, max_frame: int = DEFAULT_MAX_FRAME,
+) -> bytes:
+    """One binary frame as bytes (header + body)."""
+    if len(body) > max_frame:
+        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds limit {max_frame}")
+    return _BIN_HEADER.pack(BIN_MAGIC, opcode, flags, len(body)) + body
+
+
+def encode_bin_error(code: str, message: str) -> bytes:
+    """An :data:`OP_REPLY_ERROR` frame (body mirrors the JSON error shape)."""
+    body = json.dumps({"code": code, "error": message}).encode("utf-8")
+    return encode_bin_frame(OP_REPLY_ERROR, 0, body)
+
+
+def decode_bin_error(body: bytes, offset: int = 0) -> tuple[str, str]:
+    """``(code, message)`` from an :data:`OP_REPLY_ERROR` body."""
+    obj = _parse_json_body(bytes(body[offset:]))
+    return str(obj.get("code", "error")), str(obj.get("error", "unknown error"))
+
+
 def write_frame(
     sock: socket.socket,
     obj: dict,
@@ -186,18 +463,34 @@ def write_frame(
 
 
 def encode_payload(payload: Hashable):
-    """Event payload -> JSON value (tuples use the trace-file convention)."""
+    """Event payload -> JSON value (tuples use the trace-file convention).
+
+    Tuples become ``["__tuple__", <elements>]`` at every nesting level,
+    so ``decode_payload(encode_payload(p)) == p`` holds for any payload
+    built from JSON scalars and tuples — including ``()``, a literal
+    ``("__tuple__",)`` and nested tuples.
+    """
     if isinstance(payload, tuple):
-        return ["__tuple__", *payload]
+        return ["__tuple__", *(encode_payload(item) for item in payload)]
     return payload
 
 
 def decode_payload(obj) -> Hashable:
-    """Inverse of :func:`encode_payload` (mirrors EventRegistry.from_obj)."""
+    """Inverse of :func:`encode_payload`.
+
+    A JSON list is only valid as a sentinel-tagged tuple: payloads are
+    hashable, so a *bare* list can never come from ``encode_payload``
+    and is rejected instead of being guessed into a tuple (the old
+    leniency made encode/decode non-inverse).  Raises
+    :class:`ValueError` — a request-level error, not a framing one.
+    """
     if isinstance(obj, list):
-        if obj and obj[0] == "__tuple__":
-            return tuple(obj[1:])
-        return tuple(obj)
+        if not obj or obj[0] != "__tuple__":
+            raise ValueError(
+                "ambiguous payload: bare JSON lists are not valid payloads; "
+                "tuples use the ['__tuple__', ...] sentinel"
+            )
+        return tuple(decode_payload(item) for item in obj[1:])
     return obj
 
 
@@ -222,4 +515,56 @@ def decode_prediction(obj: dict | None) -> Prediction | None:
         probability=obj["probability"],
         eta=obj.get("eta"),
         distribution={t: w for t, w in obj.get("distribution", [])},
+    )
+
+
+def encode_bin_prediction(pred: Prediction | None) -> tuple[int, bytes]:
+    """Prediction -> ``(reply flag bits, body bytes)``.
+
+    ``None`` (oracle lost / require_match skipped) encodes as no
+    :data:`F_HAS_PRED` flag and an empty body.  Terminals are i64 with
+    ``-1`` for the end-of-execution ``None``; probabilities, etas and
+    distribution weights are IEEE-754 doubles, which Python floats are,
+    so a decoded prediction is bit-for-bit the encoded one.
+    """
+    if pred is None:
+        return 0, b""
+    flags = F_HAS_PRED
+    parts = [_PRED_HEAD.pack(
+        -1 if pred.terminal is None else pred.terminal, pred.probability
+    )]
+    if pred.eta is not None:
+        flags |= F_HAS_ETA
+        parts.append(_PRED_ETA.pack(pred.eta))
+    dist = pred.distribution
+    parts.append(_PRED_COUNT.pack(len(dist)))
+    for t, w in dist.items():
+        parts.append(_PRED_ITEM.pack(-1 if t is None else t, w))
+    return flags, b"".join(parts)
+
+
+def decode_bin_prediction(
+    flags: int, body: bytes, offset: int = 0
+) -> Prediction | None:
+    """Inverse of :func:`encode_bin_prediction` (reads from ``offset``)."""
+    if not flags & F_HAS_PRED:
+        return None
+    terminal, probability = _PRED_HEAD.unpack_from(body, offset)
+    offset += _PRED_HEAD.size
+    eta = None
+    if flags & F_HAS_ETA:
+        (eta,) = _PRED_ETA.unpack_from(body, offset)
+        offset += _PRED_ETA.size
+    (count,) = _PRED_COUNT.unpack_from(body, offset)
+    offset += _PRED_COUNT.size
+    distribution: dict = {}
+    for _ in range(count):
+        t, w = _PRED_ITEM.unpack_from(body, offset)
+        offset += _PRED_ITEM.size
+        distribution[None if t == -1 else t] = w
+    return Prediction(
+        terminal=None if terminal == -1 else terminal,
+        probability=probability,
+        eta=eta,
+        distribution=distribution,
     )

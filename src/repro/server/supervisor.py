@@ -79,8 +79,11 @@ from repro.obs.metrics import (
 from repro.obs.process import register_process_metrics
 from repro.server.daemon import OracleServer
 from repro.server.protocol import (
+    BIN_MAGIC,
     DEFAULT_MAX_FRAME,
+    OP_JSON,
     ProtocolError,
+    _BIN_HEADER,
     read_frame,
     write_frame,
 )
@@ -564,22 +567,36 @@ class OracleSupervisor:
         timeout, too large to peek, malformed) — the caller then
         round-robins the connection; the worker will produce the real
         protocol error, exactly as a single-process daemon would.
+
+        Understands both framings: length-prefixed JSON and the v2
+        binary framing (first byte ``0xA7``).  A binary ``OP_JSON``
+        wrapper is unwrapped and its JSON parsed for ctx; any other
+        binary opcode is a bare steady-state frame with no session id
+        on the wire, so the connection routes blind.
         """
         conn.settimeout(None)
         buf = conn.recv(_HEADER.size, socket.MSG_PEEK)
         if not buf:
             return None
+        binary = buf[0] == BIN_MAGIC
+        header_size = _BIN_HEADER.size if binary else _HEADER.size
         deadline = time.monotonic() + self.peek_deadline
-        want = _HEADER.size
+        want = header_size
         while True:
             if len(buf) >= want:
-                if want == _HEADER.size:
-                    (length,) = _HEADER.unpack(buf[:_HEADER.size])
+                if want == header_size:
+                    if binary:
+                        _magic, opcode, _flags, length = _BIN_HEADER.unpack(
+                            buf[:header_size])
+                        if opcode != OP_JSON:
+                            return None  # bare binary op: route blind
+                    else:
+                        (length,) = _HEADER.unpack(buf[:header_size])
                     if length > _PEEK_CAP:
                         return None  # giant first frame: route blind
-                    want = _HEADER.size + length
+                    want = header_size + length
                     continue
-                body = buf[_HEADER.size:want]
+                body = buf[header_size:want]
                 try:
                     obj = json.loads(body.decode("utf-8"))
                 except (UnicodeDecodeError, json.JSONDecodeError):

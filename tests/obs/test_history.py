@@ -208,3 +208,52 @@ class TestEnv:
         hist = history_from_env()
         assert hist.interval == 0.5
         assert hist.capacity == 10
+
+
+class TestMonotonicTimeline:
+    """Regression: the ring must key its timeline on the monotonic
+    clock, so an NTP step / backwards wall-clock jump cannot corrupt
+    windows, rates or spans (only display timestamps follow the wall)."""
+
+    def test_backwards_wall_jump_does_not_break_rate(self, monkeypatch):
+        hist = MetricsHistory(MetricsRegistry(), capacity=1000)
+        key = "pythia_server_requests_total"
+        mono = iter([100.0, 101.0, 102.0, 103.0, 104.0])
+        # wall clock steps back 1h between the 2nd and 3rd snapshot
+        wall = iter([1000.0, 1001.0, 1001.0 - 3600.0, 1002.0 - 3600.0,
+                     1003.0 - 3600.0])
+        monkeypatch.setattr(time, "monotonic", lambda: next(mono))
+        monkeypatch.setattr(time, "time", lambda: next(wall))
+        for v in (0, 10, 20, 30, 40):
+            hist.record_values({key: float(v)})
+        # 40 requests over 4 monotonic seconds; the wall jump is invisible
+        assert hist.rate(key) == pytest.approx(10.0)
+        assert hist.delta(key) == 40.0
+        assert hist.view(keys=[key])["span_seconds"] == pytest.approx(4.0)
+
+    def test_backwards_wall_jump_does_not_clip_windows(self, monkeypatch):
+        hist = MetricsHistory(MetricsRegistry(), capacity=1000)
+        mono = iter([10.0, 11.0, 12.0])
+        wall = iter([5000.0, 1.0, 2.0])  # giant backwards step after entry 1
+        monkeypatch.setattr(time, "monotonic", lambda: next(mono))
+        monkeypatch.setattr(time, "time", lambda: next(wall))
+        for v in (1, 2, 3):
+            hist.record_values({"g": float(v)})
+        # a 10s window spans all three entries on the monotonic clock,
+        # even though wall timestamps went 5000 -> 1 -> 2
+        assert [v for _, v in hist.series("g", window_s=10.0)] == [1.0, 2.0, 3.0]
+        assert hist.percentiles("g", (0.5,), window_s=10.0)[0.5] == 2.0
+
+    def test_wall_timestamps_still_drive_display_and_jsonl(self, monkeypatch):
+        hist = MetricsHistory(MetricsRegistry(), capacity=10)
+        monkeypatch.setattr(time, "monotonic", lambda: 55.0)
+        monkeypatch.setattr(time, "time", lambda: 1234.5)
+        hist.record_values({"g": 1.0})
+        assert hist.entries() == [(1234.5, {"g": 1.0})]
+        assert hist.series("g") == [(1234.5, 1.0)]
+        assert '"t": 1234.5' in hist.to_jsonl()
+
+    def test_explicit_now_pins_both_clocks(self):
+        hist = filled([(1.0, 0), (2.0, 100)])
+        assert hist.rate("pythia_server_requests_total") == pytest.approx(100.0)
+        assert hist.entries()[0][0] == 1.0

@@ -804,3 +804,123 @@ class TestWorkerCrashUnderSupervisor:
             client.close()
         finally:
             sup.stop()
+
+
+@pytest.mark.parametrize("io_mode", ["eventloop", "threads"])
+class TestPipelinedDrain:
+    """Satellite: pipelined requests racing SIGTERM drain.
+
+    Three guarantees, in stream order on one connection: pipelined ops
+    the daemon dispatched before the drain gate complete normally; every
+    later one is answered with a retryable ``shutting_down`` error *in
+    its submit position*; and after a reconnect to a replacement daemon
+    the ring-replay resync keeps the prediction stream byte-identical —
+    refused ops never entered the ring, so nothing is double-observed.
+    """
+
+    def test_late_pipelined_ops_rejected_in_order_then_resync(
+        self, tmp_path, trace_path, io_mode
+    ):
+        from repro.server.client import OracleServiceError
+
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        sock_path = str(tmp_path / "oracle.sock")
+        local = Pythia(trace_path, mode="predict")
+        srv = OracleServer(
+            sock_path, store=TraceStore(), io_mode=io_mode
+        ).start()
+        client = PythiaClient(trace_path, socket=sock_path, retry=FAST_RETRY)
+        try:
+            # phase 1: a pipelined window completes before any drain
+            with client.pipeline(window=64) as pipe:
+                for name, payload in events[:30]:
+                    pipe.submit(name, payload)
+                settled = pipe.drain()
+            local_head = [
+                pred_key(local.event_and_predict(n, p)[1])
+                for n, p in events[:30]
+            ]
+            assert [pred_key(p) for _, p in settled] == local_head
+            assert client._proto_state == "binary"
+
+            # phase 2: the daemon drains; late pipelined ops are refused
+            # retryably, one reply per submit, in submit order
+            srv.drain(deadline=5.0)
+            assert srv.draining
+            with client.pipeline(window=64) as pipe:
+                for name, payload in events[30:50]:
+                    pipe.submit(name, payload)
+                rejected = pipe.drain()
+            assert len(rejected) == 20
+            for r in rejected:
+                assert isinstance(r, OracleServiceError)
+                assert r.code == "shutting_down"
+            assert srv.counters["requests_rejected_draining"] >= 20
+        finally:
+            srv.stop()
+
+        # phase 3: a replacement daemon on the same path; the client
+        # reconnects, replays its ring (exactly the 30 confirmed events)
+        # and the retried tail stays byte-identical with the local oracle
+        srv2 = OracleServer(
+            sock_path, store=TraceStore(), io_mode=io_mode
+        ).start()
+        try:
+            remote_tail = [
+                pred_key(client.event_and_predict(n, p)[1])
+                for n, p in events[30:60]
+            ]
+            local_tail = [
+                pred_key(local.event_and_predict(n, p)[1])
+                for n, p in events[30:60]
+            ]
+            assert remote_tail == local_tail
+            assert not client.degraded
+        finally:
+            client.close()
+            srv2.stop()
+
+    def test_burst_racing_drain_has_monotone_cutover(
+        self, tmp_path, trace_path, io_mode
+    ):
+        """A pipelined burst genuinely racing the drain gate: replies
+        stay in order and flip from success to shutting_down exactly
+        once — never interleaved, never dropped."""
+        from repro.server.client import OracleServiceError
+
+        events = record_loop_trace(str(tmp_path / "again.pythia"))
+        sock_path = str(tmp_path / "oracle.sock")
+        srv = OracleServer(
+            sock_path, store=TraceStore(), io_mode=io_mode
+        ).start()
+        client = PythiaClient(trace_path, socket=sock_path, retry=FAST_RETRY)
+        results = []
+
+        def burst():
+            with client.pipeline(window=16) as pipe:
+                for name, payload in events[:200]:
+                    pipe.submit(name, payload)
+                results.extend(pipe.drain())
+
+        try:
+            t = threading.Thread(target=burst)
+            t.start()
+            time.sleep(0.01)  # let some windows through
+            srv.drain(deadline=30.0)
+            t.join(timeout=30)
+            assert not t.is_alive()
+            assert len(results) == 200
+            flips = 0
+            for prev, cur in zip(results, results[1:]):
+                prev_err = isinstance(prev, OracleServiceError)
+                cur_err = isinstance(cur, OracleServiceError)
+                if prev_err != cur_err:
+                    assert cur_err and not prev_err, "success after cutover"
+                    flips += 1
+            assert flips <= 1
+            for r in results:
+                if isinstance(r, OracleServiceError):
+                    assert r.code == "shutting_down"
+        finally:
+            client.close()
+            srv.stop()

@@ -91,13 +91,19 @@ class TestMetricsOp:
         with PythiaClient(npb_trace, socket=server.socket_path) as client:
             client.event("never_recorded")  # forces a session + observe
         parsed = parse_exposition(scrape(server))
-        assert parsed['pythia_server_request_seconds_count{op="observe"}'] == 1
-        assert parsed['pythia_server_request_seconds_count{op="open_session"}'] == 1
-        assert parsed['pythia_server_request_seconds_sum{op="observe"}'] > 0.0
-        # cumulative le buckets end at +Inf == count
+        # v2: latency histograms carry the framing as a proto label
+        count = 'pythia_server_request_seconds_count{op="%s",proto="%s"}'
+        assert parsed[count % ("observe", "binary")] == 1
+        assert parsed[count % ("open_session", "json")] == 1
         assert (
-            parsed['pythia_server_request_seconds_bucket{op="observe",le="+Inf"}'] == 1
+            parsed['pythia_server_request_seconds_sum{op="observe",proto="binary"}']
+            > 0.0
         )
+        # cumulative le buckets end at +Inf == count
+        assert parsed[
+            'pythia_server_request_seconds_bucket'
+            '{op="observe",proto="binary",le="+Inf"}'
+        ] == 1
 
     def test_successor_cache_counters_exposed(self, npb_trace, server):
         """The compiled machine's cache counters reach the exposition."""
